@@ -1,0 +1,380 @@
+// Per-figure benchmark harness: one Benchmark per table/figure of the
+// paper (see DESIGN.md §3 for the index). Each benchmark runs the full
+// experiment at bench scale and reports the figure's headline quantities
+// through b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation. Absolute numbers differ from the paper's testbed; the
+// shapes (who wins, by what factor, where crossovers fall) are recorded in
+// EXPERIMENTS.md.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hash"
+	"repro/internal/workload"
+)
+
+func benchScale() experiments.Scale {
+	s := experiments.Bench()
+	s.Trials = 100
+	return s
+}
+
+// BenchmarkFig01_02_FCTvsOverhead regenerates Figures 1 and 2: normalized
+// FCT and long-flow goodput as the per-packet overhead sweeps 28..108B at
+// 30% and 70% load.
+func BenchmarkFig01_02_FCTvsOverhead(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig01_02(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Load == 0.7 && p.OverheadBytes == 108 {
+				b.ReportMetric(p.NormFCT, "normFCT@108B,70%")
+				b.ReportMetric(p.NormGoodput, "normGoodput@108B,70%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig05_CodingSchemes regenerates Figure 5: Baseline vs XOR vs
+// Hybrid decode progress for k=d=25.
+func BenchmarkFig05_CodingSchemes(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.Fig05(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Decode probability at the 100-packet mark, per scheme.
+		idx := len(curves[0].Packets) * 96 / 200
+		for _, c := range curves {
+			b.ReportMetric(c.DecodeProb[idx], metric("P(dec)@100pkts:", c.Scheme))
+		}
+	}
+}
+
+// BenchmarkTab42_CodingMedians regenerates the §4.2 packets-to-decode
+// order statistics (Baseline median ~89, Hybrid ~41 for k=25) plus the
+// LNC comparator.
+func BenchmarkTab42_CodingMedians(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.CodingMedians(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 5 {
+			b.Fatal("missing schemes")
+		}
+	}
+}
+
+// BenchmarkFig07a_GoodputGain regenerates Figure 7(a): HPCC(PINT) vs
+// HPCC(INT) long-flow goodput across loads.
+func BenchmarkFig07a_GoodputGain(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig07a(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Load == 0.7 {
+				b.ReportMetric(p.GainPercent, "gain%@70%load")
+			}
+		}
+	}
+}
+
+// BenchmarkFig07b_SlowdownWebSearch regenerates Figure 7(b).
+func BenchmarkFig07b_SlowdownWebSearch(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		sr, err := experiments.Fig07bc(s, workload.WebSearch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastBin(b, sr)
+	}
+}
+
+// BenchmarkFig07c_SlowdownHadoop regenerates Figure 7(c).
+func BenchmarkFig07c_SlowdownHadoop(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		sr, err := experiments.Fig07bc(s, workload.Hadoop())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastBin(b, sr)
+	}
+}
+
+func reportLastBin(b *testing.B, sr []experiments.SlowdownSeries) {
+	b.Helper()
+	for _, s := range sr {
+		last := s.P95[len(s.P95)-1]
+		b.ReportMetric(last, metric("p95slowdown-long:", s.Name))
+	}
+}
+
+// BenchmarkFig08_FeedbackFraction regenerates Figure 8: PINT-HPCC at
+// p = 1, 1/16, 1/256.
+func BenchmarkFig08_FeedbackFraction(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		sr, err := experiments.Fig08(s, workload.Hadoop())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLastBin(b, sr)
+	}
+}
+
+// BenchmarkFig09_LatencyQuantiles regenerates Figure 9 (the Hadoop median
+// panel of each row; cmd/pintfig prints all six).
+func BenchmarkFig09_LatencyQuantiles(b *testing.B) {
+	s := benchScale()
+	s.Trials = 20
+	for i := 0; i < b.N; i++ {
+		bySample, err := experiments.Fig09(s, experiments.Fig09Panel{
+			Workload: "hadoop", Quantile: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range bySample {
+			b.ReportMetric(sr.Points[len(sr.Points)-1].RelErr, metric("err%@1000pkts:", sr.Name))
+		}
+		bySketch, err := experiments.Fig09(s, experiments.Fig09Panel{
+			Workload: "hadoop", Quantile: 0.5, BySketch: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range bySketch {
+			b.ReportMetric(sr.Points[1].RelErr, metric("err%@100B:", sr.Name))
+		}
+	}
+}
+
+// BenchmarkFig10a_PathTracingKentucky regenerates Figure 10(a)/(d).
+func BenchmarkFig10a_PathTracingKentucky(b *testing.B) {
+	benchFig10(b, experiments.TopoKentucky, 54)
+}
+
+// BenchmarkFig10b_PathTracingUSCarrier regenerates Figure 10(b)/(e).
+func BenchmarkFig10b_PathTracingUSCarrier(b *testing.B) {
+	benchFig10(b, experiments.TopoUSCarrier, 36)
+}
+
+// BenchmarkFig10c_PathTracingFatTree regenerates Figure 10(c)/(f).
+func BenchmarkFig10c_PathTracingFatTree(b *testing.B) {
+	benchFig10(b, experiments.TopoFatTree, 5)
+}
+
+func benchFig10(b *testing.B, topo experiments.Fig10Topology, maxLen int) {
+	b.Helper()
+	s := benchScale()
+	s.Trials = 30
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig10(s, topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.PathLen == maxLen {
+				b.ReportMetric(p.Mean, metric("meanPkts@", itoa(maxLen), ":", p.Scheme))
+			}
+		}
+	}
+}
+
+// BenchmarkFig11_Combined regenerates Figure 11: the three-query
+// 16-bit-budget execution plan vs solo baselines.
+func BenchmarkFig11_Combined(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.MeanSlowdown, "meanSlowdown:"+r.Name)
+			b.ReportMetric(r.PathMeanPackets, "pathPkts:"+r.Name)
+			b.ReportMetric(r.MedianLatErrPct, "medLatErr%:"+r.Name)
+		}
+	}
+}
+
+// BenchmarkAppA4_LoopDetect regenerates Appendix A.4's false-positive
+// trade-off.
+func BenchmarkAppA4_LoopDetect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d0, err := core.NewLoopDetector(16, 0, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d0.FalsePositiveRate(32, 200000, 3)*1e6, "fp-per-1e6:T=0,b=16")
+		d1, err := core.NewLoopDetector(15, 1, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d1.FalsePositiveRate(32, 200000, 4)*1e6, "fp-per-1e6:T=1,b=15")
+	}
+}
+
+// --- Ablations called out in DESIGN.md §5 ---
+
+// BenchmarkAblation_HashVsFragment compares §4.2's two bit-reduction
+// techniques at an 8-bit budget for 32-bit switch IDs over 10 hops.
+func BenchmarkAblation_HashVsFragment(b *testing.B) {
+	values := make([]uint64, 10)
+	universe := make([]uint64, 200)
+	for i := range universe {
+		universe[i] = uint64(0xAB000000 + i*7)
+	}
+	copy(values, universe[:10])
+	lay := coding.MultiLayer(10, true)
+	hashed := coding.Config{Bits: 8, Mode: coding.ModeHashed, Layering: lay}
+	frag := coding.Config{Bits: 8, Mode: coding.ModeRaw, ValueBits: 32, Layering: lay}
+	for i := 0; i < b.N; i++ {
+		sh, err := coding.RunTrials(hashed, values, universe, 100, 1, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sf, err := coding.RunTrials(frag, values, nil, 100, 2, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sh.Mean, "meanPkts:hashed")
+		b.ReportMetric(sf.Mean, "meanPkts:fragmented")
+	}
+}
+
+// BenchmarkAblation_MultiInstance compares one 8-bit hash against two
+// independent 4-bit hashes under the same 8-bit budget (§4.2, "Improving
+// Performance via Multiple Instantiations").
+func BenchmarkAblation_MultiInstance(b *testing.B) {
+	universe := make([]uint64, 200)
+	for i := range universe {
+		universe[i] = uint64(0xAB000000 + i*7)
+	}
+	values := universe[:10]
+	lay := coding.MultiLayer(10, true)
+	one := coding.Config{Bits: 8, Mode: coding.ModeHashed, Layering: lay}
+	two := coding.Config{Bits: 4, Instances: 2, Mode: coding.ModeHashed, Layering: lay}
+	for i := 0; i < b.N; i++ {
+		s1, err := coding.RunTrials(one, values, universe, 100, 3, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s2, err := coding.RunTrials(two, values, universe, 100, 4, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(s1.Mean, "meanPkts:1x8bit")
+		b.ReportMetric(s2.Mean, "meanPkts:2x4bit")
+	}
+}
+
+// BenchmarkAblation_LNC compares Linear Network Coding's packet count
+// against the multi-layer XOR scheme (§4.2's trade-off: LNC needs fewer
+// packets but cubic decoding and full-width blocks).
+func BenchmarkAblation_LNC(b *testing.B) {
+	values := make([]uint64, 25)
+	for i := range values {
+		values[i] = uint64(0x1000 + i)
+	}
+	ml := coding.Config{Bits: 16, Mode: coding.ModeRaw, ValueBits: 16,
+		Layering: coding.MultiLayer(25, true)}
+	for i := 0; i < b.N; i++ {
+		sm, err := coding.RunTrials(ml, values, nil, 100, 5, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := hash.NewRNG(6)
+		total := 0
+		for t := 0; t < 100; t++ {
+			l, err := coding.NewLNC(hash.NewGlobal(hash.Seed(rng.Uint64())), 25)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub := rng.Split()
+			n := 0
+			for !l.Done() {
+				pkt := sub.Uint64()
+				l.Observe(pkt, l.Encode(pkt, values))
+				n++
+			}
+			total += n
+		}
+		b.ReportMetric(sm.Mean, "meanPkts:multilayer")
+		b.ReportMetric(float64(total)/100, "meanPkts:LNC")
+	}
+}
+
+// BenchmarkAblation_Epsilon sweeps the per-packet compression error for
+// the utilization query (§4.3's accuracy/width trade-off).
+func BenchmarkAblation_Epsilon(b *testing.B) {
+	g := hash.NewGlobal(12)
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			bits int
+			eps  float64
+		}{{4, 0.2}, {8, 0.025}, {16, 0.0025}} {
+			q, err := core.NewUtilQuery("u", tc.bits, tc.eps, 1, 1000, 77)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var errSum float64
+			const n = 5000
+			for j := 0; j < n; j++ {
+				u := 0.05 + 1.5*hash.Unit(g.ValueDigest(uint64(j), 1, 64))
+				code := q.EncodeHop(uint64(j), 1, 0, q.EncodeValue(u))
+				dec := q.Decode(code)
+				diff := dec - u
+				if diff < 0 {
+					diff = -diff
+				}
+				errSum += diff / u
+			}
+			b.ReportMetric(errSum/n*100, "meanErr%:b="+itoa(tc.bits))
+		}
+	}
+}
+
+// metric sanitizes a label for use as a benchmark metric unit (testing
+// rejects whitespace).
+func metric(parts ...string) string {
+	out := ""
+	for _, p := range parts {
+		for _, r := range p {
+			switch r {
+			case ' ':
+				out += "_"
+			default:
+				out += string(r)
+			}
+		}
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,172 @@
+// Command pintfig regenerates any of the paper's tables and figures.
+//
+// Usage:
+//
+//	pintfig -fig 1 [-scale bench|paper]     Figs 1+2 (overhead vs FCT/goodput)
+//	pintfig -fig 5                          Fig 5 (coding scheme progress)
+//	pintfig -fig medians                    §4.2 packets-to-decode table
+//	pintfig -fig 7a | 7b | 7c | 8           HPCC experiments
+//	pintfig -fig 9                          latency-quantile error panels
+//	pintfig -fig 10a | 10b | 10c            path tracing per topology
+//	pintfig -fig 11                         combined three-query experiment
+//	pintfig -fig all                        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (1,5,medians,7a,7b,7c,8,9,10a,10b,10c,11,all)")
+	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scaleName {
+	case "bench":
+		s = experiments.Bench()
+	case "paper":
+		s = experiments.Paper()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "running %s at scale %s...\n", name, *scaleName)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("1", func() error {
+		pts, err := experiments.Fig01_02(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig01_02Table(pts))
+		return nil
+	})
+	run("5", func() error {
+		curves, err := experiments.Fig05(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig05Table(curves))
+		return nil
+	})
+	run("medians", func() error {
+		tab, err := experiments.CodingMedians(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+		return nil
+	})
+	run("7a", func() error {
+		pts, err := experiments.Fig07a(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig07aTable(pts))
+		return nil
+	})
+	run("7b", func() error {
+		sr, err := experiments.Fig07bc(s, workload.WebSearch())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SlowdownTable("Fig 7b: p95 slowdown, web search, 50% load", sr))
+		return nil
+	})
+	run("7c", func() error {
+		sr, err := experiments.Fig07bc(s, workload.Hadoop())
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SlowdownTable("Fig 7c: p95 slowdown, Hadoop, 50% load", sr))
+		return nil
+	})
+	run("8", func() error {
+		for _, wl := range []struct {
+			name string
+			dist *workload.Dist
+		}{{"web search", workload.WebSearch()}, {"hadoop", workload.Hadoop()}} {
+			sr, err := experiments.Fig08(s, wl.dist)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.SlowdownTable(
+				fmt.Sprintf("Fig 8: p95 slowdown vs feedback fraction, %s", wl.name), sr))
+		}
+		return nil
+	})
+	run("9", func() error {
+		panels := []experiments.Fig09Panel{
+			{Workload: "websearch", Quantile: 0.99},
+			{Workload: "hadoop", Quantile: 0.99},
+			{Workload: "hadoop", Quantile: 0.5},
+			{Workload: "websearch", Quantile: 0.99, BySketch: true},
+			{Workload: "hadoop", Quantile: 0.99, BySketch: true},
+			{Workload: "hadoop", Quantile: 0.5, BySketch: true},
+		}
+		for _, p := range panels {
+			series, err := experiments.Fig09(s, p)
+			if err != nil {
+				return err
+			}
+			axis := "sample size [pkts]"
+			if p.BySketch {
+				axis = "sketch size [bytes]"
+			}
+			fmt.Printf("== Fig 9 panel: %s q=%.2f vs %s ==\n", p.Workload, p.Quantile, axis)
+			for _, sr := range series {
+				fmt.Printf("  %-14s", sr.Name)
+				for _, pt := range sr.Points {
+					fmt.Printf("  %d:%.1f%%", pt.X, pt.RelErr)
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	for _, topo := range []struct {
+		id   string
+		name experiments.Fig10Topology
+	}{{"10a", experiments.TopoKentucky}, {"10b", experiments.TopoUSCarrier}, {"10c", experiments.TopoFatTree}} {
+		topo := topo
+		run(topo.id, func() error {
+			pts, err := experiments.Fig10(s, topo.name)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Fig10Table(topo.name, pts))
+			return nil
+		})
+	}
+	run("11", func() error {
+		rows, err := experiments.Fig11(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Fig11Table(rows))
+		return nil
+	})
+	run("collection", func() error {
+		stats, err := experiments.CollectionOverhead(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.CollectionTable(stats))
+		return nil
+	})
+}

@@ -1,0 +1,88 @@
+// Command pinttrace measures packets-to-decode for path tracing over one
+// of the evaluation topologies, with a configurable budget — the
+// interactive counterpart of Fig 10.
+//
+// Usage:
+//
+//	pinttrace -topo kentucky -len 24 -bits 8 -instances 2 -trials 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topo", "uscarrier", "topology: kentucky, uscarrier, fattree")
+	pathLen := flag.Int("len", 12, "path length in switch hops")
+	bits := flag.Int("bits", 8, "digest bits per hash instance")
+	instances := flag.Int("instances", 1, "independent hash instances")
+	d := flag.Int("d", 10, "assumed typical path length (layering parameter)")
+	trials := flag.Int("trials", 1000, "trials")
+	seed := flag.Uint64("seed", 1, "random seed")
+	baselines := flag.Bool("baselines", true, "also run PPM and AMS2")
+	flag.Parse()
+
+	var g *topology.Graph
+	var err error
+	switch *topoName {
+	case "kentucky":
+		g, err = topology.KentuckyDatalinkLike()
+	case "uscarrier":
+		g, err = topology.USCarrierLike()
+	case "fattree":
+		g, err = topology.FatTree(8)
+	default:
+		log.Fatalf("unknown topology %q", *topoName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A path visiting `len` switches connects a pair at BFS distance len-1.
+	pairs := g.SwitchPairsAtDistance(*pathLen-1, 1, *seed)
+	if len(pairs) == 0 {
+		log.Fatalf("no %d-switch path in %s", *pathLen, g.Name)
+	}
+	nodePath := g.Path(pairs[0][0], pairs[0][1], *seed)
+	var values []uint64
+	for _, n := range nodePath {
+		values = append(values, g.Nodes[n].SwitchID)
+	}
+	universe := g.SwitchIDUniverse()
+	fmt.Printf("%s: %d switches, tracing a %d-hop path, %d trials\n\n",
+		g.Name, len(universe), len(values), *trials)
+
+	cfg, err := core.DefaultPathConfig(*bits, *instances, *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := coding.RunTrials(cfg, values, universe, *trials, *seed, 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PINT %dx(b=%d)   mean %.0f   median %.0f   p99 %.0f   (%d bits/pkt)\n",
+		*instances, *bits, st.Mean, st.Median, st.P99, cfg.TotalBits())
+
+	if *baselines {
+		ppm, err := telemetry.RunPPMTrials(values, *trials, *seed+1, 2_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("PPM            mean %.0f   median %.0f   p99 %.0f   (16 bits/pkt)\n",
+			ppm.Mean, ppm.Median, ppm.P99)
+		for _, m := range []int{5, 6} {
+			ams, err := telemetry.RunAMS2Trials(values, universe, m, *trials, *seed+uint64(m), 2_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("AMS2 (m=%d)     mean %.0f   median %.0f   p99 %.0f   (16 bits/pkt)\n",
+				m, ams.Mean, ams.Median, ams.P99)
+		}
+	}
+}

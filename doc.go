@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "PINT: Probabilistic
+// In-band Network Telemetry" (Ben Basat et al., SIGCOMM 2020).
+//
+// The public API lives in the pint subpackage; the per-figure benchmark
+// harness lives in bench_test.go next to this file. See README.md for the
+// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

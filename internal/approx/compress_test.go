@@ -1,0 +1,233 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func TestMultCompressorConstruct(t *testing.T) {
+	if _, err := NewMultCompressor(0, 8); err == nil {
+		t.Fatal("eps=0 must be rejected")
+	}
+	if _, err := NewMultCompressor(1.5, 8); err == nil {
+		t.Fatal("eps>=1 must be rejected")
+	}
+	if _, err := NewMultCompressor(0.1, 0); err == nil {
+		t.Fatal("bits=0 must be rejected")
+	}
+	if _, err := NewMultCompressor(0.1, 33); err == nil {
+		t.Fatal("bits>32 must be rejected")
+	}
+	c, err := NewMultCompressor(0.025, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Eps() != 0.025 || c.Bits() != 8 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestMultRoundTripError(t *testing.T) {
+	// Paper claim (§4.3): 16 bits with ε=0.0025 covers 32-bit values with
+	// multiplicative error (1+ε)² of the half-step, i.e. decode/true within
+	// (1+ε)^±1 after nearest-rounding of the exponent.
+	c, _ := NewMultCompressor(0.0025, 16)
+	for _, v := range []float64{1, 2, 10, 1e3, 1e6, 4e9} {
+		dec := c.Decode(c.Encode(v))
+		ratio := dec / v
+		if ratio < 1/(1+0.0026) || ratio > 1+0.0026 {
+			t.Fatalf("v=%v decoded %v, ratio %v outside (1±ε)", v, dec, ratio)
+		}
+	}
+}
+
+func TestMultRoundTripErrorProperty(t *testing.T) {
+	c, _ := NewMultCompressor(0.025, 8)
+	maxV := c.MaxValue()
+	f := func(raw uint32) bool {
+		v := 1 + math.Mod(float64(raw), maxV) // keep in representable range
+		dec := c.Decode(c.Encode(v))
+		ratio := dec / v
+		return ratio >= 1/(1+0.026) && ratio <= 1.026
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultSmallValuesClampToOne(t *testing.T) {
+	c, _ := NewMultCompressor(0.025, 8)
+	for _, v := range []float64{0, 0.3, 1} {
+		if c.Encode(v) != 0 {
+			t.Fatalf("v=%v must encode to 0", v)
+		}
+	}
+	if c.Decode(0) != 1 {
+		t.Fatal("code 0 must decode to 1")
+	}
+}
+
+func TestMultSaturation(t *testing.T) {
+	c, _ := NewMultCompressor(0.025, 4) // tiny code space
+	huge := c.MaxValue() * 100
+	code := c.Encode(huge)
+	if code != 15 {
+		t.Fatalf("huge value must saturate to max code, got %d", code)
+	}
+	if c.Decode(code) != c.MaxValue() {
+		t.Fatal("decode of max code must equal MaxValue")
+	}
+	if c.Decode(999) != c.MaxValue() {
+		t.Fatal("out-of-range code must clamp")
+	}
+}
+
+func TestMultMonotone(t *testing.T) {
+	c, _ := NewMultCompressor(0.025, 8)
+	prev := uint64(0)
+	for v := 1.0; v < c.MaxValue(); v *= 1.37 {
+		code := c.Encode(v)
+		if code < prev {
+			t.Fatalf("encoding not monotone at v=%v", v)
+		}
+		prev = code
+	}
+}
+
+func TestRandomizedRoundingUnbiasedInLog(t *testing.T) {
+	// [·]_R must make E[a] equal the exact log — the debiasing HPCC-PINT
+	// relies on so rate control sees the right utilization *on average*.
+	c, _ := NewMultCompressor(0.025, 8)
+	g := hash.NewGlobal(77)
+	v := 1234.5
+	exact := math.Log(v) / math.Log((1.025)*(1.025))
+	var sum float64
+	const n = 200000
+	for pkt := uint64(0); pkt < n; pkt++ {
+		sum += float64(c.EncodeRandomized(v, g, pkt))
+	}
+	mean := sum / n
+	if math.Abs(mean-exact) > 0.01 {
+		t.Fatalf("E[code] = %v, want %v", mean, exact)
+	}
+}
+
+func TestRandomizedRoundingWithinOneStep(t *testing.T) {
+	c, _ := NewMultCompressor(0.025, 8)
+	g := hash.NewGlobal(78)
+	det := c.Encode(500)
+	for pkt := uint64(0); pkt < 1000; pkt++ {
+		r := c.EncodeRandomized(500, g, pkt)
+		if d := int64(r) - int64(det); d < -1 || d > 1 {
+			t.Fatalf("randomized code %d too far from deterministic %d", r, det)
+		}
+	}
+}
+
+func TestAddCompressor(t *testing.T) {
+	if _, err := NewAddCompressor(0, 8); err == nil {
+		t.Fatal("delta=0 must be rejected")
+	}
+	if _, err := NewAddCompressor(1, 40); err == nil {
+		t.Fatal("bits>32 must be rejected")
+	}
+	c, err := NewAddCompressor(50, 16) // ±50 unit error budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delta() != 50 {
+		t.Fatal("Delta accessor broken")
+	}
+	for _, v := range []float64{0, 49, 100, 5000, 99999} {
+		dec := c.Decode(c.Encode(v))
+		if math.Abs(dec-v) > 50 {
+			t.Fatalf("v=%v decoded %v, |err| > delta", v, dec)
+		}
+	}
+}
+
+func TestAddCompressorProperty(t *testing.T) {
+	c, _ := NewAddCompressor(10, 16)
+	f := func(raw uint16) bool {
+		v := float64(raw) * 9 // stays in range: max 589815 < 2*10*65535
+		dec := c.Decode(c.Encode(v))
+		return math.Abs(dec-v) <= 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCompressorNegativeClamps(t *testing.T) {
+	c, _ := NewAddCompressor(5, 8)
+	if c.Encode(-3) != 0 {
+		t.Fatal("negative values must clamp to 0")
+	}
+}
+
+func TestAddCompressorSaturates(t *testing.T) {
+	c, _ := NewAddCompressor(1, 4)
+	if c.Encode(1e9) != 15 {
+		t.Fatal("overflow must saturate to max code")
+	}
+}
+
+func TestMorrisEstimateAccuracy(t *testing.T) {
+	g := hash.NewGlobal(5)
+	const trials = 300
+	const n = 2000
+	var sum float64
+	for tr := 0; tr < trials; tr++ {
+		m := NewMorris(0.25, 16)
+		for i := 0; i < n; i++ {
+			m.Increment(g, uint64(tr*1_000_000+i), uint64(i))
+		}
+		sum += m.Estimate()
+	}
+	mean := sum / trials
+	if math.Abs(mean-n)/n > 0.1 {
+		t.Fatalf("Morris mean estimate %v for true count %d", mean, n)
+	}
+}
+
+func TestMorrisCodeRoundTrip(t *testing.T) {
+	m := NewMorris(0.2, 8)
+	m.SetCode(17)
+	if m.Code() != 17 {
+		t.Fatal("code round trip failed")
+	}
+	m2 := NewMorris(0.2, 8)
+	m2.SetCode(17)
+	if m.Estimate() != m2.Estimate() {
+		t.Fatal("same code must give same estimate")
+	}
+}
+
+func TestMorrisSaturates(t *testing.T) {
+	g := hash.NewGlobal(6)
+	m := NewMorris(0.5, 2) // 2-bit counter: saturates at 3
+	for i := 0; i < 100000; i++ {
+		m.Increment(g, uint64(i), 0)
+	}
+	if m.Code() > 3 {
+		t.Fatalf("2-bit counter exceeded max: %d", m.Code())
+	}
+}
+
+func TestMorrisBitsGrowth(t *testing.T) {
+	// O(log log n) growth: doubling n many times should barely move bits.
+	b1 := MorrisBits(1e3, 0.1)
+	b2 := MorrisBits(1e9, 0.1)
+	if b2-b1 > 3 {
+		t.Fatalf("bits grew too fast: %d -> %d", b1, b2)
+	}
+	if MorrisBits(1, 0.1) != 1 {
+		t.Fatal("n=1 needs 1 bit")
+	}
+	if b := MorrisBits(1e6, 0.01); b < MorrisBits(1e6, 0.5) {
+		t.Fatal("smaller eps must not need fewer bits")
+	}
+}

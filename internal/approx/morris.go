@@ -1,0 +1,75 @@
+package approx
+
+import (
+	"math"
+
+	"repro/internal/hash"
+)
+
+// Morris is the randomized counter of Morris [55], used by PINT's
+// randomized-counting technique (§4.3): when the aggregate over a path
+// (e.g. the number of high-latency hops, or an end-to-end sum) needs more
+// bits than the budget allows, the packet instead carries a tiny counter
+// that is incremented *probabilistically* so its expectation tracks the
+// true count.
+//
+// The counter stores c and represents n ≈ (a^c - 1)/(a - 1) where
+// a = 1 + 2ε² controls the accuracy/width trade-off: estimates are within a
+// (1+ε) factor with constant probability, using only O(log log n / ε) bits.
+type Morris struct {
+	a float64 // growth base > 1
+	c uint64  // stored exponent
+	b int     // counter width in bits
+}
+
+// NewMorris creates a counter with relative accuracy parameter eps and the
+// given bit width. Smaller eps means larger (more accurate, wider) codes.
+func NewMorris(eps float64, bits int) *Morris {
+	a := 1 + 2*eps*eps
+	if a <= 1 {
+		a = 1 + 1e-9
+	}
+	return &Morris{a: a, b: bits}
+}
+
+// Increment advances the counter by one *logical* unit: the stored exponent
+// increases with probability a^-c. Randomness comes from the global hash on
+// (pktID, salt) so a simulated switch needs no RNG; callers that do not care
+// pass any fresh salt per call.
+func (m *Morris) Increment(g hash.Global, pktID, salt uint64) {
+	max := uint64(1)<<uint(m.b) - 1
+	if m.c >= max {
+		return // saturated
+	}
+	p := math.Pow(m.a, -float64(m.c))
+	if hash.Below(g.ValueDigest(salt, pktID, 64), p) {
+		m.c++
+	}
+}
+
+// Code returns the stored exponent (what would travel on the packet).
+func (m *Morris) Code() uint64 { return m.c }
+
+// SetCode loads a received exponent (what the sink recovers).
+func (m *Morris) SetCode(c uint64) { m.c = c }
+
+// Estimate returns the unbiased count estimate (a^c - 1)/(a - 1).
+func (m *Morris) Estimate() float64 {
+	return (math.Pow(m.a, float64(m.c)) - 1) / (m.a - 1)
+}
+
+// MorrisBits returns the number of bits needed to count to n with accuracy
+// eps — the O(log ε⁻¹ + log log(n)) cost quoted in §4.3.
+func MorrisBits(n float64, eps float64) int {
+	if n < 2 {
+		return 1
+	}
+	a := 1 + 2*eps*eps
+	// Largest exponent c with (a^c-1)/(a-1) <= n.
+	c := math.Log(n*(a-1)+1) / math.Log(a)
+	bits := int(math.Ceil(math.Log2(c + 1)))
+	if bits < 1 {
+		bits = 1
+	}
+	return bits
+}

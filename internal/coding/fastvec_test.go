@@ -1,0 +1,153 @@
+package coding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+func TestLog2InvP(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want int
+	}{
+		{0.5, 1}, {0.25, 2}, {1.0 / 16, 4}, {0.1, 3}, {1, 1}, {2, 1}, {1e-30, 63},
+	}
+	for _, c := range cases {
+		if got := log2InvP(c.p); got != c.want {
+			t.Fatalf("log2InvP(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestFastVectorEncoderDecoderAgree(t *testing.T) {
+	// The encoder's per-hop bit check and the decoder's whole-path vector
+	// must be the same function — the coordination invariant.
+	cfg := Config{Bits: 8, Mode: ModeHashed, FastVectors: true,
+		Layering: PureXOR(1.0 / 8)}
+	g := hash.NewGlobal(31)
+	enc, err := NewEncoder(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg, g, 20, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pkt := uint64(0); pkt < 5000; pkt++ {
+		mask := dec.actingSet(pkt, 1)
+		for hop := 1; hop <= 20; hop++ {
+			encActs := enc.acts(pkt, hop, 1)
+			decActs := mask>>(uint(hop)-1)&1 == 1
+			if encActs != decActs {
+				t.Fatalf("pkt %d hop %d: encoder %v decoder %v", pkt, hop, encActs, decActs)
+			}
+		}
+	}
+}
+
+func TestFastVectorDensity(t *testing.T) {
+	// Rounded probability: p=1/8 -> exactly 2^-3 per hop.
+	cfg := Config{Bits: 8, Mode: ModeHashed, FastVectors: true,
+		Layering: PureXOR(1.0 / 8)}
+	g := hash.NewGlobal(32)
+	enc, _ := NewEncoder(cfg, g)
+	hits, n := 0, 100000
+	for pkt := uint64(0); pkt < uint64(n); pkt++ {
+		if enc.acts(pkt, 5, 1) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.125) > 0.01 {
+		t.Fatalf("act density %v, want 0.125", got)
+	}
+}
+
+func TestFastVectorLayersIndependent(t *testing.T) {
+	cfg := Config{Bits: 8, Mode: ModeHashed, FastVectors: true,
+		Layering: Layering{Tau: 0.5, Probs: []float64{0.5, 0.5}}}
+	g := hash.NewGlobal(33)
+	dec, err := NewDecoder(cfg, g, 30, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for pkt := uint64(0); pkt < 2000; pkt++ {
+		if dec.actingSet(pkt, 1) == dec.actingSet(pkt, 2) {
+			same++
+		}
+	}
+	// Two independent 30-bit masks at p=1/2 collide with probability 2^-30;
+	// any meaningful overlap means the layer namespace is broken.
+	if same > 2 {
+		t.Fatalf("layers produced identical act sets %d times", same)
+	}
+}
+
+func TestFastVectorDecodesCorrectly(t *testing.T) {
+	for _, k := range []int{5, 25, 59} {
+		cfg := Config{Bits: 8, Mode: ModeHashed, FastVectors: true,
+			Layering: MultiLayer(k, true)}
+		values := pathValues(k)
+		universe := universeWith(values, 200)
+		n, ok, err := Trial(cfg, hash.Seed(uint64(40+k)), values, universe,
+			hash.NewRNG(uint64(k)), 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("k=%d: fast-vector decode failed", k)
+		}
+		if n < k {
+			t.Fatalf("k=%d: decoded with %d < k packets", k, n)
+		}
+	}
+}
+
+func TestFastVectorComparablePacketCount(t *testing.T) {
+	// Rounding probabilities to powers of two is a √2-approximation; the
+	// packet count must stay within a small constant of the exact variant.
+	values := pathValues(25)
+	universe := universeWith(values, 200)
+	exact := Config{Bits: 8, Mode: ModeHashed, Layering: MultiLayer(25, true)}
+	fast := exact
+	fast.FastVectors = true
+	se, err := RunTrials(exact, values, universe, 150, 51, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := RunTrials(fast, values, universe, 150, 52, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Mean > 2*se.Mean {
+		t.Fatalf("fast variant mean %v vs exact %v: rounding cost too high",
+			sf.Mean, se.Mean)
+	}
+}
+
+func BenchmarkActSetExact(b *testing.B) {
+	cfg := Config{Bits: 8, Mode: ModeHashed, Layering: PureXOR(1.0 / 16)}
+	g := hash.NewGlobal(60)
+	dec, _ := NewDecoder(cfg, g, 59, []uint64{1})
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= dec.actingSet(uint64(i), 1)
+	}
+	benchSink = acc
+}
+
+func BenchmarkActSetFastVectors(b *testing.B) {
+	cfg := Config{Bits: 8, Mode: ModeHashed, FastVectors: true, Layering: PureXOR(1.0 / 16)}
+	g := hash.NewGlobal(60)
+	dec, _ := NewDecoder(cfg, g, 59, []uint64{1})
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= dec.actingSet(uint64(i), 1)
+	}
+	benchSink = acc
+}
+
+var benchSink uint64

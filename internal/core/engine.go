@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hash"
+)
+
+// QuerySet is one cell of the execution plan: the queries that share a
+// packet's digest and the probability a packet is assigned to this set.
+// Offsets[i] is query i's bit offset within the digest.
+type QuerySet struct {
+	Queries []Query
+	Offsets []int
+	Prob    float64
+}
+
+// TotalBits returns the digest bits the set consumes.
+func (s QuerySet) TotalBits() int {
+	total := 0
+	for _, q := range s.Queries {
+		total += q.Bits()
+	}
+	return total
+}
+
+// ExecutionPlan is the Query Engine's output (§3.4, Fig 3): a distribution
+// over query sets, each fitting the global budget.
+type ExecutionPlan struct {
+	GlobalBits int
+	Sets       []QuerySet
+}
+
+// String renders the plan like Fig 3's table.
+func (p ExecutionPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution plan (budget %d bits):\n", p.GlobalBits)
+	for _, s := range p.Sets {
+		names := make([]string, len(s.Queries))
+		for i, q := range s.Queries {
+			names[i] = q.Name()
+		}
+		fmt.Fprintf(&b, "  {%s}  p=%.4f\n", strings.Join(names, ", "), s.Prob)
+	}
+	return b.String()
+}
+
+// Engine coordinates queries at runtime: every switch (and the sink) holds
+// an identical Engine, so the query-selection hash yields the same query
+// set for a packet everywhere — the implicit coordination of §4.1.
+type Engine struct {
+	g    hash.Global
+	plan ExecutionPlan
+	// cum[i] is the upper boundary of set i's probability interval.
+	cum []float64
+}
+
+// Compile builds an execution plan for concurrent queries under a global
+// per-packet bit budget. The plan satisfies every query's frequency: the
+// total probability of sets containing query q is at least q.Frequency().
+// Compilation is greedy (largest remaining frequency first, first-fit by
+// bits), which suffices for the paper's workloads; infeasible inputs
+// (including ∑ freq·bits > budget) are rejected.
+func Compile(queries []Query, globalBits int, master hash.Seed) (*Engine, error) {
+	if globalBits < 1 || globalBits > 64 {
+		return nil, fmt.Errorf("core: global budget %d out of [1,64]", globalBits)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: no queries")
+	}
+	names := map[string]bool{}
+	var mass float64
+	for _, q := range queries {
+		if q.Bits() < 1 || q.Bits() > globalBits {
+			return nil, fmt.Errorf("core: query %q bits %d exceed budget %d",
+				q.Name(), q.Bits(), globalBits)
+		}
+		f := q.Frequency()
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("core: query %q frequency %v out of (0,1]", q.Name(), f)
+		}
+		if names[q.Name()] {
+			return nil, fmt.Errorf("core: duplicate query name %q", q.Name())
+		}
+		names[q.Name()] = true
+		mass += f * float64(q.Bits())
+	}
+	if mass > float64(globalBits)+1e-9 {
+		return nil, fmt.Errorf("core: demanded %.2f bit-fraction exceeds budget %d",
+			mass, globalBits)
+	}
+
+	rem := make([]float64, len(queries))
+	for i, q := range queries {
+		rem[i] = q.Frequency()
+	}
+	plan := ExecutionPlan{GlobalBits: globalBits}
+	assigned := 0.0
+	const eps = 1e-12
+	for iter := 0; iter < 4*len(queries)+8; iter++ {
+		// Candidates with remaining demand, largest first.
+		idx := make([]int, 0, len(queries))
+		for i := range queries {
+			if rem[i] > eps {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if rem[idx[a]] != rem[idx[b]] {
+				return rem[idx[a]] > rem[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		var set QuerySet
+		budget := globalBits
+		minRem := 1.0
+		for _, i := range idx {
+			q := queries[i]
+			if q.Bits() > budget {
+				continue
+			}
+			set.Offsets = append(set.Offsets, globalBits-budget)
+			set.Queries = append(set.Queries, q)
+			budget -= q.Bits()
+			if rem[i] < minRem {
+				minRem = rem[i]
+			}
+		}
+		if len(set.Queries) == 0 {
+			return nil, fmt.Errorf("core: no query fits the remaining budget")
+		}
+		p := minRem
+		if room := 1 - assigned; p > room {
+			p = room
+		}
+		if p <= eps {
+			break
+		}
+		set.Prob = p
+		plan.Sets = append(plan.Sets, set)
+		assigned += p
+		for si, q := range set.Queries {
+			_ = si
+			for i := range queries {
+				if queries[i] == q {
+					rem[i] -= p
+				}
+			}
+		}
+	}
+	for i, r := range rem {
+		if r > 1e-9 {
+			return nil, fmt.Errorf("core: cannot satisfy query %q (frequency shortfall %v)",
+				queries[i].Name(), r)
+		}
+	}
+	e := &Engine{g: hash.NewGlobal(master.Derive(0xE14)), plan: plan}
+	cum := 0.0
+	for _, s := range plan.Sets {
+		cum += s.Prob
+		e.cum = append(e.cum, cum)
+	}
+	return e, nil
+}
+
+// Plan exposes the compiled plan.
+func (e *Engine) Plan() ExecutionPlan { return e.plan }
+
+// SetFor returns the query set a packet serves, or nil when the packet's
+// selection point falls in unassigned probability mass (possible when
+// total demand < 1).
+func (e *Engine) SetFor(pktID uint64) *QuerySet {
+	u := e.g.QueryPoint(pktID)
+	for i := range e.plan.Sets {
+		if u < e.cum[i] {
+			return &e.plan.Sets[i]
+		}
+	}
+	return nil
+}
+
+// EncodeHop is the switch-side entry point: it applies every selected
+// query's Encoding Module to the packet digest. valueOf supplies the value
+// this switch observes for each query (switch ID, hop latency, link
+// utilization, …).
+func (e *Engine) EncodeHop(pktID uint64, hop int, digest uint64, valueOf func(Query) uint64) uint64 {
+	set := e.SetFor(pktID)
+	if set == nil {
+		return digest
+	}
+	for i, q := range set.Queries {
+		off := uint(set.Offsets[i])
+		mask := digestMask(q.Bits())
+		slice := digest >> off & mask
+		slice = q.EncodeHop(pktID, hop, slice, valueOf(q)) & mask
+		digest = digest&^(mask<<off) | slice<<off
+	}
+	return digest
+}
+
+// Extracted is one query's digest slice recovered at the sink.
+type Extracted struct {
+	Query Query
+	Bits  uint64
+}
+
+// Extract splits a sink-captured digest into per-query slices.
+func (e *Engine) Extract(pktID uint64, digest uint64) []Extracted {
+	set := e.SetFor(pktID)
+	if set == nil {
+		return nil
+	}
+	out := make([]Extracted, len(set.Queries))
+	for i, q := range set.Queries {
+		out[i] = Extracted{
+			Query: q,
+			Bits:  digest >> uint(set.Offsets[i]) & digestMask(q.Bits()),
+		}
+	}
+	return out
+}
+
+func digestMask(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(bits) - 1
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestStageCostPerAggregation(t *testing.T) {
+	uni := testUniverse(5, 50)
+	path := mustPath(t, "p", 8, 1, 1, uni)
+	lat := mustLat(t, "l", 8, 1)
+	util := mustUtil(t, "u", 8, 1)
+	if StageCost(path) != 4 {
+		t.Fatalf("path stages = %d, want 4 (§5)", StageCost(path))
+	}
+	if StageCost(lat) != 4 {
+		t.Fatalf("latency stages = %d, want 4 (§5)", StageCost(lat))
+	}
+	if StageCost(util) != 8 {
+		t.Fatalf("HPCC stages = %d, want 8 (§5: 6 arithmetic + compress + write)",
+			StageCost(util))
+	}
+}
+
+func TestLayoutColumnsMatchStageCost(t *testing.T) {
+	uni := testUniverse(5, 50)
+	path := mustPath(t, "p", 8, 1, 1, uni)
+	util := mustUtil(t, "u", 8, 1)
+	l, err := Layout([]Query{path, util})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Columns["p"]); got != StageCost(path) {
+		t.Fatalf("path column has %d ops, want %d", got, StageCost(path))
+	}
+	if got := len(l.Columns["u"]); got != StageCost(util) {
+		t.Fatalf("util column has %d ops, want %d", got, StageCost(util))
+	}
+}
+
+func TestLayoutSingleQueryNoSelector(t *testing.T) {
+	uni := testUniverse(5, 50)
+	path := mustPath(t, "p", 8, 1, 1, uni)
+	l, err := Layout([]Query{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Columns["query-select"]; ok {
+		t.Fatal("a single query needs no subset selection stage")
+	}
+}
+
+func TestFreqAndCountStageCosts(t *testing.T) {
+	// The extension queries map onto the same stage model: dynamic 4,
+	// per-packet 8.
+	fq, err := NewFreqQuery("f", 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := NewCountQuery("c", 6, 0.3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StageCost(fq) != 4 || StageCost(cq) != 8 {
+		t.Fatalf("extension stage costs %d/%d, want 4/8", StageCost(fq), StageCost(cq))
+	}
+	if _, err := Layout([]Query{fq, cq}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package core implements the PINT framework itself (§3): queries with
+// per-packet bit budgets, the Query Engine that compiles a set of
+// concurrent queries plus a global budget into an execution plan (a
+// probability distribution over query sets), the switch-side Encoding
+// Modules for all three aggregation types, and the sink-side Recording and
+// Inference Modules.
+//
+// The three aggregation modes (§3.1) map to three Query implementations:
+//
+//   - PathQuery (static per-flow): distributed coding over switch IDs,
+//   - LatencyQuery (dynamic per-flow): reservoir-sampled compressed
+//     per-hop values, recorded into quantile sketches,
+//   - UtilQuery (per-packet): max-aggregated compressed bottleneck values
+//     (the congestion-control feed, §4.3 Example #3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// AggregationType enumerates §3.1's modes.
+type AggregationType int
+
+const (
+	// PerPacket summarizes values across the packet's path (max/min/sum).
+	PerPacket AggregationType = iota
+	// StaticPerFlow recovers per-(flow,switch) constants, e.g. the path.
+	StaticPerFlow
+	// DynamicPerFlow summarizes the stream of values per (flow, switch).
+	DynamicPerFlow
+)
+
+func (a AggregationType) String() string {
+	switch a {
+	case PerPacket:
+		return "per-packet"
+	case StaticPerFlow:
+		return "static per-flow"
+	case DynamicPerFlow:
+		return "dynamic per-flow"
+	default:
+		return fmt.Sprintf("AggregationType(%d)", int(a))
+	}
+}
+
+// Query is one telemetry query compiled into the execution plan. A Query's
+// EncodeHop is the switch-side Encoding Module: it transforms only the
+// query's slice of the packet digest and must be stateless per the switch
+// constraints of §3.5 (all state lives in the global hash family and the
+// digest itself).
+type Query interface {
+	// Name identifies the query in plans and reports.
+	Name() string
+	// Agg returns the aggregation type.
+	Agg() AggregationType
+	// Bits is the query's per-packet bit budget.
+	Bits() int
+	// Frequency is the fraction of packets that must serve this query.
+	Frequency() float64
+	// EncodeHop processes hop `hop` (1-based): given the query's current
+	// digest slice and the value this switch observes for this query,
+	// return the new slice.
+	EncodeHop(pktID uint64, hop int, bits uint64, value uint64) uint64
+}
+
+// UseCase is one row of Table 2: an application enabled by PINT, its
+// aggregation mode and the measurement primitives it consumes.
+type UseCase struct {
+	Name       string
+	Agg        AggregationType
+	Primitives []string
+}
+
+// Catalog reproduces Table 2's use-case inventory.
+func Catalog() []UseCase {
+	return []UseCase{
+		{"Congestion Control", PerPacket, []string{"timestamp", "port utilization", "queue occupancy"}},
+		{"Congestion Analysis", PerPacket, []string{"queue occupancy"}},
+		{"Network Tomography", PerPacket, []string{"switchID", "queue occupancy"}},
+		{"Power Management", PerPacket, []string{"switchID", "port utilization"}},
+		{"Real-Time Anomaly Detection", PerPacket, []string{"timestamp", "port utilization", "queue occupancy"}},
+		{"Path Tracing", StaticPerFlow, []string{"switchID"}},
+		{"Routing Misconfiguration", StaticPerFlow, []string{"switchID"}},
+		{"Path Conformance", StaticPerFlow, []string{"switchID"}},
+		{"Utilization-aware Routing", DynamicPerFlow, []string{"switchID", "port utilization"}},
+		{"Load Imbalance", DynamicPerFlow, []string{"switchID", "port utilization"}},
+		{"Network Troubleshooting", DynamicPerFlow, []string{"switchID", "timestamp"}},
+	}
+}
+
+// Technique flags which of §4's mechanisms a use case exercises (Table 3).
+type Technique struct {
+	GlobalHashes       bool
+	DistributedCoding  bool
+	ValueApproximation bool
+}
+
+// TechniqueMatrix reproduces Table 3.
+func TechniqueMatrix() map[string]Technique {
+	return map[string]Technique{
+		"Congestion Control": {GlobalHashes: false, DistributedCoding: false, ValueApproximation: true},
+		"Path Tracing":       {GlobalHashes: true, DistributedCoding: true, ValueApproximation: false},
+		"Latency Quantiles":  {GlobalHashes: true, DistributedCoding: false, ValueApproximation: true},
+	}
+}
+
+// FlowKey identifies a flow at the Recording Module (the query's
+// flow-definition — 5-tuple, source IP, etc. — hashed to 64 bits).
+type FlowKey uint64
+
+// FlowKeyOf derives a key from a flow definition string.
+func FlowKeyOf(s hash.Seed, def string) FlowKey {
+	return FlowKey(s.HashString(def))
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/hash"
+	"repro/internal/sketch"
+)
+
+// Recording is the sink-side Recording Module (§3.4): it intercepts the
+// digests the PINT Sink extracts, attributes each slice to its query, and
+// maintains the per-flow state queries need — coding decoders for path
+// queries, per-(flow,hop) samples or sketches for latency queries, value
+// streams for per-packet queries. All of this state lives off-switch.
+type Recording struct {
+	engine *Engine
+	// SketchItems > 0 stores latency samples in KLL sketches with that
+	// accuracy parameter (PINTS in Fig 9); 0 keeps raw sample lists.
+	SketchItems int
+	// WindowBuckets/WindowSpan > 0 switch latency storage to
+	// sliding-window sketches so quantiles reflect only the most recent
+	// measurements (§4.1's sliding-window option). Requires SketchItems>0.
+	WindowBuckets int
+	WindowSpan    uint64
+	// FreqCounters bounds the Space Saving summary per (flow, hop) for
+	// frequent-value queries (Theorem 2's 1/ε counters). Default 16.
+	FreqCounters int
+	// MaxFlows > 0 bounds the number of flows with live state (§3.3's
+	// per-flow space budget at the fleet level): recording a new flow
+	// beyond the limit evicts the least-recently-updated one entirely.
+	MaxFlows int
+
+	flowSeq map[FlowKey]uint64
+	seq     uint64
+	rng     *hash.RNG
+	paths map[*PathQuery]map[FlowKey]*coding.Decoder
+	lats  map[*LatencyQuery]map[FlowKey][]*latStore
+	utils map[*UtilQuery]map[FlowKey][]float64
+	freqs map[*FreqQuery]map[FlowKey][]*sketch.SpaceSaving
+	cnts  map[*CountQuery]map[FlowKey][]float64
+}
+
+type latStore struct {
+	raw []uint64
+	kll *sketch.KLL
+	win *sketch.SlidingKLL
+}
+
+// NewRecording creates a Recording Module for an engine. sketchItems > 0
+// selects sketched storage (see Recording.SketchItems).
+func NewRecording(engine *Engine, sketchItems int, rng *hash.RNG) (*Recording, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: nil engine")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: recording requires an RNG")
+	}
+	return &Recording{
+		engine:       engine,
+		SketchItems:  sketchItems,
+		FreqCounters: 16,
+		flowSeq:      map[FlowKey]uint64{},
+		rng:          rng,
+		paths:        map[*PathQuery]map[FlowKey]*coding.Decoder{},
+		lats:         map[*LatencyQuery]map[FlowKey][]*latStore{},
+		utils:        map[*UtilQuery]map[FlowKey][]float64{},
+		freqs:        map[*FreqQuery]map[FlowKey][]*sketch.SpaceSaving{},
+		cnts:         map[*CountQuery]map[FlowKey][]float64{},
+	}, nil
+}
+
+// Record processes one sink-extracted digest for a flow whose path length
+// is k (derived from the received TTL).
+func (r *Recording) Record(flow FlowKey, k int, pktID uint64, digest uint64) error {
+	r.touch(flow)
+	for _, ex := range r.engine.Extract(pktID, digest) {
+		switch q := ex.Query.(type) {
+		case *PathQuery:
+			byFlow := r.paths[q]
+			if byFlow == nil {
+				byFlow = map[FlowKey]*coding.Decoder{}
+				r.paths[q] = byFlow
+			}
+			dec := byFlow[flow]
+			if dec == nil {
+				var err error
+				dec, err = q.NewDecoder(k)
+				if err != nil {
+					return err
+				}
+				byFlow[flow] = dec
+			}
+			q.ObserveInto(dec, pktID, ex.Bits)
+		case *LatencyQuery:
+			byFlow := r.lats[q]
+			if byFlow == nil {
+				byFlow = map[FlowKey][]*latStore{}
+				r.lats[q] = byFlow
+			}
+			hops := byFlow[flow]
+			if hops == nil {
+				hops = make([]*latStore, k)
+				for i := range hops {
+					st := &latStore{}
+					switch {
+					case r.WindowBuckets > 1 && r.SketchItems > 0:
+						win, err := sketch.NewSlidingKLL(r.WindowBuckets,
+							r.WindowSpan, r.SketchItems, r.rng.Split())
+						if err != nil {
+							return err
+						}
+						st.win = win
+					case r.SketchItems > 0:
+						kll, err := sketch.NewKLL(r.SketchItems, r.rng.Split())
+						if err != nil {
+							return err
+						}
+						st.kll = kll
+					}
+					hops[i] = st
+				}
+				byFlow[flow] = hops
+			}
+			w := q.Winner(pktID, k)
+			st := hops[w-1]
+			switch {
+			case st.win != nil:
+				if err := st.win.Add(float64(ex.Bits)); err != nil {
+					return err
+				}
+			case st.kll != nil:
+				st.kll.Add(float64(ex.Bits))
+			default:
+				st.raw = append(st.raw, ex.Bits)
+			}
+		case *UtilQuery:
+			byFlow := r.utils[q]
+			if byFlow == nil {
+				byFlow = map[FlowKey][]float64{}
+				r.utils[q] = byFlow
+			}
+			byFlow[flow] = append(byFlow[flow], q.Decode(ex.Bits))
+		case *FreqQuery:
+			byFlow := r.freqs[q]
+			if byFlow == nil {
+				byFlow = map[FlowKey][]*sketch.SpaceSaving{}
+				r.freqs[q] = byFlow
+			}
+			hops := byFlow[flow]
+			if hops == nil {
+				hops = make([]*sketch.SpaceSaving, k)
+				for i := range hops {
+					ss, err := sketch.NewSpaceSaving(r.FreqCounters)
+					if err != nil {
+						return err
+					}
+					hops[i] = ss
+				}
+				byFlow[flow] = hops
+			}
+			hops[q.Winner(pktID, k)-1].Add(ex.Bits)
+		case *CountQuery:
+			byFlow := r.cnts[q]
+			if byFlow == nil {
+				byFlow = map[FlowKey][]float64{}
+				r.cnts[q] = byFlow
+			}
+			byFlow[flow] = append(byFlow[flow], q.Decode(ex.Bits))
+		default:
+			return fmt.Errorf("core: unknown query type %T", ex.Query)
+		}
+	}
+	return nil
+}
+
+// touch refreshes a flow's recency and enforces MaxFlows by evicting the
+// least-recently-updated flow's state across every query.
+func (r *Recording) touch(flow FlowKey) {
+	r.seq++
+	r.flowSeq[flow] = r.seq
+	if r.MaxFlows <= 0 || len(r.flowSeq) <= r.MaxFlows {
+		return
+	}
+	var victim FlowKey
+	oldest := ^uint64(0)
+	for f, s := range r.flowSeq {
+		if s < oldest {
+			oldest, victim = s, f
+		}
+	}
+	r.Evict(victim)
+}
+
+// Evict drops all recorded state for one flow.
+func (r *Recording) Evict(flow FlowKey) {
+	delete(r.flowSeq, flow)
+	for _, byFlow := range r.paths {
+		delete(byFlow, flow)
+	}
+	for _, byFlow := range r.lats {
+		delete(byFlow, flow)
+	}
+	for _, byFlow := range r.utils {
+		delete(byFlow, flow)
+	}
+	for _, byFlow := range r.freqs {
+		delete(byFlow, flow)
+	}
+	for _, byFlow := range r.cnts {
+		delete(byFlow, flow)
+	}
+}
+
+// TrackedFlows returns the number of flows with live state.
+func (r *Recording) TrackedFlows() int { return len(r.flowSeq) }
+
+// Path answers a path query: the decoded switch IDs and whether decoding
+// is complete (Inference Module, static aggregation).
+func (r *Recording) Path(q *PathQuery, flow FlowKey) ([]uint64, bool) {
+	dec := r.paths[q][flow]
+	if dec == nil {
+		return nil, false
+	}
+	vals, ok := dec.Path()
+	for _, o := range ok {
+		if !o {
+			return vals, false
+		}
+	}
+	return vals, true
+}
+
+// PathDecoder exposes a flow's decoder for progress inspection.
+func (r *Recording) PathDecoder(q *PathQuery, flow FlowKey) *coding.Decoder {
+	return r.paths[q][flow]
+}
+
+// PathInconsistencies returns the number of packets whose digests
+// contradicted the flow's decoded blocks — §7's route-change signal: a
+// fully-decoded flow produces inconsistencies with probability 1−2^-q per
+// post-change packet, so a short burst is near-certain evidence the path
+// moved (e.g. flowlet re-routing or a failover).
+func (r *Recording) PathInconsistencies(q *PathQuery, flow FlowKey) int {
+	dec := r.paths[q][flow]
+	if dec == nil {
+		return 0
+	}
+	return dec.Inconsistent()
+}
+
+// RouteChanged applies §7's detection rule: after a flow's path has fully
+// decoded, report a change once at least `threshold` inconsistent packets
+// arrive (threshold > 1 suppresses the 2^-q-probability hash-collision
+// false positives).
+func (r *Recording) RouteChanged(q *PathQuery, flow FlowKey, threshold int) bool {
+	dec := r.paths[q][flow]
+	if dec == nil || !dec.Done() {
+		return false
+	}
+	return dec.Inconsistent() >= threshold
+}
+
+// LatencyQuantile answers a dynamic query: the phi-quantile of hop
+// `hop` (1-based) for the flow, decoded back to value units. The result
+// carries both sampling error (Theorem 1) and compression error (§4.3).
+func (r *Recording) LatencyQuantile(q *LatencyQuery, flow FlowKey, hop int, phi float64) (float64, error) {
+	hops := r.lats[q][flow]
+	if hops == nil || hop < 1 || hop > len(hops) {
+		return 0, fmt.Errorf("core: no samples for flow %v hop %d", flow, hop)
+	}
+	st := hops[hop-1]
+	var code float64
+	if st.win != nil {
+		if st.win.WindowCount() == 0 {
+			return 0, fmt.Errorf("core: empty window for hop %d", hop)
+		}
+		q2, err := st.win.Quantile(phi)
+		if err != nil {
+			return 0, err
+		}
+		code = q2
+	} else if st.kll != nil {
+		if st.kll.Count() == 0 {
+			return 0, fmt.Errorf("core: empty sketch for hop %d", hop)
+		}
+		code = st.kll.Quantile(phi)
+	} else {
+		if len(st.raw) == 0 {
+			return 0, fmt.Errorf("core: no samples for hop %d", hop)
+		}
+		fs := make([]float64, len(st.raw))
+		for i, c := range st.raw {
+			fs[i] = float64(c)
+		}
+		code = sketch.ExactQuantile(fs, phi)
+	}
+	return q.Decode(uint64(code + 0.5)), nil
+}
+
+// LatencySamples returns how many samples hop `hop` has accumulated.
+func (r *Recording) LatencySamples(q *LatencyQuery, flow FlowKey, hop int) int {
+	hops := r.lats[q][flow]
+	if hops == nil || hop < 1 || hop > len(hops) {
+		return 0
+	}
+	st := hops[hop-1]
+	switch {
+	case st.win != nil:
+		return int(st.win.WindowCount())
+	case st.kll != nil:
+		return int(st.kll.Count())
+	default:
+		return len(st.raw)
+	}
+}
+
+// LatencyStorageBytes reports the per-flow storage a latency query uses,
+// assuming each stored item is the query's digest width (Fig 9's
+// sketch-size axis).
+func (r *Recording) LatencyStorageBytes(q *LatencyQuery, flow FlowKey) int {
+	hops := r.lats[q][flow]
+	total := 0
+	for _, st := range hops {
+		if st == nil {
+			continue
+		}
+		if st.kll != nil {
+			total += st.kll.SizeBytes(q.Bits())
+		} else {
+			total += (len(st.raw)*q.Bits() + 7) / 8
+		}
+	}
+	return total
+}
+
+// UtilSeries answers a per-packet query: the decoded bottleneck values in
+// arrival order.
+func (r *Recording) UtilSeries(q *UtilQuery, flow FlowKey) []float64 {
+	return r.utils[q][flow]
+}
+
+// FrequentValues answers a frequent-values query (Theorem 2): the values
+// appearing in at least a theta-fraction of hop `hop`'s sampled stream.
+func (r *Recording) FrequentValues(q *FreqQuery, flow FlowKey, hop int, theta float64) []sketch.HeavyHitter {
+	hops := r.freqs[q][flow]
+	if hops == nil || hop < 1 || hop > len(hops) {
+		return nil
+	}
+	return hops[hop-1].HeavyHitters(theta)
+}
+
+// FreqSamples returns the number of samples a frequent-values query has
+// for a hop.
+func (r *Recording) FreqSamples(q *FreqQuery, flow FlowKey, hop int) int {
+	hops := r.freqs[q][flow]
+	if hops == nil || hop < 1 || hop > len(hops) {
+		return 0
+	}
+	return int(hops[hop-1].Count())
+}
+
+// CountSeries answers a randomized-counting query: the decoded per-packet
+// count estimates in arrival order. The mean of the series is an unbiased
+// estimate of the expected per-packet count.
+func (r *Recording) CountSeries(q *CountQuery, flow FlowKey) []float64 {
+	return r.cnts[q][flow]
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/hash"
+)
+
+// PathQuery is the static per-flow aggregation (§4.2, Example #2): recover
+// the per-(flow, switch) constant values — canonically the switch IDs,
+// i.e. the flow's path — by spreading them across packets with the
+// distributed coding schemes.
+type PathQuery struct {
+	name string
+	cfg  coding.Config
+	freq float64
+	g    hash.Global
+	enc  *coding.Encoder
+	uni  []uint64
+}
+
+// NewPathQuery builds a path-tracing query. cfg.Bits is the budget of one
+// hash instance; the query's total footprint is cfg.TotalBits(). universe
+// is the switch-ID universe for hashed decoding (ignored in raw mode).
+func NewPathQuery(name string, cfg coding.Config, freq float64, master hash.Seed, universe []uint64) (*PathQuery, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := hash.NewGlobal(master.Derive(hash.Seed(0).HashString(name)))
+	enc, err := coding.NewEncoder(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	return &PathQuery{name: name, cfg: cfg, freq: freq, g: g, enc: enc, uni: universe}, nil
+}
+
+// Name implements Query.
+func (q *PathQuery) Name() string { return q.name }
+
+// Agg implements Query.
+func (q *PathQuery) Agg() AggregationType { return StaticPerFlow }
+
+// Bits implements Query: the full slice including all hash instances.
+func (q *PathQuery) Bits() int { return q.cfg.TotalBits() }
+
+// Frequency implements Query.
+func (q *PathQuery) Frequency() float64 { return q.freq }
+
+// EncodeHop implements Query by delegating to the coding encoder, packing
+// the per-instance digest words into the engine's flat bit slice.
+func (q *PathQuery) EncodeHop(pktID uint64, hop int, bits uint64, value uint64) uint64 {
+	d := q.wordsOf(bits)
+	d = q.enc.EncodeHop(pktID, hop, d, value)
+	return q.bitsOf(d)
+}
+
+func (q *PathQuery) instances() int {
+	if q.cfg.Mode == coding.ModeHashed && q.cfg.Instances > 1 {
+		return q.cfg.Instances
+	}
+	return 1
+}
+
+func (q *PathQuery) wordsOf(bits uint64) coding.Digest {
+	n := q.instances()
+	d := coding.Digest{Words: make([]uint64, n)}
+	mask := digestMask(q.cfg.Bits)
+	for i := 0; i < n; i++ {
+		d.Words[i] = bits >> uint(i*q.cfg.Bits) & mask
+	}
+	return d
+}
+
+func (q *PathQuery) bitsOf(d coding.Digest) uint64 {
+	var bits uint64
+	for i, w := range d.Words {
+		bits |= (w & digestMask(q.cfg.Bits)) << uint(i*q.cfg.Bits)
+	}
+	return bits
+}
+
+// NewDecoder creates the Inference-side decoder for one flow whose path
+// length is k (known from the packet TTL at the sink, §4.1).
+func (q *PathQuery) NewDecoder(k int) (*coding.Decoder, error) {
+	return coding.NewDecoder(q.cfg, q.g, k, q.uni)
+}
+
+// ObserveInto feeds one extracted digest slice into a flow's decoder.
+func (q *PathQuery) ObserveInto(dec *coding.Decoder, pktID uint64, bits uint64) bool {
+	return dec.Observe(pktID, q.wordsOf(bits))
+}
+
+// DefaultPathConfig mirrors the evaluation's standard setup: hashed mode
+// against the topology's switch IDs, multi-layer (revised) layering for an
+// assumed path length d, and the given per-instance budget and instance
+// count (Fig 10 uses b=1, b=4, and 2×(b=8)).
+func DefaultPathConfig(bits, instances, d int) (coding.Config, error) {
+	if bits < 1 {
+		return coding.Config{}, fmt.Errorf("core: path budget %d invalid", bits)
+	}
+	return coding.Config{
+		Bits:      bits,
+		Mode:      coding.ModeHashed,
+		Instances: instances,
+		Layering:  coding.MultiLayer(d, true),
+	}, nil
+}

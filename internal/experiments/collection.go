@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// CollectionStats quantifies §2's third overhead problem on a live
+// simulation: the bandwidth the sink-to-collector path consumes and
+// whether reports are fixed-size (what Confluo-style ingestion needs).
+type CollectionStats struct {
+	System     string
+	Reports    int
+	MeanBytes  float64
+	FixedSize  bool
+	TotalBytes int64
+}
+
+// CollectionOverhead runs one loaded simulation per telemetry system and
+// models the sink's report stream for every delivered data packet. The
+// paper's claims: INT reports vary with path length and dwarf PINT's
+// fixed two-byte digests.
+func CollectionOverhead(s Scale) ([]CollectionStats, error) {
+	var out []CollectionStats
+	for _, sys := range []struct {
+		name string
+		kind telemetry.ReportKind
+		tk   TransportKind
+	}{
+		{"INT (3 values/hop)", telemetry.ReportINT, KindHPCCINT},
+		{"PINT (16-bit digest)", telemetry.ReportPINT, KindHPCCPINT},
+	} {
+		sink, err := telemetry.NewSink(sys.kind, 3, 16)
+		if err != nil {
+			return nil, err
+		}
+		cfg := LoadRunConfig{Scale: s, Dist: workload.Hadoop(), Load: 0.5,
+			Kind: sys.tk, MinFlows: 100}
+		cfg.hopHook = nil
+		res, err := runLoadWithSink(cfg, sink)
+		if err != nil {
+			return nil, err
+		}
+		_ = res
+		out = append(out, CollectionStats{
+			System:     sys.name,
+			Reports:    sink.Reports,
+			MeanBytes:  sink.MeanBytes(),
+			FixedSize:  sink.FixedSize(),
+			TotalBytes: sink.TotalBytes,
+		})
+	}
+	return out, nil
+}
+
+// runLoadWithSink is RunLoad with a collection-side sink observing every
+// delivered data packet.
+func runLoadWithSink(cfg LoadRunConfig, sink *telemetry.Sink) (*LoadRunResult, error) {
+	cfg.deliverHook = func(h *netsim.HostNode, pkt *netsim.Packet) {
+		if !pkt.Ack && pkt.Dst == h.ID && pkt.Hops > 0 {
+			sink.Observe(pkt)
+		}
+	}
+	return RunLoad(cfg)
+}
+
+// CollectionTable renders the comparison.
+func CollectionTable(stats []CollectionStats) Table {
+	t := Table{Title: "§2 problem 3: sink-to-collector report stream",
+		Columns: []string{"system", "reports", "meanBytes", "fixedSize", "totalKB"}}
+	for _, st := range stats {
+		t.Rows = append(t.Rows, []string{
+			st.System,
+			fmt.Sprintf("%d", st.Reports),
+			F(st.MeanBytes),
+			fmt.Sprintf("%v", st.FixedSize),
+			F(float64(st.TotalBytes) / 1024),
+		})
+	}
+	return t
+}

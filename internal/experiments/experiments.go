@@ -1,0 +1,366 @@
+// Package experiments reproduces every table and figure of the PINT
+// paper's evaluation (§2 and §6). Each FigXX function is self-contained:
+// it builds the topology, workload and telemetry configuration, runs the
+// simulation or trial harness, and returns the same rows/series the paper
+// plots. DESIGN.md maps each function to its figure; EXPERIMENTS.md
+// records paper-vs-measured outcomes.
+//
+// A Scale knob trades fidelity for runtime: benches run at Scale's
+// defaults (seconds per figure), while cmd/pintfig exposes larger runs.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/hash"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Scale bundles the knobs that shrink paper-sized experiments to
+// bench-sized ones without changing their structure.
+type Scale struct {
+	// HostBps / TierBps are the access and fabric link rates (paper:
+	// 100G/400G; bench default 1G/4G).
+	HostBps int64
+	TierBps int64
+	// SizeDivisor shrinks workload flow sizes so flows complete within
+	// DurationNs.
+	SizeDivisor float64
+	// DurationNs is the flow-arrival horizon; the simulation drains for
+	// 3x this before collecting.
+	DurationNs int64
+	// Pods/HostsPerTor shape the leaf-spine instance.
+	Pods        int
+	HostsPerTor int
+	// Trials for per-trial experiments (Fig 5/10).
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Bench returns the scale used by `go test -bench` — small enough for a
+// complete suite run in minutes.
+func Bench() Scale {
+	return Scale{
+		HostBps:     1_000_000_000,
+		TierBps:     4_000_000_000,
+		SizeDivisor: 64,
+		DurationNs:  60_000_000, // 60 ms of arrivals
+		Pods:        2,
+		HostsPerTor: 4,
+		Trials:      50,
+		Seed:        1,
+	}
+}
+
+// Paper returns a scale closer to the paper's setup (minutes to hours per
+// figure; used by cmd/pintfig -scale paper).
+func Paper() Scale {
+	return Scale{
+		HostBps:     25_000_000_000, // 25G in place of 100G: 4x faster sim
+		TierBps:     100_000_000_000,
+		SizeDivisor: 4,
+		DurationNs:  100_000_000,
+		Pods:        5,
+		HostsPerTor: 16,
+		Trials:      2000,
+		Seed:        1,
+	}
+}
+
+// BaseRTTNs estimates the network's base RTT for a cross-pod path at this
+// scale: per direction, 6 serializations of a 1000B packet (host + 5
+// switches) plus propagation; ACKs are small, so ~1.2x one-way covers it.
+func (s Scale) BaseRTTNs() int64 {
+	ser := int64(1000*8) * 1_000_000_000 / s.HostBps
+	oneWay := 6*ser + 6*1000
+	return 2 * oneWay
+}
+
+// TransportKind selects the protocol an experiment drives.
+type TransportKind int
+
+const (
+	// KindReno runs the TCP-Reno-like transport with fixed ExtraBytes
+	// overhead (the §2 study).
+	KindReno TransportKind = iota
+	// KindHPCCINT runs HPCC over classic INT.
+	KindHPCCINT
+	// KindHPCCPINT runs HPCC over PINT digests.
+	KindHPCCPINT
+)
+
+// LoadRunConfig drives one loaded-network simulation.
+type LoadRunConfig struct {
+	Scale     Scale
+	Dist      *workload.Dist
+	Load      float64
+	Kind      TransportKind
+	Overhead  int     // Reno: fixed per-packet bytes
+	PintP     float64 // HPCC-PINT: fraction of packets carrying the digest (0 = 1.0)
+	PintBits  int     // HPCC-PINT: digest width (default 8)
+	MinFlows  int     // keep generating until at least this many flows arrive
+
+	// hopHook, when set, observes every data packet's per-switch latency
+	// (hop is 1-based). Used by the Fig 9 harness.
+	hopHook func(pkt *netsim.Packet, hop int, latNs int64)
+	// deliverHook, when set, observes every packet arriving at a host.
+	// Used by the collection-overhead harness.
+	deliverHook func(h *netsim.HostNode, pkt *netsim.Packet)
+}
+
+// runLoadWithHook is RunLoad with a per-hop latency observer attached.
+func runLoadWithHook(cfg LoadRunConfig, hook func(pkt *netsim.Packet, hop int, latNs int64)) (*LoadRunResult, error) {
+	cfg.hopHook = hook
+	return RunLoad(cfg)
+}
+
+// LoadRunResult aggregates one run.
+type LoadRunResult struct {
+	Collector *transport.Collector
+	Net       *netsim.Network
+	BaseRTTNs int64
+	HostBps   int64
+}
+
+// RunLoad builds the leaf-spine network, schedules Poisson arrivals for
+// the configured duration, runs the simulation to drain, and returns the
+// completed-flow statistics.
+func RunLoad(cfg LoadRunConfig) (*LoadRunResult, error) {
+	s := cfg.Scale
+	g, err := topology.LeafSpine(s.Pods, 2, 2, s.HostsPerTor, 2)
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.NewSim()
+	buf := int(32 << 20 / (100_000_000_000 / s.HostBps)) // scale the 32MB buffer
+	if buf < 64_000 {
+		buf = 64_000
+	}
+	net, err := netsim.Build(sim, g, netsim.BuildOptions{
+		HostLink:     netsim.LinkSpec{Bps: s.HostBps, PropNs: 1000, BufBytes: buf},
+		TierLink:     netsim.LinkSpec{Bps: s.TierBps, PropNs: 1000, BufBytes: buf},
+		ValuesPerHop: 3, // HPCC's three INT values
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseRTT := s.BaseRTTNs()
+	if cfg.deliverHook != nil {
+		net.OnDeliver = cfg.deliverHook
+	}
+	if cfg.hopHook != nil {
+		hook := cfg.hopHook
+		net.OnHopLatency = func(sw *netsim.SwitchNode, pkt *netsim.Packet, lat int64) {
+			if !pkt.Ack {
+				hook(pkt, pkt.Hops+1, lat)
+			}
+		}
+	}
+
+	var pu *transport.PINTUtilization
+	switch cfg.Kind {
+	case KindHPCCINT:
+		transport.AttachINTHook(net)
+	case KindHPCCPINT:
+		bits := cfg.PintBits
+		if bits == 0 {
+			bits = 8
+		}
+		pu, err = transport.AttachPINTHook(net, baseRTT, bits)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	dist := cfg.Dist
+	if s.SizeDivisor > 1 {
+		dist = dist.Scaled(s.SizeDivisor)
+	}
+	gen, err := workload.NewGenerator(g.Hosts(), dist, cfg.Load, s.HostBps, hash.NewRNG(s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	flows := gen.GenerateUntil(s.DurationNs)
+	for len(flows) < cfg.MinFlows {
+		f := gen.Next()
+		flows = append(flows, f)
+	}
+
+	col := &transport.Collector{}
+	sel := hash.NewGlobal(hash.Seed(s.Seed).Derive(0x5E1))
+	for _, f := range flows {
+		f := f
+		stats := &transport.FlowStats{ID: f.ID, Bytes: f.Bytes, StartNs: f.Start}
+		col.Add(stats)
+		sim.At(f.Start, func() {
+			switch cfg.Kind {
+			case KindReno:
+				rc := transport.DefaultRenoConfig()
+				rc.ExtraBytes = cfg.Overhead
+				rc.InitRTO = 8 * baseRTT
+				_, err := transport.StartReno(net, f.Src, f.Dst, stats, rc)
+				if err != nil {
+					panic(err)
+				}
+			case KindHPCCINT:
+				hc := transport.DefaultHPCCConfig(cfg.Scale.HostBps, baseRTT)
+				hc.Mode = transport.FeedbackINT
+				if _, err := transport.StartHPCC(net, f.Src, f.Dst, stats, hc); err != nil {
+					panic(err)
+				}
+			case KindHPCCPINT:
+				hc := transport.DefaultHPCCConfig(cfg.Scale.HostBps, baseRTT)
+				hc.Mode = transport.FeedbackPINT
+				hc.PintBits = cfg.PintBits
+				if hc.PintBits == 0 {
+					hc.PintBits = 8
+				}
+				hc.DecodeU = pu.Decode
+				if cfg.PintP > 0 && cfg.PintP < 1 {
+					p := cfg.PintP
+					hc.SelectPkt = func(pktID uint64) bool { return sel.Act(pktID, 1, p) }
+				}
+				if _, err := transport.StartHPCC(net, f.Src, f.Dst, stats, hc); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	sim.Run(s.DurationNs * 4)
+	return &LoadRunResult{Collector: col, Net: net, BaseRTTNs: baseRTT, HostBps: s.HostBps}, nil
+}
+
+// IdealFCT is the canonical slowdown denominator: line-rate transmission
+// plus one (cross-pod) base RTT. Intra-rack flows can therefore report
+// slowdowns below 1; comparisons between configurations share the same
+// denominator, which is what Figs 7, 8 and 11 plot.
+func (r *LoadRunResult) IdealFCT(bytes int64) float64 {
+	return float64(bytes)*8*1e9/float64(r.HostBps) + float64(r.BaseRTTNs)
+}
+
+// Slowdowns returns each completed flow's (size, slowdown).
+func (r *LoadRunResult) Slowdowns() ([]int64, []float64) {
+	var sizes []int64
+	var slow []float64
+	for _, f := range r.Collector.Completed() {
+		sizes = append(sizes, f.Bytes)
+		slow = append(slow, float64(f.FCT())/r.IdealFCT(f.Bytes))
+	}
+	return sizes, slow
+}
+
+// AvgFCT returns the mean FCT over completed flows, in ns.
+func (r *LoadRunResult) AvgFCT() float64 {
+	done := r.Collector.Completed()
+	if len(done) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, f := range done {
+		sum += float64(f.FCT())
+	}
+	return sum / float64(len(done))
+}
+
+// AvgGoodputLong returns the mean goodput (bps) of completed flows of at
+// least minBytes.
+func (r *LoadRunResult) AvgGoodputLong(minBytes int64) float64 {
+	var sum float64
+	n := 0
+	for _, f := range r.Collector.Completed() {
+		if f.Bytes >= minBytes {
+			sum += float64(f.Bytes) * 8 * 1e9 / float64(f.FCT())
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// PercentileSlowdownByBin computes the q-quantile slowdown within flow-size
+// bins delimited by edges (ascending); bin i covers (edges[i-1], edges[i]].
+func PercentileSlowdownByBin(sizes []int64, slow []float64, edges []int64, q float64) []float64 {
+	out := make([]float64, len(edges))
+	for i := range edges {
+		var lo int64
+		if i > 0 {
+			lo = edges[i-1]
+		}
+		var vals []float64
+		for j, sz := range sizes {
+			if sz > lo && sz <= edges[i] {
+				vals = append(vals, slow[j])
+			}
+		}
+		if len(vals) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		sort.Float64s(vals)
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = vals[idx]
+	}
+	return out
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch {
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

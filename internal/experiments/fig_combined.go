@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/netsim"
+	"repro/internal/sketch"
+	"repro/internal/topology"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// CombinedMetrics are Fig 11's three panels for one configuration.
+type CombinedMetrics struct {
+	Name             string
+	MeanSlowdown     float64 // HPCC panel
+	PathMeanPackets  float64 // path-tracing panel (flows that decoded)
+	PathDecodedFlows int
+	MedianLatErrPct  float64 // latency panel: median-latency relative error
+	TailLatErrPct    float64 // and tail (p90 at bench sample counts)
+}
+
+// planSpec describes one full-system run: its queries, the global wire
+// budget, and which query handles to measure.
+type planSpec struct {
+	queries []core.Query
+	global  int
+	path    *core.PathQuery    // nil: skip the path metric
+	lat     *core.LatencyQuery // nil: skip the latency metric
+	util    *core.UtilQuery    // required (feeds the transport)
+	measure bool               // measure the slowdown from this run
+}
+
+// Fig11 reproduces Figure 11: three queries (path tracing on every
+// packet, latency on 15/16, HPCC on 1/16) share a 16-bit global budget,
+// compared against each query running alone with 16 bits. The paper's
+// claims: the combined plan costs almost nothing — median-latency error
+// +0.7%, short-flow slowdown +6.6%, path packets +0.5% vs solo baselines.
+func Fig11(s Scale) ([]CombinedMetrics, error) {
+	master := hash.Seed(s.Seed).Derive(0xF16)
+	const d = 5
+
+	// Combined: path 2×(b=4)@1 + lat 8b@15/16 + hpcc 8b@1/16 in 16 bits.
+	makeCombined := func(universe []uint64) (planSpec, error) {
+		cfg, err := core.DefaultPathConfig(4, 2, d)
+		if err != nil {
+			return planSpec{}, err
+		}
+		path, err := core.NewPathQuery("path", cfg, 1, master, universe)
+		if err != nil {
+			return planSpec{}, err
+		}
+		lat, err := core.NewLatencyQuery("lat", 8, 0.04, 15.0/16, master)
+		if err != nil {
+			return planSpec{}, err
+		}
+		util, err := core.NewUtilQuery("hpcc", 8, 0.025, 1.0/16, 1000, master)
+		if err != nil {
+			return planSpec{}, err
+		}
+		return planSpec{queries: []core.Query{path, lat, util}, global: 16,
+			path: path, lat: lat, util: util, measure: true}, nil
+	}
+
+	// Baseline A: path alone, 2×(b=8) on every packet (Fig 10's best),
+	// with an out-of-plan HPCC control digest so the transport behaves.
+	makeSoloPath := func(universe []uint64) (planSpec, error) {
+		cfg, err := core.DefaultPathConfig(8, 2, d)
+		if err != nil {
+			return planSpec{}, err
+		}
+		path, err := core.NewPathQuery("path", cfg, 1, master.Derive(1), universe)
+		if err != nil {
+			return planSpec{}, err
+		}
+		util, err := core.NewUtilQuery("hpcc", 8, 0.025, 1.0/16, 1000, master.Derive(1))
+		if err != nil {
+			return planSpec{}, err
+		}
+		return planSpec{queries: []core.Query{path, util}, global: 24,
+			path: path, util: util}, nil
+	}
+
+	// Baseline B: latency alone on every packet + HPCC control; measures
+	// latency error and (as the least-contended run) the solo slowdown.
+	makeSoloLat := func([]uint64) (planSpec, error) {
+		lat, err := core.NewLatencyQuery("lat", 8, 0.04, 1, master.Derive(2))
+		if err != nil {
+			return planSpec{}, err
+		}
+		util, err := core.NewUtilQuery("hpcc", 8, 0.025, 1.0/16, 1000, master.Derive(2))
+		if err != nil {
+			return planSpec{}, err
+		}
+		return planSpec{queries: []core.Query{lat, util}, global: 16,
+			lat: lat, util: util, measure: true}, nil
+	}
+
+	combined, err := runPlanSim(s, makeCombined)
+	if err != nil {
+		return nil, err
+	}
+	combined.Name = "Combined"
+	soloPath, err := runPlanSim(s, makeSoloPath)
+	if err != nil {
+		return nil, err
+	}
+	soloLat, err := runPlanSim(s, makeSoloLat)
+	if err != nil {
+		return nil, err
+	}
+	baseline := CombinedMetrics{
+		Name:             "Baseline",
+		MeanSlowdown:     soloLat.MeanSlowdown,
+		PathMeanPackets:  soloPath.PathMeanPackets,
+		PathDecodedFlows: soloPath.PathDecodedFlows,
+		MedianLatErrPct:  soloLat.MedianLatErrPct,
+		TailLatErrPct:    soloLat.TailLatErrPct,
+	}
+	return []CombinedMetrics{baseline, *combined}, nil
+}
+
+// runPlanSim runs the full PINT system — engine on switches, recording at
+// sinks, HPCC fed from the utilization query — over a Hadoop-loaded
+// leaf-spine network and extracts Fig 11's metrics.
+func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*CombinedMetrics, error) {
+	g, err := topology.LeafSpine(s.Pods, 2, 2, s.HostsPerTor, 2)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := mk(g.SwitchIDUniverse())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Compile(spec.queries, spec.global, hash.Seed(s.Seed).Derive(0x51B))
+	if err != nil {
+		return nil, err
+	}
+	rec, err := core.NewRecording(eng, 0, hash.NewRNG(s.Seed+21))
+	if err != nil {
+		return nil, err
+	}
+
+	sim := netsim.NewSim()
+	buf := 1 << 21
+	net, err := netsim.Build(sim, g, netsim.BuildOptions{
+		HostLink:     netsim.LinkSpec{Bps: s.HostBps, PropNs: 1000, BufBytes: buf},
+		TierLink:     netsim.LinkSpec{Bps: s.TierBps, PropNs: 1000, BufBytes: buf},
+		ValuesPerHop: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseRTT := s.BaseRTTNs()
+	pu, err := transport.NewPINTUtilization(baseRTT, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	// Switch-side: EWMA update plus the engine's Encoding Modules.
+	net.OnDequeue = func(n *netsim.Network, sw *netsim.SwitchNode, port *netsim.Port,
+		pkt *netsim.Packet, qlen int, tau, hopLat int64) {
+		if pkt.Ack {
+			return
+		}
+		u := pu.UpdatePortU(port, tau, qlen, pkt.WireSize(n.ValuesPerHop))
+		swID := n.Graph.Nodes[sw.ID].SwitchID
+		pkt.Digest = eng.EncodeHop(pkt.ID, pkt.Hops+1, pkt.Digest, func(q core.Query) uint64 {
+			switch qq := q.(type) {
+			case *core.PathQuery:
+				return swID
+			case *core.LatencyQuery:
+				return uint64(hopLat)
+			case *core.UtilQuery:
+				return qq.EncodeValue(u)
+			}
+			return 0
+		})
+	}
+
+	// Ground-truth hop latencies per (flow, hop).
+	truthLat := map[uint64][][]float64{}
+	if spec.lat != nil {
+		net.OnHopLatency = func(sw *netsim.SwitchNode, pkt *netsim.Packet, latNs int64) {
+			if pkt.Ack {
+				return
+			}
+			hops := truthLat[pkt.FlowID]
+			for len(hops) <= pkt.Hops {
+				hops = append(hops, nil)
+			}
+			hops[pkt.Hops] = append(hops[pkt.Hops], float64(latNs))
+			truthLat[pkt.FlowID] = hops
+		}
+	}
+
+	// Sink-side: record digests, track packets-to-decode per flow.
+	pktsSeen := map[core.FlowKey]int{}
+	decodedAt := map[core.FlowKey]int{}
+	net.OnDeliver = func(h *netsim.HostNode, pkt *netsim.Packet) {
+		if pkt.Ack || pkt.Dst != h.ID || pkt.Hops == 0 {
+			return
+		}
+		fk := core.FlowKey(pkt.FlowID)
+		pktsSeen[fk]++
+		if err := rec.Record(fk, pkt.Hops, pkt.ID, pkt.Digest); err != nil {
+			panic(err)
+		}
+		if spec.path != nil {
+			if _, done := decodedAt[fk]; !done {
+				if dec := rec.PathDecoder(spec.path, fk); dec != nil && dec.Done() {
+					decodedAt[fk] = pktsSeen[fk]
+				}
+			}
+		}
+	}
+
+	// Traffic: Hadoop at 50% load over HPCC fed by the utilization query.
+	dist := workload.Hadoop()
+	if s.SizeDivisor > 1 {
+		dist = dist.Scaled(math.Sqrt(s.SizeDivisor)) // Hadoop flows are already small
+	}
+	gen, err := workload.NewGenerator(g.Hosts(), dist, 0.5, s.HostBps, hash.NewRNG(s.Seed+3))
+	if err != nil {
+		return nil, err
+	}
+	flows := gen.GenerateUntil(s.DurationNs)
+	for len(flows) < 200 {
+		flows = append(flows, gen.Next())
+	}
+	utilQ := spec.util
+	extractU := func(pktID, digest uint64) (float64, bool) {
+		for _, ex := range eng.Extract(pktID, digest) {
+			if ex.Query == core.Query(utilQ) {
+				return utilQ.Decode(ex.Bits), true
+			}
+		}
+		return 0, false
+	}
+	col := &transport.Collector{}
+	for _, f := range flows {
+		f := f
+		stats := &transport.FlowStats{ID: f.ID, Bytes: f.Bytes, StartNs: f.Start}
+		col.Add(stats)
+		sim.At(f.Start, func() {
+			hc := transport.DefaultHPCCConfig(s.HostBps, baseRTT)
+			hc.Mode = transport.FeedbackPINT
+			hc.PintBits = spec.global
+			hc.ExtractU = extractU
+			if _, err := transport.StartHPCC(net, f.Src, f.Dst, stats, hc); err != nil {
+				panic(err)
+			}
+		})
+	}
+	sim.Run(s.DurationNs * 4)
+
+	// Metrics.
+	m := &CombinedMetrics{MedianLatErrPct: math.NaN(), TailLatErrPct: math.NaN()}
+	res := &LoadRunResult{Collector: col, BaseRTTNs: baseRTT, HostBps: s.HostBps}
+	_, slow := res.Slowdowns()
+	if len(slow) == 0 {
+		return nil, fmt.Errorf("experiments: no flows completed")
+	}
+	var sum float64
+	for _, v := range slow {
+		sum += v
+	}
+	m.MeanSlowdown = sum / float64(len(slow))
+
+	if spec.path != nil {
+		var pktSum float64
+		for _, n := range decodedAt {
+			pktSum += float64(n)
+			m.PathDecodedFlows++
+		}
+		if m.PathDecodedFlows > 0 {
+			m.PathMeanPackets = pktSum / float64(m.PathDecodedFlows)
+		}
+	}
+
+	if spec.lat != nil {
+		var medErr, tailErr float64
+		var nPairs int
+		for flowID, hops := range truthLat {
+			fk := core.FlowKey(flowID)
+			for h := 1; h <= len(hops); h++ {
+				truth := hops[h-1]
+				if len(truth) < 64 || rec.LatencySamples(spec.lat, fk, h) < 16 {
+					continue
+				}
+				estMed, err1 := rec.LatencyQuantile(spec.lat, fk, h, 0.5)
+				estTail, err2 := rec.LatencyQuantile(spec.lat, fk, h, 0.9)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				tm := sketch.ExactQuantile(truth, 0.5)
+				tt := sketch.ExactQuantile(truth, 0.9)
+				if tm > 0 && tt > 0 {
+					medErr += math.Abs(estMed-tm) / tm * 100
+					tailErr += math.Abs(estTail-tt) / tt * 100
+					nPairs++
+				}
+			}
+		}
+		if nPairs > 0 {
+			m.MedianLatErrPct = medErr / float64(nPairs)
+			m.TailLatErrPct = tailErr / float64(nPairs)
+		}
+	}
+	return m, nil
+}
+
+// Fig11Table renders the comparison.
+func Fig11Table(ms []CombinedMetrics) Table {
+	t := Table{Title: "Fig 11: concurrent queries vs solo baselines (Hadoop, 16-bit budget)",
+		Columns: []string{"config", "meanSlowdown", "pathPkts", "decodedFlows", "medLatErr%", "tailLatErr%"}}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, []string{m.Name, F(m.MeanSlowdown), F(m.PathMeanPackets),
+			fmt.Sprintf("%d", m.PathDecodedFlows), F(m.MedianLatErrPct), F(m.TailLatErrPct)})
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/workload"
+)
+
+// GainPoint is one x-position of Fig 7(a).
+type GainPoint struct {
+	Load        float64
+	GoodputINT  float64 // bps, long flows
+	GoodputPINT float64
+	GainPercent float64
+}
+
+// Fig07a reproduces Figure 7(a): the relative long-flow goodput
+// improvement of HPCC(PINT) over HPCC(INT) as network load grows. The
+// paper's claim: the gain is positive and grows with load (71% at 70% in
+// their setting) because PINT's byte savings matter most when residual
+// capacity is scarce.
+func Fig07a(s Scale) ([]GainPoint, error) {
+	loads := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	longThr := int64(workload.WebSearch().Scaled(s.SizeDivisor).Quantile(0.8))
+	var out []GainPoint
+	for _, load := range loads {
+		intRes, err := RunLoad(LoadRunConfig{Scale: s, Dist: workload.WebSearch(),
+			Load: load, Kind: KindHPCCINT, MinFlows: 50})
+		if err != nil {
+			return nil, err
+		}
+		pintRes, err := RunLoad(LoadRunConfig{Scale: s, Dist: workload.WebSearch(),
+			Load: load, Kind: KindHPCCPINT, MinFlows: 50})
+		if err != nil {
+			return nil, err
+		}
+		gi := intRes.AvgGoodputLong(longThr)
+		gp := pintRes.AvgGoodputLong(longThr)
+		out = append(out, GainPoint{
+			Load:        load,
+			GoodputINT:  gi,
+			GoodputPINT: gp,
+			GainPercent: (gp - gi) / gi * 100,
+		})
+	}
+	return out, nil
+}
+
+// Fig07aTable renders the goodput-gain sweep.
+func Fig07aTable(points []GainPoint) Table {
+	t := Table{Title: "Fig 7a: long-flow goodput, HPCC(PINT) vs HPCC(INT)",
+		Columns: []string{"load", "INT bps", "PINT bps", "gain%"}}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", p.Load*100),
+			F(p.GoodputINT), F(p.GoodputPINT), F(p.GainPercent),
+		})
+	}
+	return t
+}
+
+// SlowdownSeries is one curve of Fig 7(b)/(c) or Fig 8.
+type SlowdownSeries struct {
+	Name     string
+	BinEdges []int64   // decile upper edges (scaled workload bytes)
+	P95      []float64 // 95th-percentile slowdown per bin
+}
+
+// Fig07bc reproduces Figures 7(b) and 7(c): 95th-percentile slowdown as a
+// function of flow size at 50% load, HPCC(INT) vs HPCC(PINT), for the
+// web-search and Hadoop workloads. The paper's claims: the curves are
+// comparable overall, with PINT better on long flows (bandwidth saving)
+// and slightly worse on short ones.
+func Fig07bc(s Scale, dist *workload.Dist) ([]SlowdownSeries, error) {
+	edges := decileEdges(dist, s.SizeDivisor)
+	var out []SlowdownSeries
+	for _, kind := range []struct {
+		name string
+		k    TransportKind
+	}{{"HPCC(INT)", KindHPCCINT}, {"HPCC(PINT)", KindHPCCPINT}} {
+		res, err := RunLoad(LoadRunConfig{Scale: s, Dist: dist, Load: 0.5,
+			Kind: kind.k, MinFlows: 200})
+		if err != nil {
+			return nil, err
+		}
+		sizes, slow := res.Slowdowns()
+		out = append(out, SlowdownSeries{
+			Name:     kind.name,
+			BinEdges: edges,
+			P95:      PercentileSlowdownByBin(sizes, slow, edges, 0.95),
+		})
+	}
+	return out, nil
+}
+
+// Fig08 reproduces Figure 8: PINT-based HPCC running the congestion query
+// on only a p-fraction of packets, p ∈ {1, 1/16, 1/256}. The paper's
+// claims: p=1/16 is nearly indistinguishable from p=1; p=1/256 degrades
+// short flows (feedback slower than an RTT).
+func Fig08(s Scale, dist *workload.Dist) ([]SlowdownSeries, error) {
+	edges := decileEdges(dist, s.SizeDivisor)
+	var out []SlowdownSeries
+	for _, p := range []float64{1, 1.0 / 16, 1.0 / 256} {
+		res, err := RunLoad(LoadRunConfig{Scale: s, Dist: dist, Load: 0.5,
+			Kind: KindHPCCPINT, PintP: p, MinFlows: 200})
+		if err != nil {
+			return nil, err
+		}
+		sizes, slow := res.Slowdowns()
+		out = append(out, SlowdownSeries{
+			Name:     fmt.Sprintf("p=1/%d", int(math.Round(1/p))),
+			BinEdges: edges,
+			P95:      PercentileSlowdownByBin(sizes, slow, edges, 0.95),
+		})
+	}
+	return out, nil
+}
+
+// SlowdownTable renders slowdown curves side by side.
+func SlowdownTable(title string, series []SlowdownSeries) Table {
+	t := Table{Title: title, Columns: []string{"size<="}}
+	for _, sr := range series {
+		t.Columns = append(t.Columns, sr.Name)
+	}
+	for i := range series[0].BinEdges {
+		row := []string{fmt.Sprintf("%d", series[0].BinEdges[i])}
+		for _, sr := range series {
+			row = append(row, F(sr.P95[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// decileEdges returns the scaled workload's decile boundaries — the
+// paper's x-axis ticks ("10% of the flows between consecutive marks").
+func decileEdges(dist *workload.Dist, divisor float64) []int64 {
+	d := dist
+	if divisor > 1 {
+		d = dist.Scaled(divisor)
+	}
+	edges := make([]int64, 10)
+	for i := 1; i <= 10; i++ {
+		edges[i-1] = int64(math.Ceil(d.Quantile(float64(i) / 10)))
+	}
+	return edges
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/netsim"
+	"repro/internal/sketch"
+	"repro/internal/workload"
+)
+
+// LatencyPoint is one x-position of a Fig 9 panel.
+type LatencyPoint struct {
+	X      int     // sample size (packets) or sketch size (bytes)
+	RelErr float64 // relative error, percent
+}
+
+// LatencySeries is one curve of a Fig 9 panel.
+type LatencySeries struct {
+	Name   string // e.g. "PINT (b=8)", "PINTS (b=4)"
+	Points []LatencyPoint
+}
+
+// Fig09Panel identifies one of the paper's six panels.
+type Fig09Panel struct {
+	Workload string  // "websearch" or "hadoop"
+	Quantile float64 // 0.5 (median) or 0.99 (tail)
+	BySketch bool    // false: error vs sample size; true: error vs sketch bytes
+}
+
+// Fig09 reproduces Figure 9: the relative error of PINT's per-hop latency
+// quantile estimates, as a function of the number of packets sampled from
+// a flow (first row) and of the per-hop sketch size in bytes (second row,
+// 500-packet samples), for bit budgets b=4 and b=8, with (PINTS) and
+// without sketches. Ground-truth hop-latency streams come from a loaded
+// simulation of the corresponding workload. The paper's claims: error
+// decreases with packets until it hits the value-compression floor, and
+// small (~100B) sketches cost little accuracy.
+func Fig09(s Scale, panel Fig09Panel) ([]LatencySeries, error) {
+	streams, err := collectHopStreams(s, panel.Workload)
+	if err != nil {
+		return nil, err
+	}
+	k := len(streams)
+	// Ground truth per hop.
+	truth := make([]float64, k)
+	for h := range streams {
+		truth[h] = sketch.ExactQuantile(streams[h], panel.Quantile)
+	}
+	rng := hash.NewRNG(s.Seed + 9)
+
+	var out []LatencySeries
+	for _, b := range []int{8, 4} {
+		for _, sk := range []bool{false, true} {
+			if panel.BySketch && !sk {
+				continue // the sketch-size row only has sketched variants
+			}
+			name := fmt.Sprintf("PINT (b=%d)", b)
+			if sk {
+				name = fmt.Sprintf("PINTS (b=%d)", b)
+			}
+			series := LatencySeries{Name: name}
+			if panel.BySketch {
+				for _, bytes := range []int{50, 100, 150, 200, 250, 300} {
+					e, err := latencyTrial(streams, truth, panel.Quantile, b, 500,
+						sketchParamFor(bytes, b), s.Trials, rng)
+					if err != nil {
+						return nil, err
+					}
+					series.Points = append(series.Points, LatencyPoint{X: bytes, RelErr: e})
+				}
+			} else {
+				items := 0
+				if sk {
+					items = sketchParamFor(100, b) // 100-digest sketches (first row)
+				}
+				for _, z := range []int{100, 200, 400, 600, 800, 1000} {
+					e, err := latencyTrial(streams, truth, panel.Quantile, b, z,
+						items, s.Trials, rng)
+					if err != nil {
+						return nil, err
+					}
+					series.Points = append(series.Points, LatencyPoint{X: z, RelErr: e})
+				}
+			}
+			out = append(out, series)
+		}
+	}
+	return out, nil
+}
+
+// sketchParamFor converts a byte budget into a KLL accuracy parameter,
+// assuming items are b-bit digests and KLL retains ~3k items.
+func sketchParamFor(bytes, b int) int {
+	items := bytes * 8 / b
+	k := items / 3
+	if k < 8 {
+		k = 8
+	}
+	return k
+}
+
+// latencyTrial runs `trials` independent PINT samplings of z packets over
+// the per-hop streams and returns the mean relative quantile error (%)
+// across hops and trials.
+func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketchItems, trials int, rng *hash.RNG) (float64, error) {
+	k := len(streams)
+	var errSum float64
+	var errN int
+	for tr := 0; tr < trials; tr++ {
+		q, err := core.NewLatencyQuery("lat", b, epsFor(b), 1, hash.Seed(rng.Uint64()))
+		if err != nil {
+			return 0, err
+		}
+		eng, err := core.Compile([]core.Query{q}, b, hash.Seed(rng.Uint64()))
+		if err != nil {
+			return 0, err
+		}
+		rec, err := core.NewRecording(eng, sketchItems, rng.Split())
+		if err != nil {
+			return 0, err
+		}
+		flow := core.FlowKey(1)
+		pos := make([]int, k) // next unread sample per hop
+		for j := 0; j < z; j++ {
+			pktID := rng.Uint64()
+			var digest uint64
+			for hop := 1; hop <= k; hop++ {
+				st := streams[hop-1]
+				v := st[pos[hop-1]%len(st)]
+				digest = eng.EncodeHop(pktID, hop, digest, func(core.Query) uint64 {
+					return uint64(v)
+				})
+			}
+			// Each packet consumes one sample per hop (every hop observed
+			// the packet; only the reservoir winner's value survived).
+			for h := range pos {
+				pos[h]++
+			}
+			if err := rec.Record(flow, k, pktID, digest); err != nil {
+				return 0, err
+			}
+		}
+		for hop := 1; hop <= k; hop++ {
+			est, err := rec.LatencyQuantile(q, flow, hop, phi)
+			if err != nil {
+				continue // hop got no samples this trial
+			}
+			if truth[hop-1] > 0 {
+				errSum += math.Abs(est-truth[hop-1]) / truth[hop-1] * 100
+				errN++
+			}
+		}
+	}
+	if errN == 0 {
+		return math.NaN(), nil
+	}
+	return errSum / float64(errN), nil
+}
+
+// epsFor picks the compression error so the b-bit code space covers the
+// nanosecond latency range (up to ~10^8 ns): (1+eps)^(2^b) >= 1e8.
+func epsFor(b int) float64 {
+	switch {
+	case b >= 16:
+		return 0.0025
+	case b >= 8:
+		return 0.04
+	default:
+		return 0.9 // 4 bits: very coarse, the paper's high-error floor
+	}
+}
+
+// collectHopStreams runs a loaded simulation and harvests per-hop latency
+// streams for 5-switch-hop (cross-pod) traffic, concatenated across flows
+// into one logical flow per hop position — the statistics a dynamic
+// per-flow query would see.
+func collectHopStreams(s Scale, wl string) ([][]float64, error) {
+	var dist *workload.Dist
+	switch wl {
+	case "websearch":
+		dist = workload.WebSearch()
+	case "hadoop":
+		dist = workload.Hadoop()
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", wl)
+	}
+	const k = 5
+	streams := make([][]float64, k)
+
+	// Piggyback on RunLoad's network by replicating its construction with
+	// an extra hook. Cheaper: run KindHPCCPINT (keeps queues interesting)
+	// and capture hop latencies via OnHopLatency before starting flows.
+	res, err := runLoadWithHook(LoadRunConfig{Scale: s, Dist: dist, Load: 0.5,
+		Kind: KindHPCCPINT, MinFlows: 100},
+		func(pkt *netsim.Packet, hop int, latNs int64) {
+			if hop >= 1 && hop <= k {
+				streams[hop-1] = append(streams[hop-1], float64(latNs))
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	_ = res
+	for h := range streams {
+		if len(streams[h]) < 50 {
+			return nil, fmt.Errorf("experiments: hop %d collected only %d latencies",
+				h+1, len(streams[h]))
+		}
+	}
+	return streams, nil
+}

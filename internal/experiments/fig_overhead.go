@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// OverheadPoint is one x-position of Figs 1 and 2.
+type OverheadPoint struct {
+	OverheadBytes  int
+	Load           float64
+	NormFCT        float64 // avg FCT / avg FCT at zero overhead
+	NormGoodput    float64 // long-flow goodput / zero-overhead goodput
+	CompletedFlows int
+}
+
+// Fig01_02 reproduces Figures 1 and 2: a 5-hop data-center topology runs a
+// web-search workload over the Reno-like transport while the per-packet
+// overhead sweeps over the INT-representative sizes 28..108B; average FCT
+// and long-flow goodput are normalized to the zero-overhead run. The
+// paper's qualitative claims: FCT grows and goodput falls monotonically
+// in overhead, and the 70% load curves move much more than the 30% ones.
+func Fig01_02(s Scale) ([]OverheadPoint, error) {
+	overheads := []int{0, 28, 48, 68, 88, 108}
+	loads := []float64{0.3, 0.7}
+	var out []OverheadPoint
+	for _, load := range loads {
+		var baseFCT, baseGP float64
+		for _, ov := range overheads {
+			res, err := RunLoad(LoadRunConfig{
+				Scale:    s,
+				Dist:     workload.WebSearch(),
+				Load:     load,
+				Kind:     KindReno,
+				Overhead: ov,
+				MinFlows: 50,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fct := res.AvgFCT()
+			// "Long" flows: the top ~20% of the scaled distribution.
+			longThr := int64(workload.WebSearch().Scaled(s.SizeDivisor).Quantile(0.8))
+			gp := res.AvgGoodputLong(longThr)
+			if ov == 0 {
+				baseFCT, baseGP = fct, gp
+			}
+			out = append(out, OverheadPoint{
+				OverheadBytes:  ov,
+				Load:           load,
+				NormFCT:        fct / baseFCT,
+				NormGoodput:    gp / baseGP,
+				CompletedFlows: len(res.Collector.Completed()),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig01_02Table renders the sweep like the paper's two panels.
+func Fig01_02Table(points []OverheadPoint) Table {
+	t := Table{
+		Title:   "Fig 1+2: normalized FCT and long-flow goodput vs per-packet overhead",
+		Columns: []string{"load", "overheadB", "normFCT", "normGoodput", "flows"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", p.Load*100),
+			fmt.Sprintf("%d", p.OverheadBytes),
+			F(p.NormFCT), F(p.NormGoodput),
+			fmt.Sprintf("%d", p.CompletedFlows),
+		})
+	}
+	return t
+}

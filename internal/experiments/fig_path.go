@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// PathPoint is one (scheme, path length) cell of Fig 10.
+type PathPoint struct {
+	Scheme  string
+	PathLen int
+	Mean    float64
+	P99     float64
+}
+
+// Fig10Topology names one of the figure's three panels-pairs.
+type Fig10Topology string
+
+// The three evaluation topologies of §6.3.
+const (
+	TopoKentucky Fig10Topology = "kentucky"  // D=59, 753 switches
+	TopoUSCarrier Fig10Topology = "uscarrier" // D=36, 157 switches
+	TopoFatTree  Fig10Topology = "fattree"   // K=8, D=5
+)
+
+// fig10Setup returns the topology, the paper's x-axis path lengths and
+// the configured d (10 for ISP topologies, 5 for the fat tree — §6.3).
+func fig10Setup(name Fig10Topology) (*topology.Graph, []int, int, error) {
+	switch name {
+	case TopoKentucky:
+		g, err := topology.KentuckyDatalinkLike()
+		return g, []int{6, 12, 18, 24, 30, 36, 42, 48, 54}, 10, err
+	case TopoUSCarrier:
+		g, err := topology.USCarrierLike()
+		return g, []int{4, 8, 12, 16, 20, 24, 28, 32, 36}, 10, err
+	case TopoFatTree:
+		g, err := topology.FatTree(8)
+		return g, []int{2, 3, 4, 5}, 5, err
+	default:
+		return nil, nil, 0, fmt.Errorf("experiments: unknown topology %q", name)
+	}
+}
+
+// Fig10 reproduces Figure 10: the number of packets needed to decode a
+// flow's path (mean and 99th percentile) as a function of path length,
+// comparing PINT with budgets 2×(b=8), b=4 and b=1 against the improved
+// PPM and AMS2 (m=5, m=6) traceback baselines. The paper's claims: PINT
+// grows near-linearly in path length and beats the baselines by an order
+// of magnitude; even b=1 needs ~7-10x fewer packets than the baselines.
+func Fig10(s Scale, name Fig10Topology) ([]PathPoint, error) {
+	g, lengths, d, err := fig10Setup(name)
+	if err != nil {
+		return nil, err
+	}
+	universe := g.SwitchIDUniverse()
+	var out []PathPoint
+	for _, l := range lengths {
+		// "Path length l" counts encoder switches; a path visiting l
+		// switches connects a switch pair at BFS distance l-1.
+		pairs := g.SwitchPairsAtDistance(l-1, 1, s.Seed+uint64(l))
+		if len(pairs) == 0 {
+			continue // topology has no such path length
+		}
+		// Path switch IDs between the chosen pair.
+		nodePath := g.Path(pairs[0][0], pairs[0][1], s.Seed)
+		values := make([]uint64, 0, l+1)
+		for _, n := range nodePath {
+			values = append(values, g.Nodes[n].SwitchID)
+		}
+		maxPkts := 400000
+
+		pintCfg := func(bits, inst int) coding.Config {
+			cfg, _ := core.DefaultPathConfig(bits, inst, d)
+			return cfg
+		}
+		for _, sc := range []struct {
+			name string
+			cfg  coding.Config
+		}{
+			{"PINT 2x(b=8)", pintCfg(8, 2)},
+			{"PINT (b=4)", pintCfg(4, 1)},
+			{"PINT (b=1)", pintCfg(1, 1)},
+		} {
+			st, err := coding.RunTrials(sc.cfg, values, universe, s.Trials, s.Seed+uint64(l), maxPkts)
+			if err != nil {
+				return nil, err
+			}
+			if st.Decoded < st.Trials {
+				return nil, fmt.Errorf("experiments: %s decoded %d/%d at l=%d",
+					sc.name, st.Decoded, st.Trials, l)
+			}
+			out = append(out, PathPoint{Scheme: sc.name, PathLen: len(values),
+				Mean: st.Mean, P99: st.P99})
+		}
+		ppm, err := telemetry.RunPPMTrials(values, s.Trials, s.Seed+uint64(l)*7, maxPkts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PathPoint{Scheme: "PPM", PathLen: len(values),
+			Mean: ppm.Mean, P99: ppm.P99})
+		for _, m := range []int{5, 6} {
+			ams, err := telemetry.RunAMS2Trials(values, universe, m, s.Trials,
+				s.Seed+uint64(l)*11+uint64(m), maxPkts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PathPoint{Scheme: fmt.Sprintf("AMS2 (m=%d)", m),
+				PathLen: len(values), Mean: ams.Mean, P99: ams.P99})
+		}
+	}
+	return out, nil
+}
+
+// Fig10Table renders one topology's panel pair (mean and p99).
+func Fig10Table(name Fig10Topology, points []PathPoint) Table {
+	schemes := []string{"PINT 2x(b=8)", "PINT (b=4)", "PINT (b=1)", "PPM", "AMS2 (m=5)", "AMS2 (m=6)"}
+	t := Table{Title: fmt.Sprintf("Fig 10 (%s): packets to decode path (mean / p99)", name),
+		Columns: append([]string{"hops"}, schemes...)}
+	byLen := map[int]map[string]PathPoint{}
+	var lens []int
+	for _, p := range points {
+		if byLen[p.PathLen] == nil {
+			byLen[p.PathLen] = map[string]PathPoint{}
+			lens = append(lens, p.PathLen)
+		}
+		byLen[p.PathLen][p.Scheme] = p
+	}
+	for _, l := range lens {
+		row := []string{fmt.Sprintf("%d", l)}
+		for _, sc := range schemes {
+			p := byLen[l][sc]
+			row = append(row, fmt.Sprintf("%s/%s", F(p.Mean), F(p.P99)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

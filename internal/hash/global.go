@@ -1,0 +1,136 @@
+package hash
+
+import "math/bits"
+
+// Global bundles the family of global hash functions a PINT deployment
+// shares between switches and the inference plane (§4.1). Every probabilistic
+// decision in the system flows through one of these methods, so an encoder
+// (simulated switch) and a decoder (Recording/Inference module) reach
+// identical conclusions about every packet without exchanging a single bit.
+type Global struct {
+	q    Seed // query-set selection hash
+	g    Seed // act-decision hash g(pkt, hop)
+	h    Seed // value hash h(value, pkt)
+	frag Seed // fragment-selection hash (§4.2, fragmentation)
+	lyr  Seed // layer-selection hash (Algorithm 1, line 1)
+	vec  Seed // pseudo-random bit-vector source (§4.2, fast decoding)
+}
+
+// NewGlobal derives the full family from one master seed.
+func NewGlobal(master Seed) Global {
+	return Global{
+		q:    master.Derive(1),
+		g:    master.Derive(2),
+		h:    master.Derive(3),
+		frag: master.Derive(4),
+		lyr:  master.Derive(5),
+		vec:  master.Derive(6),
+	}
+}
+
+// QueryPoint returns q(pkt) in [0,1): the coordinate used to pick the query
+// set a packet serves. All switches evaluate this identically (§3.4).
+func (g Global) QueryPoint(pktID uint64) float64 {
+	return Unit(g.q.Hash1(pktID))
+}
+
+// LayerPoint returns H(pkt) in [0,1) used by Algorithm 1 to choose between
+// the Baseline layer (H < tau) and one of the XOR layers.
+func (g Global) LayerPoint(pktID uint64) float64 {
+	return Unit(g.lyr.Hash1(pktID))
+}
+
+// Act reports whether the hop at 1-based position `hop` acts on packet
+// pktID with probability p: the comparison g(pkt, hop) < p of §4.1.
+func (g Global) Act(pktID uint64, hop int, p float64) bool {
+	return Below(g.g.Hash2(pktID, uint64(hop)), p)
+}
+
+// ReservoirWrites reports whether hop i (1-based) overwrites the digest
+// under Reservoir Sampling, i.e. g(pkt, i) < 1/i (§4.1, Example #1).
+func (g Global) ReservoirWrites(pktID uint64, hop int) bool {
+	if hop <= 1 {
+		return true
+	}
+	return Below(g.g.Hash2(pktID, uint64(hop)), 1/float64(hop))
+}
+
+// ReservoirWinner returns the 1-based hop whose value survives on a packet
+// that traversed k hops under reservoir sampling: the *last* hop i with
+// g(pkt,i) < 1/i. This is the computation the Recording Module performs to
+// attribute a digest to a hop without any hop ID on the wire. The first hop
+// always writes, so a winner always exists for k >= 1.
+func (g Global) ReservoirWinner(pktID uint64, k int) int {
+	w := 1
+	for i := 2; i <= k; i++ {
+		if g.ReservoirWrites(pktID, i) {
+			w = i
+		}
+	}
+	return w
+}
+
+// ValueDigest returns h(value, pkt) truncated to b bits: the hashed-value
+// encoding of §4.2 that lets PINT meet budgets narrower than the value.
+func (g Global) ValueDigest(value, pktID uint64, b int) uint64 {
+	return Bits(g.h.Hash2(value, pktID), b)
+}
+
+// Fragment maps a packet to a fragment index in {0, …, nfrag-1} (§4.2,
+// "Reducing the Bit-overhead using Fragmentation").
+func (g Global) Fragment(pktID uint64, nfrag int) int {
+	if nfrag <= 1 {
+		return 0
+	}
+	return int(g.frag.Hash1(pktID) % uint64(nfrag))
+}
+
+// Instance re-keys the family for one of several independent repetitions of
+// an algorithm ("Improving Performance via Multiple Instantiations", §4.2).
+func (g Global) Instance(i int) Global {
+	return NewGlobal(g.q.Derive(uint64(i) + 101))
+}
+
+// ActVector returns a k-bit vector whose i-th bit (LSB = hop 1) says whether
+// hop i xors the packet, where each bit is set independently with
+// probability 2^-logInvP. It implements the near-linear decoding trick of
+// §4.2: the vector is the bitwise AND of logInvP pseudo-random k-bit words,
+// so the whole path's decisions are materialized in O(log 1/p) word
+// operations instead of O(k) hash evaluations.
+//
+// k must be at most 64 (the paper's variant likewise assumes k fits in O(1)
+// machine words).
+func (g Global) ActVector(pktID uint64, k, logInvP int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	mask := ^uint64(0)
+	if k < 64 {
+		mask = (1 << uint(k)) - 1
+	}
+	v := mask
+	for r := 0; r < logInvP; r++ {
+		v &= g.vec.Hash2(pktID, uint64(r))
+	}
+	return v & mask
+}
+
+// ActFromVector reports hop i's (1-based) decision out of an ActVector.
+// Encoders use this so that the per-hop decision matches what the decoder
+// reconstructs.
+func ActFromVector(vec uint64, hop int) bool {
+	return vec>>(uint(hop)-1)&1 == 1
+}
+
+// SetBits returns the 1-based hop numbers set in an act vector, in
+// ascending order. The expected number of set bits is k·p = O(1) for the
+// XOR layers, so decoding stays near-linear overall.
+func SetBits(vec uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(vec))
+	for vec != 0 {
+		i := bits.TrailingZeros64(vec)
+		out = append(out, i+1)
+		vec &= vec - 1
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package hash
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestRNGZeroSeedValid(t *testing.T) {
+	r := NewRNG(0)
+	var zero int
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zero++
+		}
+	}
+	if zero > 1 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(6)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.005 {
+		t.Fatalf("mean %v, want ~0.5", m)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if m := sum / n; math.Abs(m-1) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~1", m)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(10)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal moments mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", got)
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	r := NewRNG(12)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("split streams identical")
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Mix64(uint64(i))
+	}
+	sink = acc
+}
+
+func BenchmarkHash2(b *testing.B) {
+	s := Seed(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= s.Hash2(uint64(i), uint64(i>>3))
+	}
+	sink = acc
+}
+
+func BenchmarkReservoirWinnerK25(b *testing.B) {
+	g := NewGlobal(1)
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += g.ReservoirWinner(uint64(i), 25)
+	}
+	sink = uint64(acc)
+}
+
+func BenchmarkActVector(b *testing.B) {
+	g := NewGlobal(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= g.ActVector(uint64(i), 64, 5)
+	}
+	sink = acc
+}
+
+var sink uint64

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// BenchmarkEventThroughput measures the raw event-loop rate — the budget
+// everything else in a simulation spends from.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := NewSim()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(1, tick)
+		}
+	}
+	s.At(0, tick)
+	b.ResetTimer()
+	s.Run(int64(b.N) * 2)
+}
+
+// BenchmarkPacketForwarding measures full store-and-forward cost per
+// packet across a 5-switch fat-tree path, including queueing machinery
+// and hooks.
+func BenchmarkPacketForwarding(b *testing.B) {
+	g, err := topology.FatTree(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := NewSim()
+	spec := LinkSpec{Bps: 100_000_000_000, PropNs: 100, BufBytes: 1 << 24}
+	net, err := Build(sim, g, BuildOptions{HostLink: spec, TierLink: spec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := g.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	cap := &captureEndpoint{sim: sim}
+	net.Host(dst).Attach(1, cap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Host(src).Send(&Packet{ID: uint64(i), FlowID: 1, Src: src, Dst: dst, PayloadLen: 1000})
+		if i%1024 == 1023 {
+			sim.Run(sim.Now() + 1_000_000_000)
+		}
+	}
+	sim.Run(sim.Now() + 10_000_000_000)
+	b.StopTimer()
+	if len(cap.pkts) != b.N {
+		b.Fatalf("delivered %d of %d", len(cap.pkts), b.N)
+	}
+}

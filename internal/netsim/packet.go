@@ -1,0 +1,88 @@
+package netsim
+
+// HopINT is one hop's classic INT metadata record, the per-hop values the
+// INT specification's metadata header requests (Table 1). HPCC consumes
+// TxBytes, Qlen and TsNs per hop (§2); the overhead accounting charges
+// INTHopBytes wire bytes for each record on the packet.
+type HopINT struct {
+	SwitchID uint64
+	Qlen     int    // queue occupancy at dequeue, bytes
+	TxBytes  uint64 // cumulative bytes transmitted by the egress port
+	TsNs     int64  // egress timestamp
+	RateBps  int64  // port bandwidth (HPCC's B; static per link)
+}
+
+// Packet is one simulated packet. PayloadLen is application payload;
+// WireSize() adds protocol header and telemetry overhead, and it is the
+// wire size that consumes link capacity — the crux of the paper's
+// overhead argument.
+type Packet struct {
+	ID     uint64
+	FlowID uint64
+	Src    int // source host node ID
+	Dst    int // destination host node ID
+
+	Seq        int64 // first payload byte offset
+	PayloadLen int
+	Ack        bool
+	AckSeq     int64 // cumulative ACK (bytes expected next)
+
+	// Telemetry state carried on the wire.
+	INT         []HopINT // classic INT stack (grows per hop)
+	Digest      uint64   // PINT digest bits (global budget <= 64)
+	DigestBits  int      // how many bits of Digest are on the wire
+	// DigestQuery identifies which query set this packet's digest serves
+	// (0 = none). It is NOT wire data: in a deployment every switch
+	// recomputes it from the global query-selection hash on the packet ID
+	// (§3.4); carrying it here just saves recomputation.
+	DigestQuery int
+	EchoINT     []HopINT // receiver's echo of the data packet's INT, on ACKs
+	EchoDigest  uint64   // receiver's echo of the PINT digest, on ACKs
+	EchoBits    int
+	EchoQuery   int    // echo of DigestQuery
+	EchoPktID   uint64 // ID of the data packet the echo came from (metadata)
+	EchoSentNs  int64  // echo of the data packet's SentNs (timestamp option)
+	ExtraBytes  int // fixed synthetic overhead (Fig 1/2's 28..108B sweeps)
+
+	Hops      int   // switch hops traversed so far
+	SentNs    int64 // transmission time at the source (for RTT samples)
+	arrivedNs int64 // arrival at current node (hop latency measurement)
+}
+
+// Protocol constants. The 40-byte header models Ethernet+IP+TCP framing at
+// the granularity the experiments need; INT values are 4 bytes each plus
+// an 8-byte metadata header per the INT spec (§2).
+const (
+	HeaderBytes    = 40
+	INTHeaderBytes = 8
+	INTValueBytes  = 4
+)
+
+// INTBytes returns the wire cost of the packet's INT stack: 8B header when
+// any record is present plus 4B per value per hop. valuesPerHop is fixed
+// per experiment (HPCC uses 3).
+func INTBytes(hops, valuesPerHop int) int {
+	if hops == 0 || valuesPerHop == 0 {
+		return 0
+	}
+	return INTHeaderBytes + hops*valuesPerHop*INTValueBytes
+}
+
+// WireSize is the packet's total size on the wire, the quantity that
+// consumes link capacity and queue buffers.
+func (p *Packet) WireSize(valuesPerHop int) int {
+	size := HeaderBytes + p.PayloadLen + p.ExtraBytes
+	if len(p.INT) > 0 {
+		size += INTBytes(len(p.INT), valuesPerHop)
+	}
+	if p.DigestBits > 0 {
+		size += (p.DigestBits + 7) / 8
+	}
+	if len(p.EchoINT) > 0 {
+		size += INTBytes(len(p.EchoINT), valuesPerHop)
+	}
+	if p.EchoBits > 0 {
+		size += (p.EchoBits + 7) / 8
+	}
+	return size
+}

@@ -1,0 +1,248 @@
+// Package sketch implements the streaming summaries PINT's Recording and
+// Inference modules use to bound per-flow storage (§3.4, §4.1, §6.2):
+//
+//   - KLL, the optimal quantile sketch of Karnin, Lang and Liberty [39],
+//     used to estimate median/tail latencies from the sampled sub-streams,
+//   - SpaceSaving, the heavy-hitters summary of Metwally et al. [50], used
+//     for the frequent-values aggregation of Theorem 2,
+//   - Reservoir, Vitter's uniform sampler [82], the building block of both
+//     the dynamic aggregation and the Baseline coding scheme,
+//   - a sliding-window wrapper so the Recording Module can reflect only
+//     recent measurements (§4.1),
+//   - exact-quantile helpers used as ground truth by tests and experiments.
+//
+// Everything is deterministic given a seeded RNG and uses only the standard
+// library.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// KLL is a quantile sketch: feed it a stream of float64 values and ask for
+// any quantile with additive rank error O(1/k) using O(k) space.
+//
+// The structure is a hierarchy of "compactors". Level h stores items with
+// weight 2^h. When a level overflows its capacity it sorts itself and
+// promotes a random half (even- or odd-indexed items, one coin per
+// compaction) to the level above — the survivors' doubled weight preserves
+// ranks in expectation.
+type KLL struct {
+	k          int
+	c          float64 // capacity decay between levels (2/3 per the paper)
+	compactors [][]float64
+	n          uint64 // total stream length
+	rng        *hash.RNG
+}
+
+// NewKLL creates a sketch with accuracy parameter k (space O(k)); rank
+// error is ~O(1/k). k must be at least 8.
+func NewKLL(k int, rng *hash.RNG) (*KLL, error) {
+	if k < 8 {
+		return nil, fmt.Errorf("sketch: KLL k=%d too small (min 8)", k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sketch: KLL requires an RNG")
+	}
+	s := &KLL{k: k, c: 2.0 / 3.0, rng: rng}
+	s.grow()
+	return s, nil
+}
+
+func (s *KLL) grow() {
+	s.compactors = append(s.compactors, make([]float64, 0, s.capacity(len(s.compactors))))
+}
+
+// capacity returns the item budget of level h given the current height.
+func (s *KLL) capacity(h int) int {
+	height := len(s.compactors)
+	depth := height - h - 1
+	cap := int(math.Ceil(float64(s.k) * math.Pow(s.c, float64(depth))))
+	if cap < 2 {
+		cap = 2
+	}
+	return cap
+}
+
+// Add inserts one value.
+func (s *KLL) Add(v float64) {
+	s.compactors[0] = append(s.compactors[0], v)
+	s.n++
+	s.compress()
+}
+
+// compress compacts any overflowing level, cascading upward.
+func (s *KLL) compress() {
+	for h := 0; h < len(s.compactors); h++ {
+		if len(s.compactors[h]) <= s.capacity(h) {
+			continue
+		}
+		if h+1 >= len(s.compactors) {
+			s.grow()
+		}
+		c := s.compactors[h]
+		sort.Float64s(c)
+		// Compact an even count of items so total weight is conserved
+		// exactly (Rank(+inf) == n); an odd straggler stays behind.
+		keep := len(c) % 2
+		offset := keep
+		if s.rng.Bool(0.5) {
+			offset++
+		}
+		for i := offset; i < len(c); i += 2 {
+			s.compactors[h+1] = append(s.compactors[h+1], c[i])
+		}
+		s.compactors[h] = s.compactors[h][:keep]
+	}
+}
+
+// Count returns the number of values inserted.
+func (s *KLL) Count() uint64 { return s.n }
+
+// StoredItems returns the number of items currently retained — the sketch's
+// space, used by Fig 9's bytes-vs-error trade-off.
+func (s *KLL) StoredItems() int {
+	total := 0
+	for _, c := range s.compactors {
+		total += len(c)
+	}
+	return total
+}
+
+// SizeBytes reports the sketch footprint assuming each stored item occupies
+// bitsPerItem bits (PINT stores b-bit compressed codes, not raw float64s).
+func (s *KLL) SizeBytes(bitsPerItem int) int {
+	return (s.StoredItems()*bitsPerItem + 7) / 8
+}
+
+// weighted returns all (value, weight) pairs sorted by value.
+func (s *KLL) weighted() ([]float64, []uint64) {
+	type pair struct {
+		v float64
+		w uint64
+	}
+	var items []pair
+	for h, c := range s.compactors {
+		w := uint64(1) << uint(h)
+		for _, v := range c {
+			items = append(items, pair{v, w})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	vs := make([]float64, len(items))
+	ws := make([]uint64, len(items))
+	for i, it := range items {
+		vs[i], ws[i] = it.v, it.w
+	}
+	return vs, ws
+}
+
+// Quantile returns an estimate of the phi-quantile (phi in [0,1]).
+// It returns NaN on an empty sketch.
+func (s *KLL) Quantile(phi float64) float64 {
+	vs, ws := s.weighted()
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	var totalW uint64
+	for _, w := range ws {
+		totalW += w
+	}
+	target := phi * float64(totalW)
+	var cum float64
+	for i, v := range vs {
+		cum += float64(ws[i])
+		if cum >= target {
+			return v
+		}
+	}
+	return vs[len(vs)-1]
+}
+
+// Rank estimates the number of stream items <= v.
+func (s *KLL) Rank(v float64) uint64 {
+	vs, ws := s.weighted()
+	var r uint64
+	for i, x := range vs {
+		if x > v {
+			break
+		}
+		r += ws[i]
+	}
+	return r
+}
+
+// CDF estimates P[X <= v].
+func (s *KLL) CDF(v float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.Rank(v)) / float64(s.n)
+}
+
+// Merge folds another sketch into this one. Both sketches remain valid
+// rank-error-wise because compaction is oblivious to insertion order.
+func (s *KLL) Merge(o *KLL) {
+	for h, c := range o.compactors {
+		for h >= len(s.compactors) {
+			s.grow()
+		}
+		s.compactors[h] = append(s.compactors[h], c...)
+	}
+	s.n += o.n
+	// Repeated compression until all levels fit.
+	for {
+		over := false
+		for h := range s.compactors {
+			if len(s.compactors[h]) > s.capacity(h) {
+				over = true
+			}
+		}
+		if !over {
+			break
+		}
+		s.compress()
+	}
+}
+
+// ExactQuantile computes the phi-quantile of a slice exactly (for ground
+// truth in tests and experiment error reporting). It does not modify vs.
+func ExactQuantile(vs []float64, phi float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), vs...)
+	sort.Float64s(cp)
+	if phi <= 0 {
+		return cp[0]
+	}
+	if phi >= 1 {
+		return cp[len(cp)-1]
+	}
+	idx := int(math.Ceil(phi*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return cp[idx]
+}
+
+// ExactRank returns the number of elements <= v.
+func ExactRank(vs []float64, v float64) uint64 {
+	var r uint64
+	for _, x := range vs {
+		if x <= v {
+			r++
+		}
+	}
+	return r
+}

@@ -1,0 +1,211 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func mustKLL(t *testing.T, k int, seed uint64) *KLL {
+	t.Helper()
+	s, err := NewKLL(k, hash.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestKLLConstruct(t *testing.T) {
+	if _, err := NewKLL(4, hash.NewRNG(1)); err == nil {
+		t.Fatal("k<8 must be rejected")
+	}
+	if _, err := NewKLL(64, nil); err == nil {
+		t.Fatal("nil RNG must be rejected")
+	}
+}
+
+func TestKLLEmpty(t *testing.T) {
+	s := mustKLL(t, 64, 1)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sketch quantile must be NaN")
+	}
+	if s.CDF(10) != 0 {
+		t.Fatal("empty sketch CDF must be 0")
+	}
+	if s.Count() != 0 {
+		t.Fatal("empty sketch count must be 0")
+	}
+}
+
+func TestKLLSingle(t *testing.T) {
+	s := mustKLL(t, 64, 2)
+	s.Add(42)
+	for _, phi := range []float64{0, 0.5, 1} {
+		if s.Quantile(phi) != 42 {
+			t.Fatalf("phi=%v: got %v", phi, s.Quantile(phi))
+		}
+	}
+}
+
+func TestKLLQuantileErrorUniform(t *testing.T) {
+	s := mustKLL(t, 256, 3)
+	rng := hash.NewRNG(99)
+	const n = 50000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.Float64() * 1000
+		s.Add(data[i])
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		est := s.Quantile(phi)
+		// Convert value error to rank error: exact rank of the estimate.
+		rank := float64(ExactRank(data, est)) / n
+		if math.Abs(rank-phi) > 0.02 {
+			t.Fatalf("phi=%v: estimate has rank %v (rank error %v)",
+				phi, rank, math.Abs(rank-phi))
+		}
+	}
+}
+
+func TestKLLQuantileErrorSkewed(t *testing.T) {
+	// Heavy-tailed input (like hop latencies with rare spikes).
+	s := mustKLL(t, 256, 4)
+	rng := hash.NewRNG(100)
+	const n = 50000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Exp(rng.NormFloat64() * 2)
+		s.Add(data[i])
+	}
+	for _, phi := range []float64{0.5, 0.9, 0.99} {
+		est := s.Quantile(phi)
+		rank := float64(ExactRank(data, est)) / n
+		if math.Abs(rank-phi) > 0.025 {
+			t.Fatalf("phi=%v: rank error %v", phi, math.Abs(rank-phi))
+		}
+	}
+}
+
+func TestKLLSpaceSublinear(t *testing.T) {
+	s := mustKLL(t, 64, 5)
+	for i := 0; i < 200000; i++ {
+		s.Add(float64(i))
+	}
+	if s.StoredItems() > 64*8 {
+		t.Fatalf("sketch stores %d items for k=64; not sublinear", s.StoredItems())
+	}
+	if s.Count() != 200000 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestKLLSizeBytes(t *testing.T) {
+	s := mustKLL(t, 64, 6)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	if got, want := s.SizeBytes(8), s.StoredItems(); got != want {
+		t.Fatalf("8-bit items: %d bytes, want %d", got, want)
+	}
+	if got, want := s.SizeBytes(4), (s.StoredItems()+1)/2; got != want {
+		t.Fatalf("4-bit items: %d bytes, want %d", got, want)
+	}
+}
+
+func TestKLLRankMonotone(t *testing.T) {
+	s := mustKLL(t, 128, 7)
+	rng := hash.NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	prev := uint64(0)
+	for v := 0.0; v <= 1.0; v += 0.05 {
+		r := s.Rank(v)
+		if r < prev {
+			t.Fatalf("rank not monotone at v=%v", v)
+		}
+		prev = r
+	}
+	if s.Rank(2) != s.Count() {
+		t.Fatal("rank beyond max must equal count")
+	}
+}
+
+func TestKLLQuantileWithinRange(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s, _ := NewKLL(16, hash.NewRNG(seed))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+			s.Add(v)
+		}
+		for _, phi := range []float64{-0.5, 0, 0.3, 0.99, 1, 2} {
+			q := s.Quantile(phi)
+			if q < lo || q > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLLMerge(t *testing.T) {
+	a := mustKLL(t, 128, 9)
+	b := mustKLL(t, 128, 10)
+	rng := hash.NewRNG(11)
+	var data []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64() * 100
+		data = append(data, v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != 20000 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	est := a.Quantile(0.5)
+	rank := float64(ExactRank(data, est)) / float64(len(data))
+	if math.Abs(rank-0.5) > 0.03 {
+		t.Fatalf("post-merge median rank error %v", math.Abs(rank-0.5))
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	vs := []float64{5, 1, 3, 2, 4}
+	if ExactQuantile(vs, 0.5) != 3 {
+		t.Fatalf("median of 1..5 = %v", ExactQuantile(vs, 0.5))
+	}
+	if ExactQuantile(vs, 0) != 1 || ExactQuantile(vs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if !math.IsNaN(ExactQuantile(nil, 0.5)) {
+		t.Fatal("empty slice must give NaN")
+	}
+	// Input must not be mutated.
+	if vs[0] != 5 {
+		t.Fatal("ExactQuantile mutated its input")
+	}
+}
+
+func TestExactRank(t *testing.T) {
+	vs := []float64{1, 2, 2, 3}
+	if ExactRank(vs, 2) != 3 {
+		t.Fatalf("rank(2) = %d", ExactRank(vs, 2))
+	}
+	if ExactRank(vs, 0.5) != 0 || ExactRank(vs, 10) != 4 {
+		t.Fatal("extreme ranks wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/hash"
+)
+
+// Reservoir is Vitter's algorithm R [82]: a uniform without-replacement
+// sample of fixed size over a stream of unknown length. The Recording
+// Module can keep such a reservoir per (flow, hop) instead of every digest
+// when no sketch is configured.
+type Reservoir struct {
+	k     int
+	items []float64
+	n     uint64
+	rng   *hash.RNG
+}
+
+// NewReservoir creates a reservoir holding at most k items.
+func NewReservoir(k int, rng *hash.RNG) (*Reservoir, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sketch: reservoir k must be >= 1, got %d", k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("sketch: reservoir requires an RNG")
+	}
+	return &Reservoir{k: k, items: make([]float64, 0, k), rng: rng}, nil
+}
+
+// Add offers one stream item to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, v)
+		return
+	}
+	// Keep the newcomer with probability k/n, evicting a uniform victim.
+	j := r.rng.Intn(int(r.n))
+	if j < r.k {
+		r.items[j] = v
+	}
+}
+
+// Items returns the current sample (aliased; callers must not mutate).
+func (r *Reservoir) Items() []float64 { return r.items }
+
+// Count returns the stream length seen so far.
+func (r *Reservoir) Count() uint64 { return r.n }
+
+// Quantile estimates the phi-quantile from the sample.
+func (r *Reservoir) Quantile(phi float64) float64 {
+	return ExactQuantile(r.items, phi)
+}
+
+// SlidingKLL keeps latency quantiles over the most recent window of the
+// stream using a ring of sub-sketches — the sliding-window option §4.1
+// mentions so operators see recent behaviour, not all-time history.
+//
+// The window is divided into `buckets` equal spans of `span` insertions
+// each. Queries merge the live buckets; retired buckets are dropped whole,
+// so the effective window is between (buckets-1)·span and buckets·span
+// items.
+type SlidingKLL struct {
+	buckets int
+	span    uint64
+	k       int
+	ring    []*KLL
+	cur     int
+	inCur   uint64
+	rng     *hash.RNG
+}
+
+// NewSlidingKLL creates a sliding-window quantile sketch.
+func NewSlidingKLL(buckets int, span uint64, k int, rng *hash.RNG) (*SlidingKLL, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("sketch: sliding window needs >= 2 buckets")
+	}
+	if span < 1 {
+		return nil, fmt.Errorf("sketch: bucket span must be >= 1")
+	}
+	s := &SlidingKLL{buckets: buckets, span: span, k: k, rng: rng}
+	s.ring = make([]*KLL, buckets)
+	first, err := NewKLL(k, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	s.ring[0] = first
+	return s, nil
+}
+
+// Add inserts a value, rotating the ring when the current bucket fills.
+func (s *SlidingKLL) Add(v float64) error {
+	if s.inCur >= s.span {
+		s.cur = (s.cur + 1) % s.buckets
+		fresh, err := NewKLL(s.k, s.rng.Split())
+		if err != nil {
+			return err
+		}
+		s.ring[s.cur] = fresh
+		s.inCur = 0
+	}
+	s.ring[s.cur].Add(v)
+	s.inCur++
+	return nil
+}
+
+// Quantile estimates the phi-quantile over the live window.
+func (s *SlidingKLL) Quantile(phi float64) (float64, error) {
+	merged, err := NewKLL(s.k, s.rng.Split())
+	if err != nil {
+		return 0, err
+	}
+	for _, b := range s.ring {
+		if b != nil {
+			merged.Merge(b)
+		}
+	}
+	return merged.Quantile(phi), nil
+}
+
+// WindowCount returns the number of items currently inside the window.
+func (s *SlidingKLL) WindowCount() uint64 {
+	var n uint64
+	for _, b := range s.ring {
+		if b != nil {
+			n += b.Count()
+		}
+	}
+	return n
+}

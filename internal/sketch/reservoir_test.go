@@ -1,0 +1,117 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+func TestReservoirConstruct(t *testing.T) {
+	if _, err := NewReservoir(0, hash.NewRNG(1)); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := NewReservoir(5, nil); err == nil {
+		t.Fatal("nil RNG must be rejected")
+	}
+}
+
+func TestReservoirFillsThenCaps(t *testing.T) {
+	r, _ := NewReservoir(10, hash.NewRNG(2))
+	for i := 0; i < 5; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Items()) != 5 {
+		t.Fatalf("short stream: kept %d, want all 5", len(r.Items()))
+	}
+	for i := 5; i < 1000; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Items()) != 10 {
+		t.Fatalf("reservoir size %d, want 10", len(r.Items()))
+	}
+	if r.Count() != 1000 {
+		t.Fatalf("count %d", r.Count())
+	}
+}
+
+func TestReservoirUniformInclusion(t *testing.T) {
+	// Every stream position must be retained with probability k/n.
+	const k, n, trials = 5, 100, 20000
+	inc := make([]int, n)
+	rng := hash.NewRNG(3)
+	for tr := 0; tr < trials; tr++ {
+		r, _ := NewReservoir(k, rng.Split())
+		for i := 0; i < n; i++ {
+			r.Add(float64(i))
+		}
+		for _, v := range r.Items() {
+			inc[int(v)]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range inc {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Fatalf("position %d retained %d times, want %.0f +/- 15%%", i, c, want)
+		}
+	}
+}
+
+func TestReservoirQuantile(t *testing.T) {
+	r, _ := NewReservoir(500, hash.NewRNG(4))
+	rng := hash.NewRNG(5)
+	for i := 0; i < 50000; i++ {
+		r.Add(rng.Float64())
+	}
+	if med := r.Quantile(0.5); math.Abs(med-0.5) > 0.06 {
+		t.Fatalf("sampled median %v, want ~0.5", med)
+	}
+}
+
+func TestSlidingKLLConstruct(t *testing.T) {
+	if _, err := NewSlidingKLL(1, 10, 64, hash.NewRNG(1)); err == nil {
+		t.Fatal("buckets<2 must be rejected")
+	}
+	if _, err := NewSlidingKLL(4, 0, 64, hash.NewRNG(1)); err == nil {
+		t.Fatal("span=0 must be rejected")
+	}
+}
+
+func TestSlidingKLLForgetsOldData(t *testing.T) {
+	// Feed 10k small values then 10k large ones with a window of ~4k:
+	// the median must reflect only the recent (large) regime.
+	s, err := NewSlidingKLL(4, 1000, 64, hash.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := s.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if err := s.Add(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	med, err := s.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 1000 {
+		t.Fatalf("median %v; window failed to expire the old regime", med)
+	}
+	if s.WindowCount() > 4000 {
+		t.Fatalf("window holds %d items, want <= 4000", s.WindowCount())
+	}
+}
+
+func TestSlidingKLLWindowCount(t *testing.T) {
+	s, _ := NewSlidingKLL(3, 100, 64, hash.NewRNG(7))
+	for i := 0; i < 50; i++ {
+		_ = s.Add(float64(i))
+	}
+	if s.WindowCount() != 50 {
+		t.Fatalf("window count %d, want 50", s.WindowCount())
+	}
+}

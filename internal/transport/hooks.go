@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/netsim"
+)
+
+// This file wires the telemetry encoders into the simulator's egress
+// (dequeue) hook — the place a P4 pipeline would run them (§5).
+
+// AttachINTHook installs classic INT: every switch appends a HopINT record
+// to packets that opted in (pkt.INT non-nil), growing the wire size by 4B
+// per value per hop plus the 8B metadata header (§2's overhead model).
+func AttachINTHook(net *netsim.Network) {
+	prev := net.OnDequeue
+	net.OnDequeue = func(n *netsim.Network, sw *netsim.SwitchNode, port *netsim.Port,
+		pkt *netsim.Packet, qlen int, tau, hopLat int64) {
+		if prev != nil {
+			prev(n, sw, port, pkt, qlen, tau, hopLat)
+		}
+		if pkt.Ack || pkt.INT == nil {
+			return
+		}
+		pkt.INT = append(pkt.INT, netsim.HopINT{
+			SwitchID: n.Graph.Nodes[sw.ID].SwitchID,
+			Qlen:     qlen,
+			TxBytes:  port.TxBytes,
+			TsNs:     n.Sim.Now(),
+			RateBps:  port.Spec.Bps,
+		})
+	}
+}
+
+// PINTUtilization bundles the switch-side state of PINT's congestion
+// control use case: a per-port EWMA of link utilization maintained with
+// Appendix B's log/exp data-plane arithmetic, plus the multiplicative
+// compressor that squeezes U into the digest budget.
+type PINTUtilization struct {
+	BaseRTTNs int64
+	Comp      *approx.MultCompressor
+	Scale     float64 // U is scaled by this before compression (U >= 1 domain)
+	tbl       *approx.LogExpTable
+	updaters  map[int64]*approx.HPCCUtilization // keyed by port rate
+}
+
+// NewPINTUtilization builds the switch-side machinery. bits is the digest
+// budget for the utilization value (the paper uses 8 bits with ε=0.025).
+func NewPINTUtilization(baseRTTNs int64, bits int) (*PINTUtilization, error) {
+	comp, err := approx.NewMultCompressor(0.025, bits)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := approx.NewLogExpTable(12)
+	if err != nil {
+		return nil, err
+	}
+	return &PINTUtilization{
+		BaseRTTNs: baseRTTNs,
+		Comp:      comp,
+		Scale:     1000,
+		tbl:       tbl,
+		updaters:  map[int64]*approx.HPCCUtilization{},
+	}, nil
+}
+
+func (p *PINTUtilization) updater(rateBps int64) *approx.HPCCUtilization {
+	u, ok := p.updaters[rateBps]
+	if !ok {
+		u = approx.NewHPCCUtilization(uint64(p.BaseRTTNs), uint64(rateBps), p.tbl)
+		p.updaters[rateBps] = u
+	}
+	return u
+}
+
+// UpdatePortU advances a port's utilization EWMA through the data-plane
+// arithmetic and returns the new value. Exposed for experiments that
+// install their own dequeue hooks (multi-query execution plans, §6.4).
+func (p *PINTUtilization) UpdatePortU(port *netsim.Port, tauNs int64, qlen, pktBytes int) float64 {
+	port.U = p.updater(port.Spec.Bps).Update(port.U, uint64(tauNs), uint64(qlen), uint64(pktBytes))
+	return port.U
+}
+
+// Encode compresses a utilization into a digest code.
+func (p *PINTUtilization) Encode(u float64) uint64 {
+	return p.Comp.Encode(u*p.Scale + 1)
+}
+
+// Decode recovers a utilization from a digest code (the sender-side
+// inverse handed to HPCCConfig.DecodeU).
+func (p *PINTUtilization) Decode(code uint64) float64 {
+	v := p.Comp.Decode(code)
+	u := (v - 1) / p.Scale
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// AttachPINTHook installs PINT's per-packet max-aggregation for HPCC: each
+// switch updates its port's utilization EWMA on every dequeue and, on
+// packets whose digest currently serves the HPCC query, raises the digest
+// to the compressed utilization if this hop is the new bottleneck
+// (max-aggregation, §3.1). It returns the PINTUtilization so callers can
+// hand Decode to the sender.
+func AttachPINTHook(net *netsim.Network, baseRTTNs int64, bits int) (*PINTUtilization, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("transport: PINT utilization bits %d out of [1,16]", bits)
+	}
+	pu, err := NewPINTUtilization(baseRTTNs, bits)
+	if err != nil {
+		return nil, err
+	}
+	prev := net.OnDequeue
+	net.OnDequeue = func(n *netsim.Network, sw *netsim.SwitchNode, port *netsim.Port,
+		pkt *netsim.Packet, qlen int, tau, hopLat int64) {
+		if prev != nil {
+			prev(n, sw, port, pkt, qlen, tau, hopLat)
+		}
+		if pkt.Ack {
+			return
+		}
+		// Switch-resident EWMA update runs on *every* data packet on the
+		// link (footnote 10: the update is per-link, not per-flow).
+		size := pkt.WireSize(n.ValuesPerHop)
+		port.U = pu.updater(port.Spec.Bps).Update(port.U, uint64(tau), uint64(qlen), uint64(size))
+		if pkt.DigestQuery != QueryHPCC {
+			return
+		}
+		code := pu.Encode(port.U)
+		if code > pkt.Digest {
+			pkt.Digest = code // max-aggregation keeps the bottleneck
+		}
+	}
+	return pu, nil
+}

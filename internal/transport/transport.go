@@ -1,0 +1,246 @@
+// Package transport implements the end-host protocols the PINT evaluation
+// exercises over the simulator:
+//
+//   - Reno: a TCP-Reno-like reliable window transport (slow start, AIMD,
+//     fast retransmit, RTO) used for the §2 overhead study (Figs 1 and 2),
+//   - HPCC: the window-based High Precision Congestion Control of Li et
+//     al. [46], consuming either classic per-hop INT feedback or PINT's
+//     compressed bottleneck-utilization digests (§4.3, Example #3).
+//
+// Senders and receivers attach to simulator hosts as flow endpoints; the
+// receiver cumulatively ACKs and echoes whatever telemetry the data packet
+// carried, exactly as HPCC's receiver reflects INT back to the sender.
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// FlowStats records one flow's outcome.
+type FlowStats struct {
+	ID          uint64
+	Bytes       int64
+	StartNs     int64
+	DoneNs      int64
+	Done        bool
+	Retransmits int
+	AckedBytes  int64
+}
+
+// FCT returns the flow completion time in ns (0 if unfinished).
+func (f *FlowStats) FCT() int64 {
+	if !f.Done {
+		return 0
+	}
+	return f.DoneNs - f.StartNs
+}
+
+// Collector accumulates completed-flow statistics for an experiment run.
+type Collector struct {
+	Flows []*FlowStats
+}
+
+// Add registers a flow's stats object (before or after completion).
+func (c *Collector) Add(f *FlowStats) { c.Flows = append(c.Flows, f) }
+
+// Completed returns only finished flows.
+func (c *Collector) Completed() []*FlowStats {
+	var out []*FlowStats
+	for _, f := range c.Flows {
+		if f.Done {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// receiver is the shared receive side: cumulative ACK with telemetry echo.
+type receiver struct {
+	net    *netsim.Network
+	host   *netsim.HostNode
+	flowID uint64
+	peer   int // sender host node ID
+	rcvNxt int64
+	ooo    map[int64]int // out-of-order segments: seq -> len
+}
+
+func newReceiver(net *netsim.Network, host *netsim.HostNode, flowID uint64, peer int) *receiver {
+	return &receiver{net: net, host: host, flowID: flowID, peer: peer, ooo: map[int64]int{}}
+}
+
+// Deliver implements netsim.Endpoint for data packets arriving at the
+// destination.
+func (r *receiver) Deliver(pkt *netsim.Packet) {
+	if pkt.Ack {
+		return // stray
+	}
+	if pkt.Seq == r.rcvNxt {
+		r.rcvNxt += int64(pkt.PayloadLen)
+		for {
+			l, ok := r.ooo[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt += int64(l)
+		}
+	} else if pkt.Seq > r.rcvNxt {
+		r.ooo[pkt.Seq] = pkt.PayloadLen
+	}
+	ack := &netsim.Packet{
+		ID:         r.net.NextPacketID(),
+		FlowID:     r.flowID,
+		Src:        r.host.ID,
+		Dst:        r.peer,
+		Ack:        true,
+		AckSeq:     r.rcvNxt,
+		PayloadLen: 0,
+		// Echo telemetry back to the sender (HPCC's feedback loop). The
+		// echo consumes reverse-path bytes, as in the real protocol.
+		EchoINT:    pkt.INT,
+		EchoDigest: pkt.Digest,
+		EchoBits:   pkt.DigestBits,
+		EchoQuery:  pkt.DigestQuery,
+		EchoPktID:  pkt.ID,
+	}
+	// Echo the data packet's send time (RFC-7323-style timestamp echo) so
+	// the sender can take an RTT sample; Host.Send stamps ack.SentNs with
+	// the ACK's own transmission time, hence the dedicated field.
+	ack.EchoSentNs = pkt.SentNs
+	r.host.Send(ack)
+}
+
+// senderCore factors the reliability machinery shared by Reno and HPCC:
+// byte-sequence bookkeeping, retransmission timer, completion detection.
+type senderCore struct {
+	net    *netsim.Network
+	host   *netsim.HostNode
+	flowID uint64
+	dst    int
+	size   int64
+	mtu    int // payload bytes per packet
+
+	sndUna int64
+	sndNxt int64
+
+	rto        int64
+	deadline   int64
+	timerArmed bool
+
+	stats *FlowStats
+	done  bool
+
+	// telemetry decoration applied to each outgoing data packet.
+	decorate func(pkt *netsim.Packet)
+	// onDone fires once at completion.
+	onDone func()
+	// window returns the current congestion window in bytes.
+	window func() int64
+	// onTimeout lets the concrete protocol react (cwnd reset etc.).
+	onTimeout func()
+}
+
+func (s *senderCore) inflight() int64 { return s.sndNxt - s.sndUna }
+
+// sendRange transmits one data packet starting at seq.
+func (s *senderCore) sendSegment(seq int64) {
+	payload := s.mtu
+	if rem := s.size - seq; rem < int64(payload) {
+		payload = int(rem)
+	}
+	pkt := &netsim.Packet{
+		ID:         s.net.NextPacketID(),
+		FlowID:     s.flowID,
+		Src:        s.host.ID,
+		Dst:        s.dst,
+		Seq:        seq,
+		PayloadLen: payload,
+	}
+	if s.decorate != nil {
+		s.decorate(pkt)
+	}
+	s.host.Send(pkt)
+}
+
+// pump sends new segments while the window allows.
+func (s *senderCore) pump() {
+	if s.done {
+		return
+	}
+	w := s.window()
+	for s.sndNxt < s.size && s.inflight() < w {
+		s.sendSegment(s.sndNxt)
+		adv := int64(s.mtu)
+		if rem := s.size - s.sndNxt; rem < adv {
+			adv = rem
+		}
+		s.sndNxt += adv
+	}
+	s.armTimer()
+}
+
+func (s *senderCore) armTimer() {
+	if s.done || s.inflight() == 0 {
+		return
+	}
+	s.deadline = s.net.Sim.Now() + s.rto
+	if s.timerArmed {
+		return
+	}
+	s.timerArmed = true
+	s.scheduleTimer()
+}
+
+func (s *senderCore) scheduleTimer() {
+	at := s.deadline
+	s.net.Sim.At(at, func() {
+		if s.done || s.inflight() == 0 {
+			s.timerArmed = false
+			return
+		}
+		if s.net.Sim.Now() < s.deadline {
+			s.scheduleTimer() // progress happened; chase the new deadline
+			return
+		}
+		// Timeout: retransmit the oldest unacked segment.
+		s.stats.Retransmits++
+		if s.onTimeout != nil {
+			s.onTimeout()
+		}
+		s.sendSegment(s.sndUna)
+		s.rto *= 2
+		s.deadline = s.net.Sim.Now() + s.rto
+		s.scheduleTimer()
+	})
+}
+
+// ackAdvance processes a cumulative ACK; returns newly acked byte count.
+func (s *senderCore) ackAdvance(ackSeq int64) int64 {
+	if ackSeq <= s.sndUna {
+		return 0
+	}
+	n := ackSeq - s.sndUna
+	s.sndUna = ackSeq
+	s.stats.AckedBytes = s.sndUna
+	if s.sndUna >= s.size && !s.done {
+		s.done = true
+		s.stats.Done = true
+		s.stats.DoneNs = s.net.Sim.Now()
+		if s.onDone != nil {
+			s.onDone()
+		}
+	}
+	return n
+}
+
+func validateFlow(size int64, mtu int) error {
+	if size < 1 {
+		return fmt.Errorf("transport: flow size %d must be positive", size)
+	}
+	if mtu < 1 {
+		return fmt.Errorf("transport: mtu %d must be positive", mtu)
+	}
+	return nil
+}

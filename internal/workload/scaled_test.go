@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hash"
+)
+
+func TestScaledPreservesShape(t *testing.T) {
+	d := WebSearch()
+	s := d.Scaled(64)
+	// Every quantile must scale by ~the divisor.
+	for _, u := range []float64{0.2, 0.5, 0.9} {
+		ratio := d.Quantile(u) / s.Quantile(u)
+		if math.Abs(ratio-64) > 1 {
+			t.Fatalf("u=%v: scale ratio %v, want ~64", u, ratio)
+		}
+	}
+	if math.Abs(d.MeanBytes()/s.MeanBytes()-64) > 2 {
+		t.Fatalf("mean ratio %v, want ~64", d.MeanBytes()/s.MeanBytes())
+	}
+}
+
+func TestScaledExtremeDivisorStaysValid(t *testing.T) {
+	// Dividing Hadoop's tiny flows by a huge factor must still produce a
+	// strictly increasing CDF (the flooring logic).
+	d := Hadoop().Scaled(1e6)
+	prev := 0.0
+	for u := 0.01; u <= 1; u += 0.01 {
+		q := d.Quantile(u)
+		if q < prev {
+			t.Fatalf("scaled CDF not monotone at u=%v", u)
+		}
+		prev = q
+	}
+	rng := hash.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if d.Sample(rng) < 1 {
+			t.Fatal("scaled sample below 1 byte")
+		}
+	}
+}
+
+func TestScaledNonPositiveDivisorIsIdentity(t *testing.T) {
+	d := Hadoop()
+	s := d.Scaled(0)
+	if s.Quantile(0.5) != d.Quantile(0.5) {
+		t.Fatal("divisor <= 0 must behave as identity")
+	}
+}
+
+func TestScaledProperty(t *testing.T) {
+	d := WebSearch()
+	f := func(divRaw uint8, uRaw uint16) bool {
+		div := 1 + float64(divRaw)
+		u := float64(uRaw) / 65536
+		s := d.Scaled(div)
+		q := s.Quantile(u)
+		return q >= 1 && q <= d.Quantile(u)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

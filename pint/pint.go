@@ -1,0 +1,164 @@
+// Package pint is the public API of this PINT reproduction (Ben Basat et
+// al., "PINT: Probabilistic In-band Network Telemetry", SIGCOMM 2020).
+//
+// PINT answers telemetry queries — "what path do this flow's packets
+// take?", "what is the median latency at each hop?", "how utilized is the
+// bottleneck link?" — while adding only a fixed, user-chosen number of
+// bits to each packet (as low as one). Instead of stacking per-hop
+// records like classic INT, switches probabilistically fold their
+// information into a constant-width digest coordinated by global hash
+// functions, and an offline Inference Module reconstructs the answers
+// from many packets.
+//
+// # Quick start
+//
+//	universe := []uint64{...}                 // all switch IDs
+//	cfg, _ := pint.DefaultPathConfig(8, 1, 10) // 8-bit budget, d=10
+//	q, _ := pint.NewPathQuery("path", cfg, 1.0, seed, universe)
+//	engine, _ := pint.Compile([]pint.Query{q}, 8, seed)
+//
+//	// On each switch (hop h) for each packet:
+//	digest = engine.EncodeHop(pktID, h, digest, func(pint.Query) uint64 {
+//	    return mySwitchID
+//	})
+//
+//	// At the sink:
+//	rec, _ := pint.NewRecording(engine, 0, rng)
+//	rec.Record(flowKey, pathLen, pktID, digest)
+//	ids, done := rec.Path(q, flowKey)
+//
+// The subpackages referenced here live under internal/; this package
+// re-exports everything a downstream user needs.
+package pint
+
+import (
+	"repro/internal/coding"
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// Seed identifies a deployment-wide global hash family. All switches and
+// the inference plane must share it.
+type Seed = hash.Seed
+
+// RNG is the deterministic random generator used by recording-side
+// sketches.
+type RNG = hash.RNG
+
+// NewRNG seeds an RNG.
+func NewRNG(seed uint64) *RNG { return hash.NewRNG(seed) }
+
+// Query is one telemetry query; see NewPathQuery, NewLatencyQuery and
+// NewUtilQuery for the three aggregation modes of §3.1.
+type Query = core.Query
+
+// AggregationType enumerates the aggregation modes.
+type AggregationType = core.AggregationType
+
+// Aggregation modes.
+const (
+	PerPacket      = core.PerPacket
+	StaticPerFlow  = core.StaticPerFlow
+	DynamicPerFlow = core.DynamicPerFlow
+)
+
+// PathQuery recovers a flow's path (static per-flow aggregation).
+type PathQuery = core.PathQuery
+
+// LatencyQuery estimates per-hop latency quantiles (dynamic per-flow).
+type LatencyQuery = core.LatencyQuery
+
+// UtilQuery tracks the path's bottleneck utilization (per-packet).
+type UtilQuery = core.UtilQuery
+
+// CodingConfig configures a static query's distributed coding scheme.
+type CodingConfig = coding.Config
+
+// Layering distributes packets across Baseline and XOR coding layers.
+type Layering = coding.Layering
+
+// MultiLayer builds Algorithm 1's layering for assumed path length d.
+func MultiLayer(d int, revised bool) Layering { return coding.MultiLayer(d, revised) }
+
+// DefaultPathConfig returns the standard hashed-mode path-tracing setup:
+// bits per hash instance, instance count, assumed path length d.
+func DefaultPathConfig(bits, instances, d int) (CodingConfig, error) {
+	return core.DefaultPathConfig(bits, instances, d)
+}
+
+// NewPathQuery creates a path-tracing query over a switch-ID universe.
+func NewPathQuery(name string, cfg CodingConfig, freq float64, seed Seed, universe []uint64) (*PathQuery, error) {
+	return core.NewPathQuery(name, cfg, freq, seed, universe)
+}
+
+// NewLatencyQuery creates a latency-quantile query with the given digest
+// budget and multiplicative compression error eps.
+func NewLatencyQuery(name string, bits int, eps, freq float64, seed Seed) (*LatencyQuery, error) {
+	return core.NewLatencyQuery(name, bits, eps, freq, seed)
+}
+
+// NewUtilQuery creates a bottleneck-utilization query.
+func NewUtilQuery(name string, bits int, eps, freq, scale float64, seed Seed) (*UtilQuery, error) {
+	return core.NewUtilQuery(name, bits, eps, freq, scale, seed)
+}
+
+// FreqQuery reports values appearing in at least a θ-fraction of a
+// (flow, hop) stream (Theorem 2) — e.g. which egress port a switch used.
+type FreqQuery = core.FreqQuery
+
+// NewFreqQuery creates a frequent-values query; observed values must fit
+// the bit budget.
+func NewFreqQuery(name string, bits int, freq float64, seed Seed) (*FreqQuery, error) {
+	return core.NewFreqQuery(name, bits, freq, seed)
+}
+
+// CountQuery counts indicator-firing hops along the path with a Morris
+// counter (§4.3, randomized counting).
+type CountQuery = core.CountQuery
+
+// NewCountQuery creates a randomized-counting query with accuracy eps.
+func NewCountQuery(name string, bits int, eps, freq float64, seed Seed) (*CountQuery, error) {
+	return core.NewCountQuery(name, bits, eps, freq, seed)
+}
+
+// Engine coordinates compiled queries between switches and the sink.
+type Engine = core.Engine
+
+// ExecutionPlan is the compiled distribution over query sets (§3.4).
+type ExecutionPlan = core.ExecutionPlan
+
+// Compile builds an execution plan for concurrent queries under a global
+// per-packet bit budget.
+func Compile(queries []Query, globalBits int, seed Seed) (*Engine, error) {
+	return core.Compile(queries, globalBits, seed)
+}
+
+// Recording is the sink-side Recording + Inference module.
+type Recording = core.Recording
+
+// NewRecording creates a Recording module; sketchItems > 0 stores latency
+// samples in KLL sketches of that accuracy parameter instead of raw lists.
+func NewRecording(engine *Engine, sketchItems int, rng *RNG) (*Recording, error) {
+	return core.NewRecording(engine, sketchItems, rng)
+}
+
+// FlowKey identifies a flow at the Recording module.
+type FlowKey = core.FlowKey
+
+// FlowKeyOf derives a FlowKey from a flow definition string.
+func FlowKeyOf(seed Seed, def string) FlowKey { return core.FlowKeyOf(seed, def) }
+
+// LoopDetector is the routing-loop detection extension (Appendix A.4).
+type LoopDetector = core.LoopDetector
+
+// NewLoopDetector builds a loop detector with digest width bits and
+// confirmation threshold T.
+func NewLoopDetector(bits int, T uint64, seed Seed) (*LoopDetector, error) {
+	return core.NewLoopDetector(bits, T, seed)
+}
+
+// UseCase is one Table 2 row; Catalog lists all of them.
+type UseCase = core.UseCase
+
+// Catalog returns the use cases PINT enables (Table 2).
+func Catalog() []UseCase { return core.Catalog() }

@@ -1,0 +1,182 @@
+// Package pint_test exercises the public API exactly as a downstream user
+// would: no internal imports, everything through the pint facade.
+package pint_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/pint"
+)
+
+func universe(n int) []uint64 {
+	u := make([]uint64, n)
+	for i := range u {
+		u[i] = 0x5A000000 + uint64(i)
+	}
+	return u
+}
+
+func TestPublicPathTracing(t *testing.T) {
+	uni := universe(100)
+	truth := uni[:8]
+	cfg, err := pint.DefaultPathConfig(8, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pint.NewPathQuery("path", cfg, 1, 1, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pint.Compile([]pint.Query{q}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pint.NewRecording(engine, 0, pint.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := pint.FlowKeyOf(1, "flow-a")
+	rng := pint.NewRNG(2)
+	for i := 0; i < 20000; i++ {
+		pkt := rng.Uint64()
+		var digest uint64
+		for hop := 1; hop <= len(truth); hop++ {
+			h := hop
+			digest = engine.EncodeHop(pkt, hop, digest,
+				func(pint.Query) uint64 { return truth[h-1] })
+		}
+		if err := rec.Record(flow, len(truth), pkt, digest); err != nil {
+			t.Fatal(err)
+		}
+		if ids, done := rec.Path(q, flow); done {
+			for j := range truth {
+				if ids[j] != truth[j] {
+					t.Fatalf("hop %d: got %#x want %#x", j+1, ids[j], truth[j])
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("path not decoded through the public API")
+}
+
+func TestPublicMultiQueryBudget(t *testing.T) {
+	uni := universe(64)
+	cfg, _ := pint.DefaultPathConfig(8, 1, 5)
+	path, err := pint.NewPathQuery("path", cfg, 1, 3, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := pint.NewLatencyQuery("lat", 8, 0.04, 15.0/16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := pint.NewUtilQuery("hpcc", 8, 0.025, 1.0/16, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pint.Compile([]pint.Query{path, lat, util}, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := engine.Plan()
+	if len(plan.Sets) != 2 {
+		t.Fatalf("expected the paper's 2-set plan, got %d sets", len(plan.Sets))
+	}
+	// Over-budget plans must be rejected through the facade too.
+	if _, err := pint.Compile([]pint.Query{path, lat, util}, 8, 3); err == nil {
+		t.Fatal("8-bit budget cannot fit 16.5 bits of demand")
+	}
+}
+
+func TestPublicFreqAndCountQueries(t *testing.T) {
+	fq, err := pint.NewFreqQuery("ports", 8, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := pint.NewCountQuery("spikes", 6, 0.3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pint.Compile([]pint.Query{fq, cq}, 14, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pint.NewRecording(engine, 0, pint.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := pint.FlowKey(9)
+	rng := pint.NewRNG(7)
+	const k = 4
+	for i := 0; i < 20000; i++ {
+		pkt := rng.Uint64()
+		var digest uint64
+		for hop := 1; hop <= k; hop++ {
+			h := hop
+			digest = engine.EncodeHop(pkt, hop, digest, func(q pint.Query) uint64 {
+				switch q.(type) {
+				case *pint.FreqQuery:
+					return uint64(h) // hop h always uses port h
+				case *pint.CountQuery:
+					if h == 2 {
+						return 1 // exactly one indicator hop
+					}
+					return 0
+				}
+				return 0
+			})
+		}
+		if err := rec.Record(flow, k, pkt, digest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hh := rec.FrequentValues(fq, flow, 3, 0.5)
+	if len(hh) != 1 || hh[0].Value != 3 {
+		t.Fatalf("hop 3 frequent values: %v, want port 3", hh)
+	}
+	series := rec.CountSeries(cq, flow)
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(len(series))
+	if math.Abs(mean-1) > 0.15 {
+		t.Fatalf("mean indicator count %v, want ~1", mean)
+	}
+}
+
+func TestPublicLoopDetector(t *testing.T) {
+	d, err := pint.NewLoopDetector(16, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := []uint64{1, 2, 3}
+	rng := pint.NewRNG(8)
+	detected := 0
+	for i := 0; i < 500; i++ {
+		if c := d.RunWithLoop(rng.Uint64(), []uint64{10, 11}, loop, 100); c > 0 {
+			detected++
+		}
+	}
+	if detected < 250 {
+		t.Fatalf("only %d/500 loops detected", detected)
+	}
+}
+
+func TestPublicCatalog(t *testing.T) {
+	if len(pint.Catalog()) != 11 {
+		t.Fatal("catalog must expose Table 2's 11 use cases")
+	}
+	if pint.StaticPerFlow == pint.DynamicPerFlow {
+		t.Fatal("aggregation constants must be distinct")
+	}
+}
+
+func TestPublicMultiLayer(t *testing.T) {
+	l := pint.MultiLayer(25, true)
+	if l.Layers() != 2 {
+		t.Fatalf("d=25 must use 2 XOR layers, got %d", l.Layers())
+	}
+}
