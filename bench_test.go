@@ -1,10 +1,10 @@
 // Per-figure benchmark harness: one Benchmark per table/figure of the
-// paper (see DESIGN.md §3 for the index). Each benchmark runs the full
+// paper (see README.md for the index). Each benchmark runs the full
 // experiment at bench scale and reports the figure's headline quantities
 // through b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
 // whole evaluation. Absolute numbers differ from the paper's testbed; the
-// shapes (who wins, by what factor, where crossovers fall) are recorded in
-// EXPERIMENTS.md.
+// shapes (who wins, by what factor, where crossovers fall) are what is
+// reproduced.
 package repro
 
 import (
@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hash"
+	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
 
@@ -228,7 +229,7 @@ func BenchmarkAppA4_LoopDetect(b *testing.B) {
 	}
 }
 
-// --- Ablations called out in DESIGN.md §5 ---
+// --- Ablations on §4's mechanisms ---
 
 // BenchmarkAblation_HashVsFragment compares §4.2's two bit-reduction
 // techniques at an 8-bit budget for 32-bit switch IDs over 10 hops.
@@ -345,6 +346,169 @@ func BenchmarkAblation_Epsilon(b *testing.B) {
 			}
 			b.ReportMetric(errSum/n*100, "meanErr%:b="+itoa(tc.bits))
 		}
+	}
+}
+
+// --- Compiled batch pipeline: hot-path benchmarks ---
+//
+// The three HotPath benchmarks compare the seed's per-packet interface +
+// closure path against the compiled per-packet and batch paths on the
+// Fig-11 combined plan (path 2x(b=4) + latency + HPCC in 16 bits), each
+// doing a full 5-hop encode plus sink-side extract per packet. The
+// acceptance bar: the batch path allocates 0 B/op and at least doubles
+// the seed path's single-core throughput.
+
+func benchCombinedPlan(b *testing.B) (*core.Engine, *core.UtilQuery) {
+	b.Helper()
+	universe := make([]uint64, 128)
+	for i := range universe {
+		universe[i] = uint64(0xAB000000 + i*7)
+	}
+	master := hash.Seed(0xF16)
+	cfg, err := core.DefaultPathConfig(4, 2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := core.NewPathQuery("path", cfg, 1, master, universe)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat, err := core.NewLatencyQuery("lat", 8, 0.04, 15.0/16, master)
+	if err != nil {
+		b.Fatal(err)
+	}
+	util, err := core.NewUtilQuery("hpcc", 8, 0.025, 1.0/16, 1000, master)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.Compile([]core.Query{path, lat, util}, 16, master.Derive(0x51B))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, util
+}
+
+const benchHops = 5
+
+func BenchmarkHotPath_SeedEncodeExtract(b *testing.B) {
+	eng, _ := benchCombinedPlan(b)
+	valueOf := func(q core.Query) uint64 {
+		switch q.(type) {
+		case *core.PathQuery:
+			return 0xAB000007
+		case *core.LatencyQuery:
+			return 12345
+		case *core.UtilQuery:
+			return 501
+		}
+		return 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pktID := hash.Mix64(uint64(i))
+		var digest uint64
+		for hop := 1; hop <= benchHops; hop++ {
+			digest = eng.EncodeHop(pktID, hop, digest, valueOf)
+		}
+		for _, ex := range eng.Extract(pktID, digest) {
+			_ = ex
+		}
+	}
+}
+
+func BenchmarkHotPath_CompiledEncodeExtract(b *testing.B) {
+	eng, _ := benchCombinedPlan(b)
+	hv := core.HopValues{SwitchID: 0xAB000007, LatencyNs: 12345, Util: 501}
+	var buf []core.Extracted
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pktID := hash.Mix64(uint64(i))
+		var digest uint64
+		for hop := 1; hop <= benchHops; hop++ {
+			digest = eng.EncodeHopValues(pktID, hop, digest, &hv)
+		}
+		buf = eng.ExtractInto(pktID, digest, buf[:0])
+	}
+}
+
+func BenchmarkHotPath_BatchEncodeExtract(b *testing.B) {
+	eng, _ := benchCombinedPlan(b)
+	const batch = 512
+	pkts := make([]core.PacketDigest, batch)
+	vals := make([]core.HopValues, batch)
+	for j := range vals {
+		vals[j] = core.HopValues{SwitchID: 0xAB000007, LatencyNs: 12345, Util: 501}
+	}
+	var buf []core.Extracted
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			pkts[j] = core.PacketDigest{Flow: 1, PktID: hash.Mix64(uint64(i + j)), PathLen: benchHops}
+		}
+		for hop := 1; hop <= benchHops; hop++ {
+			eng.EncodeHopBatch(hop, pkts[:n], vals[:n])
+		}
+		for j := 0; j < n; j++ {
+			buf = eng.ExtractPacketInto(&pkts[j], buf[:0])
+		}
+	}
+}
+
+// BenchmarkSinkIngest compares serial Recording against the sharded sink
+// at 1/2/4/8 workers over a pre-encoded multi-flow digest stream.
+func BenchmarkSinkIngest(b *testing.B) {
+	eng, _ := benchCombinedPlan(b)
+	const (
+		nFlows = 256
+		nPkts  = 1 << 14
+	)
+	pkts := make([]core.PacketDigest, nPkts)
+	vals := make([]core.HopValues, nPkts)
+	for i := range pkts {
+		pkts[i] = core.PacketDigest{
+			Flow:    core.FlowKey(uint64(i%nFlows)*2654435761 + 1),
+			PktID:   hash.Mix64(uint64(i)),
+			PathLen: benchHops,
+		}
+		vals[i] = core.HopValues{SwitchID: 0xAB000007, LatencyNs: 12345, Util: 501}
+	}
+	for hop := 1; hop <= benchHops; hop++ {
+		eng.EncodeHopBatch(hop, pkts, vals)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := core.NewRecordingSeeded(eng, 32, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rec.RecordBatch(pkts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nPkts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink, err := pipeline.NewSink(eng, pipeline.Config{
+					Shards: shards, SketchItems: 32, Base: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink.Ingest(pkts)
+				if err := sink.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nPkts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
+		})
 	}
 }
 

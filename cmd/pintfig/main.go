@@ -25,6 +25,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (1,5,medians,7a,7b,7c,8,9,10a,10b,10c,11,all)")
 	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
+	shards := flag.Int("shards", 1, "recording shards for the Fig 9 sink (>1 uses the parallel batch pipeline; output is bit-identical)")
 	flag.Parse()
 
 	var s experiments.Scale
@@ -36,6 +37,7 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
+	s.Shards = *shards
 
 	run := func(name string, fn func() error) {
 		if *fig != "all" && *fig != name {

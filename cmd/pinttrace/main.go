@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/coding"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -62,7 +62,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := coding.RunTrials(cfg, values, universe, *trials, *seed, 2_000_000)
+	// Drive the full compiled system (engine batch encode + recording),
+	// not just the raw coding harness.
+	st, err := experiments.EnginePathTrials(cfg, values, universe, *trials, *seed, 2_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,6 @@
 //
 // The public API lives in the pint subpackage; the per-figure benchmark
 // harness lives in bench_test.go next to this file. See README.md for the
-// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// tour: the quick start, the package map, and the compiled batch/sharded
+// pipeline that runs the per-packet hot path.
 package repro

@@ -34,11 +34,11 @@ func main() {
 	fmt.Println()
 
 	type result struct {
-		name     string
-		kind     experiments.TransportKind
-		avgFCT   float64
-		goodput  float64
-		flows    int
+		name    string
+		kind    experiments.TransportKind
+		avgFCT  float64
+		goodput float64
+		flows   int
 	}
 	longThr := int64(workload.WebSearch().Scaled(scale.SizeDivisor).Quantile(0.8))
 	var results []result

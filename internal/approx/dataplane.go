@@ -61,10 +61,10 @@ func (f FixedPoint) Add(o FixedPoint) FixedPoint {
 // error below 1.44·2^-q on the log. Exp2 inverts it with the analogous
 // table.
 type LogExpTable struct {
-	q         int
-	smallLog  []float64 // smallLog[x] = log2(x) exactly, for x < 2^q
-	fracLog   []float64 // fracLog[i] ≈ log2(1 + i/2^q), midpoint-centred
-	expTable  []float64 // expTable[i] = 2^(i/2^q) for i in [0, 2^q)
+	q        int
+	smallLog []float64 // smallLog[x] = log2(x) exactly, for x < 2^q
+	fracLog  []float64 // fracLog[i] ≈ log2(1 + i/2^q), midpoint-centred
+	expTable []float64 // expTable[i] = 2^(i/2^q) for i in [0, 2^q)
 }
 
 // NewLogExpTable builds tables with q index bits (e.g. q=8 gives 256-entry

@@ -155,9 +155,9 @@ func TestHPCCUtilizationConvergesToLoad(t *testing.T) {
 	// Feed a steady 50%-utilized link: EWMA must converge near 0.5.
 	tbl, _ := NewLogExpTable(10)
 	const (
-		rttNs = 13000             // 13 us base RTT as in §6.1
-		bwBps = 100_000_000_000   // 100 Gbps
-		pkt   = 1000              // bytes
+		rttNs = 13000           // 13 us base RTT as in §6.1
+		bwBps = 100_000_000_000 // 100 Gbps
+		pkt   = 1000            // bytes
 	)
 	h := NewHPCCUtilization(rttNs, bwBps, tbl)
 	// At 50% load a 1000B packet occupies 80 ns on the wire but arrives

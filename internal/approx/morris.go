@@ -25,11 +25,7 @@ type Morris struct {
 // NewMorris creates a counter with relative accuracy parameter eps and the
 // given bit width. Smaller eps means larger (more accurate, wider) codes.
 func NewMorris(eps float64, bits int) *Morris {
-	a := 1 + 2*eps*eps
-	if a <= 1 {
-		a = 1 + 1e-9
-	}
-	return &Morris{a: a, b: bits}
+	return &Morris{a: MorrisBase(eps), b: bits}
 }
 
 // Increment advances the counter by one *logical* unit: the stored exponent
@@ -37,14 +33,34 @@ func NewMorris(eps float64, bits int) *Morris {
 // (pktID, salt) so a simulated switch needs no RNG; callers that do not care
 // pass any fresh salt per call.
 func (m *Morris) Increment(g hash.Global, pktID, salt uint64) {
-	max := uint64(1)<<uint(m.b) - 1
-	if m.c >= max {
-		return // saturated
+	m.c = MorrisNextCode(m.a, m.b, m.c, g, pktID, salt)
+}
+
+// MorrisNextCode returns the code after one probabilistic increment of a
+// Morris counter with growth base a and width bits — the allocation-free
+// form of (*Morris).Increment for compiled hot paths that cannot afford a
+// heap counter per packet. The coin is the same global-hash draw.
+func MorrisNextCode(a float64, bits int, code uint64, g hash.Global, pktID, salt uint64) uint64 {
+	max := uint64(1)<<uint(bits) - 1
+	if code >= max {
+		return code // saturated
 	}
-	p := math.Pow(m.a, -float64(m.c))
+	p := math.Pow(a, -float64(code))
 	if hash.Below(g.ValueDigest(salt, pktID, 64), p) {
-		m.c++
+		return code + 1
 	}
+	return code
+}
+
+// MorrisBase returns the growth base a = 1 + 2ε² for an accuracy parameter,
+// clamped above 1 (the precomputation MorrisNextCode callers hoist out of
+// their per-packet loop).
+func MorrisBase(eps float64) float64 {
+	a := 1 + 2*eps*eps
+	if a <= 1 {
+		a = 1 + 1e-9
+	}
+	return a
 }
 
 // Code returns the stored exponent (what would travel on the packet).

@@ -128,6 +128,9 @@ type Encoder struct {
 	// insts are the value-hash families for the independent repetitions;
 	// insts[0] is g itself.
 	insts []hash.Global
+	// layerThresh[i] is the precomputed act threshold of XOR layer i+1
+	// (hash.Threshold of Layering.Probs[i]), hoisted out of acts.
+	layerThresh []uint64
 }
 
 // NewEncoder builds an encoder from a validated config and the shared
@@ -140,6 +143,10 @@ func NewEncoder(cfg Config, g hash.Global) (*Encoder, error) {
 	e.insts = make([]hash.Global, cfg.instances())
 	for i := range e.insts {
 		e.insts[i] = g.Instance(i)
+	}
+	e.layerThresh = make([]uint64, len(cfg.Layering.Probs))
+	for i, p := range cfg.Layering.Probs {
+		e.layerThresh[i] = hash.Threshold(p)
 	}
 	return e, nil
 }
@@ -158,7 +165,7 @@ func (e *Encoder) layerOf(pktID uint64) int {
 // the final writer is the last acting hop.
 func (e *Encoder) acts(pktID uint64, hop, layer int) bool {
 	if layer == 0 {
-		return e.g.ReservoirWrites(pktID, hop)
+		return e.g.ReservoirWritesP(pktID, hop)
 	}
 	if e.cfg.FastVectors {
 		if hop > 64 {
@@ -167,7 +174,7 @@ func (e *Encoder) acts(pktID uint64, hop, layer int) bool {
 		vec := e.g.ActVector(fastPktID(pktID, layer), 64, log2InvP(e.cfg.Layering.Probs[layer-1]))
 		return hash.ActFromVector(vec, hop)
 	}
-	return e.g.Act(pktID, hop, e.cfg.Layering.Probs[layer-1])
+	return e.g.ActBelow(pktID, hop, e.layerThresh[layer-1])
 }
 
 // fastPktID namespaces the act-vector stream per XOR layer so layers stay
@@ -221,6 +228,38 @@ func (e *Encoder) EncodeHop(pktID uint64, hop int, d Digest, value uint64) Diges
 		}
 	}
 	return out
+}
+
+// ActsOn reports whether hop (1-based) modifies packet pktID and in which
+// layer, without touching any digest words — callers skip the unpack /
+// apply / repack work for the common non-acting hops.
+func (e *Encoder) ActsOn(pktID uint64, hop int) (layer int, act bool) {
+	layer = e.layerOf(pktID)
+	return layer, e.acts(pktID, hop, layer)
+}
+
+// LayerOf returns the packet's layer selection (0 = Baseline). It is a
+// pure function of the packet ID, so batch pipelines cache it per packet
+// instead of rehashing at every hop.
+func (e *Encoder) LayerOf(pktID uint64) int { return e.layerOf(pktID) }
+
+// ActsInLayer is ActsOn with a caller-cached LayerOf result.
+func (e *Encoder) ActsInLayer(pktID uint64, hop, layer int) bool {
+	return e.acts(pktID, hop, layer)
+}
+
+// ApplyWords folds hop's payload into words in place for a layer returned
+// by ActsOn. It allocates nothing and does not retain the slice — the
+// compiled batch pipeline's per-packet primitive.
+func (e *Encoder) ApplyWords(pktID uint64, layer int, words []uint64, value uint64) {
+	for i := range words {
+		p := e.payload(pktID, i, value)
+		if layer == 0 {
+			words[i] = p // overwrite: reservoir write
+		} else {
+			words[i] ^= p // xor layer
+		}
+	}
 }
 
 // EncodePath runs the packet through the whole path values[0..k-1]

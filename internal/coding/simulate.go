@@ -79,12 +79,12 @@ func Progress(cfg Config, master hash.Seed, values []uint64, universe []uint64, 
 
 // Stats summarizes packets-to-decode over many trials.
 type Stats struct {
-	Trials    int
-	Decoded   int     // trials that completed within the cap
-	Mean      float64 // over decoded trials
-	Median    float64
-	P99       float64
-	Max       int
+	Trials  int
+	Decoded int     // trials that completed within the cap
+	Mean    float64 // over decoded trials
+	Median  float64
+	P99     float64
+	Max     int
 }
 
 // RunTrials repeats Trial with fresh packet-ID streams and a fresh hash

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// combinedTestPlan compiles a Fig-11-shaped plan exercising every query
+// kind: path 2x(b=4) on every packet, latency b=8 on 7/8, util b=8 on
+// 1/8, freq b=4 on 1/4, count b=4 on 1/8 — 32-bit global budget.
+func combinedTestPlan(t testing.TB, master hash.Seed) (*Engine, *PathQuery, *LatencyQuery, *UtilQuery, *FreqQuery, *CountQuery) {
+	t.Helper()
+	universe := make([]uint64, 64)
+	for i := range universe {
+		universe[i] = uint64(0xAB00 + i*3)
+	}
+	cfg, err := DefaultPathConfig(4, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := NewPathQuery("path", cfg, 1, master, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := NewLatencyQuery("lat", 8, 0.04, 7.0/8, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := NewUtilQuery("util", 8, 0.025, 1.0/8, 1000, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := NewFreqQuery("freq", 4, 1.0/4, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := NewCountQuery("cnt", 4, 0.5, 1.0/8, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Compile([]Query{path, lat, util, freq, cnt}, 32, master.Derive(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, path, lat, util, freq, cnt
+}
+
+// hopValuesFor derives deterministic pseudo-values for one (packet, hop).
+func hopValuesFor(pktID uint64, hop int, universe0 uint64) HopValues {
+	h := hash.Seed(42).Hash2(pktID, uint64(hop))
+	return HopValues{
+		SwitchID:   universe0 + (h%16)*3,
+		LatencyNs:  1000 + h%100000,
+		Util:       1 + h%1500,
+		FreqValue:  h % 16,
+		CountFired: h % 3,
+	}
+}
+
+// valueOfClosure adapts HopValues back to the legacy closure API.
+func valueOfClosure(v *HopValues) func(Query) uint64 {
+	return func(q Query) uint64 {
+		switch q.(type) {
+		case *PathQuery:
+			return v.SwitchID
+		case *LatencyQuery:
+			return v.LatencyNs
+		case *UtilQuery:
+			return v.Util
+		case *FreqQuery:
+			return v.FreqValue
+		case *CountQuery:
+			return v.CountFired
+		}
+		return 0
+	}
+}
+
+// TestCompiledEncodeMatchesLegacy checks the compiled per-packet and batch
+// encoders produce digests bit-identical to the closure-based EncodeHop,
+// across every query kind and set of the plan.
+func TestCompiledEncodeMatchesLegacy(t *testing.T) {
+	eng, _, _, _, _, _ := combinedTestPlan(t, 7)
+	const k = 6
+	rng := hash.NewRNG(11)
+	pkts := make([]PacketDigest, 512)
+	for i := range pkts {
+		pkts[i] = PacketDigest{Flow: FlowKey(i % 5), PktID: rng.Uint64(), PathLen: k}
+	}
+	legacy := make([]uint64, len(pkts))
+	compiled := make([]uint64, len(pkts))
+	vals := make([]HopValues, len(pkts))
+	for hop := 1; hop <= k; hop++ {
+		for i := range pkts {
+			vals[i] = hopValuesFor(pkts[i].PktID, hop, 0xAB00)
+			legacy[i] = eng.EncodeHop(pkts[i].PktID, hop, legacy[i], valueOfClosure(&vals[i]))
+			compiled[i] = eng.EncodeHopValues(pkts[i].PktID, hop, compiled[i], &vals[i])
+		}
+		eng.EncodeHopBatch(hop, pkts, vals)
+		for i := range pkts {
+			if legacy[i] != compiled[i] {
+				t.Fatalf("hop %d pkt %d: EncodeHopValues %#x != EncodeHop %#x",
+					hop, i, compiled[i], legacy[i])
+			}
+			if pkts[i].Digest != legacy[i] {
+				t.Fatalf("hop %d pkt %d: EncodeHopBatch %#x != EncodeHop %#x",
+					hop, i, pkts[i].Digest, legacy[i])
+			}
+		}
+	}
+}
+
+// TestExtractIntoMatchesExtract checks the zero-alloc extraction agrees
+// with the allocating one, including buffer reuse.
+func TestExtractIntoMatchesExtract(t *testing.T) {
+	eng, _, _, _, _, _ := combinedTestPlan(t, 13)
+	rng := hash.NewRNG(17)
+	var buf []Extracted
+	for i := 0; i < 2000; i++ {
+		pktID, digest := rng.Uint64(), rng.Uint64()
+		want := eng.Extract(pktID, digest)
+		buf = eng.ExtractInto(pktID, digest, buf[:0])
+		if len(want) != len(buf) {
+			t.Fatalf("pkt %d: ExtractInto %d slices, Extract %d", i, len(buf), len(want))
+		}
+		for j := range want {
+			if want[j] != buf[j] {
+				t.Fatalf("pkt %d slice %d: got %+v want %+v", i, j, buf[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRecordBatchMatchesRecord checks batched ingest leaves a Recording in
+// exactly the state per-packet ingest does, for raw and sketched storage.
+func TestRecordBatchMatchesRecord(t *testing.T) {
+	for _, sketchItems := range []int{0, 32} {
+		eng, path, lat, util, freq, cnt := combinedTestPlan(t, 19)
+		const k = 6
+		const nFlows = 8
+		rng := hash.NewRNG(23)
+		pkts := make([]PacketDigest, 4096)
+		vals := make([]HopValues, len(pkts))
+		for i := range pkts {
+			pkts[i] = PacketDigest{Flow: FlowKey(i % nFlows), PktID: rng.Uint64(), PathLen: k}
+		}
+		for hop := 1; hop <= k; hop++ {
+			for i := range pkts {
+				vals[i] = hopValuesFor(pkts[i].PktID, hop, 0xAB00)
+			}
+			eng.EncodeHopBatch(hop, pkts, vals)
+		}
+		base := hash.Seed(rng.Uint64())
+		serial, err := NewRecordingSeeded(eng, sketchItems, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := NewRecordingSeeded(eng, sketchItems, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pkts {
+			if err := serial.Record(pkts[i].Flow, pkts[i].PathLen, pkts[i].PktID, pkts[i].Digest); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for off := 0; off < len(pkts); off += 100 {
+			end := off + 100
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			if err := batched.RecordBatch(pkts[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for f := 0; f < nFlows; f++ {
+			flow := FlowKey(f)
+			assertSameAnswers(t, serial, batched, flow, k, path, lat, util, freq, cnt)
+		}
+	}
+}
+
+// assertSameAnswers compares every query's answer between two recordings
+// for one flow, requiring bit-identity.
+func assertSameAnswers(t *testing.T, a, b *Recording, flow FlowKey, k int,
+	path *PathQuery, lat *LatencyQuery, util *UtilQuery, freq *FreqQuery, cnt *CountQuery) {
+	t.Helper()
+	pa, oka := a.Path(path, flow)
+	pb, okb := b.Path(path, flow)
+	if oka != okb || len(pa) != len(pb) {
+		t.Fatalf("flow %d: path answers diverge (%v/%d vs %v/%d)", flow, oka, len(pa), okb, len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("flow %d hop %d: path %d vs %d", flow, i+1, pa[i], pb[i])
+		}
+	}
+	for hop := 1; hop <= k; hop++ {
+		na, nb := a.LatencySamples(lat, flow, hop), b.LatencySamples(lat, flow, hop)
+		if na != nb {
+			t.Fatalf("flow %d hop %d: %d vs %d latency samples", flow, hop, na, nb)
+		}
+		if na == 0 {
+			continue
+		}
+		for _, phi := range []float64{0.5, 0.9, 0.99} {
+			qa, erra := a.LatencyQuantile(lat, flow, hop, phi)
+			qb, errb := b.LatencyQuantile(lat, flow, hop, phi)
+			if (erra == nil) != (errb == nil) || (erra == nil && qa != qb) {
+				t.Fatalf("flow %d hop %d phi %v: quantile %v(%v) vs %v(%v)",
+					flow, hop, phi, qa, erra, qb, errb)
+			}
+		}
+		ha := a.FrequentValues(freq, flow, hop, 0.2)
+		hb := b.FrequentValues(freq, flow, hop, 0.2)
+		if len(ha) != len(hb) {
+			t.Fatalf("flow %d hop %d: %d vs %d heavy hitters", flow, hop, len(ha), len(hb))
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Fatalf("flow %d hop %d: heavy hitter %+v vs %+v", flow, hop, ha[i], hb[i])
+			}
+		}
+	}
+	ua, ub := a.UtilSeries(util, flow), b.UtilSeries(util, flow)
+	if len(ua) != len(ub) {
+		t.Fatalf("flow %d: util series %d vs %d", flow, len(ua), len(ub))
+	}
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatalf("flow %d util[%d]: %v vs %v", flow, i, ua[i], ub[i])
+		}
+	}
+	ca, cb := a.CountSeries(cnt, flow), b.CountSeries(cnt, flow)
+	if len(ca) != len(cb) {
+		t.Fatalf("flow %d: count series %d vs %d", flow, len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] && !(math.IsNaN(ca[i]) && math.IsNaN(cb[i])) {
+			t.Fatalf("flow %d count[%d]: %v vs %v", flow, i, ca[i], cb[i])
+		}
+	}
+}
+
+// TestEncodeBatchZeroAlloc pins the acceptance criterion: the batch encode
+// per-packet loop performs zero heap allocations.
+func TestEncodeBatchZeroAlloc(t *testing.T) {
+	eng, _, _, _, _, _ := combinedTestPlan(t, 29)
+	const k = 6
+	rng := hash.NewRNG(31)
+	pkts := make([]PacketDigest, 256)
+	vals := make([]HopValues, len(pkts))
+	for i := range pkts {
+		pkts[i] = PacketDigest{Flow: FlowKey(i), PktID: rng.Uint64(), PathLen: k}
+		vals[i] = hopValuesFor(pkts[i].PktID, 1, 0xAB00)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for hop := 1; hop <= k; hop++ {
+			eng.EncodeHopBatch(hop, pkts, vals)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeHopBatch allocates %.1f times per run, want 0", allocs)
+	}
+	var buf []Extracted
+	allocs = testing.AllocsPerRun(20, func() {
+		for i := range pkts {
+			buf = eng.ExtractInto(pkts[i].PktID, pkts[i].Digest, buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractInto allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -55,6 +55,8 @@ type Engine struct {
 	plan ExecutionPlan
 	// cum[i] is the upper boundary of set i's probability interval.
 	cum []float64
+	// progs[i] is set i lowered to a flat encode/record program.
+	progs []encodeProgram
 }
 
 // Compile builds an execution plan for concurrent queries under a global
@@ -144,8 +146,7 @@ func Compile(queries []Query, globalBits int, master hash.Seed) (*Engine, error)
 		set.Prob = p
 		plan.Sets = append(plan.Sets, set)
 		assigned += p
-		for si, q := range set.Queries {
-			_ = si
+		for _, q := range set.Queries {
 			for i := range queries {
 				if queries[i] == q {
 					rem[i] -= p
@@ -164,6 +165,11 @@ func Compile(queries []Query, globalBits int, master hash.Seed) (*Engine, error)
 	for _, s := range plan.Sets {
 		cum += s.Prob
 		e.cum = append(e.cum, cum)
+		prog, err := compileProgram(s)
+		if err != nil {
+			return nil, err
+		}
+		e.progs = append(e.progs, prog)
 	}
 	return e, nil
 }
@@ -175,11 +181,8 @@ func (e *Engine) Plan() ExecutionPlan { return e.plan }
 // selection point falls in unassigned probability mass (possible when
 // total demand < 1).
 func (e *Engine) SetFor(pktID uint64) *QuerySet {
-	u := e.g.QueryPoint(pktID)
-	for i := range e.plan.Sets {
-		if u < e.cum[i] {
-			return &e.plan.Sets[i]
-		}
+	if i := e.SetIndex(pktID); i >= 0 {
+		return &e.plan.Sets[i]
 	}
 	return nil
 }

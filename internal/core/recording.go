@@ -33,7 +33,11 @@ type Recording struct {
 
 	flowSeq map[FlowKey]uint64
 	seq     uint64
-	rng     *hash.RNG
+	// base seeds the recording-side sketches: each (query, flow, hop)
+	// store derives its RNG from base deterministically, so a flow's
+	// state is independent of cross-flow arrival order — the property
+	// that makes the sharded pipeline bit-identical to the serial path.
+	base  hash.Seed
 	paths map[*PathQuery]map[FlowKey]*coding.Decoder
 	lats  map[*LatencyQuery]map[FlowKey][]*latStore
 	utils map[*UtilQuery]map[FlowKey][]float64
@@ -48,20 +52,30 @@ type latStore struct {
 }
 
 // NewRecording creates a Recording Module for an engine. sketchItems > 0
-// selects sketched storage (see Recording.SketchItems).
+// selects sketched storage (see Recording.SketchItems). The RNG provides
+// only the sketch seed base; see NewRecordingSeeded for the explicit form.
 func NewRecording(engine *Engine, sketchItems int, rng *hash.RNG) (*Recording, error) {
-	if engine == nil {
-		return nil, fmt.Errorf("core: nil engine")
-	}
 	if rng == nil {
 		return nil, fmt.Errorf("core: recording requires an RNG")
+	}
+	return NewRecordingSeeded(engine, sketchItems, hash.Seed(rng.Uint64()))
+}
+
+// NewRecordingSeeded creates a Recording Module whose sketch randomness
+// derives entirely from base. Two recordings with the same engine and base
+// produce bit-identical per-flow answers for the same per-flow digest
+// streams regardless of how flows interleave — the contract the sharded
+// pipeline's workers rely on.
+func NewRecordingSeeded(engine *Engine, sketchItems int, base hash.Seed) (*Recording, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: nil engine")
 	}
 	return &Recording{
 		engine:       engine,
 		SketchItems:  sketchItems,
 		FreqCounters: 16,
 		flowSeq:      map[FlowKey]uint64{},
-		rng:          rng,
+		base:         base,
 		paths:        map[*PathQuery]map[FlowKey]*coding.Decoder{},
 		lats:         map[*LatencyQuery]map[FlowKey][]*latStore{},
 		utils:        map[*UtilQuery]map[FlowKey][]float64{},
@@ -70,107 +84,154 @@ func NewRecording(engine *Engine, sketchItems int, rng *hash.RNG) (*Recording, e
 	}, nil
 }
 
+// sketchRNG derives the RNG for one (query, flow, hop) store.
+func (r *Recording) sketchRNG(qname string, flow FlowKey, hop int) *hash.RNG {
+	return hash.NewRNG(r.base.Hash3(hash.Seed(0).HashString(qname), uint64(flow), uint64(hop)))
+}
+
 // Record processes one sink-extracted digest for a flow whose path length
 // is k (derived from the received TTL).
 func (r *Recording) Record(flow FlowKey, k int, pktID uint64, digest uint64) error {
-	r.touch(flow)
-	for _, ex := range r.engine.Extract(pktID, digest) {
-		switch q := ex.Query.(type) {
-		case *PathQuery:
-			byFlow := r.paths[q]
+	pkt := PacketDigest{Flow: flow, PktID: pktID, PathLen: k, Digest: digest}
+	return r.record(&pkt)
+}
+
+// RecordBatch ingests a batch of sink-extracted digests — the shape shard
+// workers and the batch experiment harness drive. Packets that came
+// through EncodeHopBatch carry their query-set selection already cached.
+func (r *Recording) RecordBatch(batch []PacketDigest) error {
+	for i := range batch {
+		if err := r.record(&batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record runs one packet through the compiled program of its query set:
+// direct kind dispatch on precomputed ops, no Extracted materialization,
+// no type switches on interfaces.
+func (r *Recording) record(pkt *PacketDigest) error {
+	r.touch(pkt.Flow)
+	si := r.engine.setIndexOf(pkt)
+	if si < 0 {
+		return nil
+	}
+	ops := r.engine.progs[si].ops
+	for i := range ops {
+		op := &ops[i]
+		bits := pkt.Digest >> op.shift & op.mask
+		var err error
+		switch op.kind {
+		case opPath:
+			err = r.recordPath(op.path, pkt, bits)
+		case opLatency:
+			err = r.recordLatency(op.lat, pkt, bits)
+		case opUtil:
+			byFlow := r.utils[op.util]
 			if byFlow == nil {
-				byFlow = map[FlowKey]*coding.Decoder{}
-				r.paths[q] = byFlow
+				byFlow = map[FlowKey][]float64{}
+				r.utils[op.util] = byFlow
 			}
-			dec := byFlow[flow]
-			if dec == nil {
-				var err error
-				dec, err = q.NewDecoder(k)
+			byFlow[pkt.Flow] = append(byFlow[pkt.Flow], op.util.Decode(bits))
+		case opFreq:
+			err = r.recordFreq(op.freq, pkt, bits)
+		case opCount:
+			byFlow := r.cnts[op.cnt]
+			if byFlow == nil {
+				byFlow = map[FlowKey][]float64{}
+				r.cnts[op.cnt] = byFlow
+			}
+			byFlow[pkt.Flow] = append(byFlow[pkt.Flow], op.cnt.Decode(bits))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Recording) recordPath(q *PathQuery, pkt *PacketDigest, bits uint64) error {
+	byFlow := r.paths[q]
+	if byFlow == nil {
+		byFlow = map[FlowKey]*coding.Decoder{}
+		r.paths[q] = byFlow
+	}
+	dec := byFlow[pkt.Flow]
+	if dec == nil {
+		var err error
+		dec, err = q.NewDecoder(pkt.PathLen)
+		if err != nil {
+			return err
+		}
+		byFlow[pkt.Flow] = dec
+	}
+	q.ObserveInto(dec, pkt.PktID, bits)
+	return nil
+}
+
+func (r *Recording) recordLatency(q *LatencyQuery, pkt *PacketDigest, bits uint64) error {
+	byFlow := r.lats[q]
+	if byFlow == nil {
+		byFlow = map[FlowKey][]*latStore{}
+		r.lats[q] = byFlow
+	}
+	hops := byFlow[pkt.Flow]
+	if hops == nil {
+		hops = make([]*latStore, pkt.PathLen)
+		for i := range hops {
+			st := &latStore{}
+			switch {
+			case r.WindowBuckets > 1 && r.SketchItems > 0:
+				win, err := sketch.NewSlidingKLL(r.WindowBuckets,
+					r.WindowSpan, r.SketchItems, r.sketchRNG(q.Name(), pkt.Flow, i+1))
 				if err != nil {
 					return err
 				}
-				byFlow[flow] = dec
-			}
-			q.ObserveInto(dec, pktID, ex.Bits)
-		case *LatencyQuery:
-			byFlow := r.lats[q]
-			if byFlow == nil {
-				byFlow = map[FlowKey][]*latStore{}
-				r.lats[q] = byFlow
-			}
-			hops := byFlow[flow]
-			if hops == nil {
-				hops = make([]*latStore, k)
-				for i := range hops {
-					st := &latStore{}
-					switch {
-					case r.WindowBuckets > 1 && r.SketchItems > 0:
-						win, err := sketch.NewSlidingKLL(r.WindowBuckets,
-							r.WindowSpan, r.SketchItems, r.rng.Split())
-						if err != nil {
-							return err
-						}
-						st.win = win
-					case r.SketchItems > 0:
-						kll, err := sketch.NewKLL(r.SketchItems, r.rng.Split())
-						if err != nil {
-							return err
-						}
-						st.kll = kll
-					}
-					hops[i] = st
-				}
-				byFlow[flow] = hops
-			}
-			w := q.Winner(pktID, k)
-			st := hops[w-1]
-			switch {
-			case st.win != nil:
-				if err := st.win.Add(float64(ex.Bits)); err != nil {
+				st.win = win
+			case r.SketchItems > 0:
+				kll, err := sketch.NewKLL(r.SketchItems, r.sketchRNG(q.Name(), pkt.Flow, i+1))
+				if err != nil {
 					return err
 				}
-			case st.kll != nil:
-				st.kll.Add(float64(ex.Bits))
-			default:
-				st.raw = append(st.raw, ex.Bits)
+				st.kll = kll
 			}
-		case *UtilQuery:
-			byFlow := r.utils[q]
-			if byFlow == nil {
-				byFlow = map[FlowKey][]float64{}
-				r.utils[q] = byFlow
-			}
-			byFlow[flow] = append(byFlow[flow], q.Decode(ex.Bits))
-		case *FreqQuery:
-			byFlow := r.freqs[q]
-			if byFlow == nil {
-				byFlow = map[FlowKey][]*sketch.SpaceSaving{}
-				r.freqs[q] = byFlow
-			}
-			hops := byFlow[flow]
-			if hops == nil {
-				hops = make([]*sketch.SpaceSaving, k)
-				for i := range hops {
-					ss, err := sketch.NewSpaceSaving(r.FreqCounters)
-					if err != nil {
-						return err
-					}
-					hops[i] = ss
-				}
-				byFlow[flow] = hops
-			}
-			hops[q.Winner(pktID, k)-1].Add(ex.Bits)
-		case *CountQuery:
-			byFlow := r.cnts[q]
-			if byFlow == nil {
-				byFlow = map[FlowKey][]float64{}
-				r.cnts[q] = byFlow
-			}
-			byFlow[flow] = append(byFlow[flow], q.Decode(ex.Bits))
-		default:
-			return fmt.Errorf("core: unknown query type %T", ex.Query)
+			hops[i] = st
 		}
+		byFlow[pkt.Flow] = hops
 	}
+	w := q.Winner(pkt.PktID, pkt.PathLen)
+	st := hops[w-1]
+	switch {
+	case st.win != nil:
+		return st.win.Add(float64(bits))
+	case st.kll != nil:
+		st.kll.Add(float64(bits))
+	default:
+		st.raw = append(st.raw, bits)
+	}
+	return nil
+}
+
+func (r *Recording) recordFreq(q *FreqQuery, pkt *PacketDigest, bits uint64) error {
+	byFlow := r.freqs[q]
+	if byFlow == nil {
+		byFlow = map[FlowKey][]*sketch.SpaceSaving{}
+		r.freqs[q] = byFlow
+	}
+	hops := byFlow[pkt.Flow]
+	if hops == nil {
+		hops = make([]*sketch.SpaceSaving, pkt.PathLen)
+		for i := range hops {
+			ss, err := sketch.NewSpaceSaving(r.FreqCounters)
+			if err != nil {
+				return err
+			}
+			hops[i] = ss
+		}
+		byFlow[pkt.Flow] = hops
+	}
+	hops[q.Winner(pkt.PktID, pkt.PathLen)-1].Add(bits)
 	return nil
 }
 

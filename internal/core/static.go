@@ -55,6 +55,41 @@ func (q *PathQuery) EncodeHop(pktID uint64, hop int, bits uint64, value uint64) 
 	return q.bitsOf(d)
 }
 
+// encodeHopBits is the compiled-pipeline form of EncodeHop: identical
+// output, but non-acting hops return before touching any words and the
+// per-instance words live on the stack, so nothing escapes to the heap.
+func (q *PathQuery) encodeHopBits(pktID uint64, hop int, bits, value uint64) uint64 {
+	layer, act := q.enc.ActsOn(pktID, hop)
+	if !act {
+		return bits
+	}
+	return applyPathWords(q.enc, pktID, layer, bits, q.instances(),
+		uint(q.cfg.Bits), digestMask(q.cfg.Bits), value)
+}
+
+// applyPathWords unpacks a path query's flat digest slice into its
+// per-instance words, folds in the acting hop's payload, and repacks —
+// the single implementation behind both the per-packet and the compiled
+// batch encode paths (which passes precomputed n/width/mask).
+func applyPathWords(enc *coding.Encoder, pktID uint64, layer int, bits uint64, n int, width uint, mask, value uint64) uint64 {
+	var arr [8]uint64
+	var words []uint64
+	if n > len(arr) {
+		words = make([]uint64, n)
+	} else {
+		words = arr[:n]
+	}
+	for i := 0; i < n; i++ {
+		words[i] = bits >> (uint(i) * width) & mask
+	}
+	enc.ApplyWords(pktID, layer, words, value)
+	var out uint64
+	for i, w := range words {
+		out |= (w & mask) << (uint(i) * width)
+	}
+	return out
+}
+
 func (q *PathQuery) instances() int {
 	if q.cfg.Mode == coding.ModeHashed && q.cfg.Instances > 1 {
 		return q.cfg.Instances

@@ -2,8 +2,8 @@
 // paper's evaluation (§2 and §6). Each FigXX function is self-contained:
 // it builds the topology, workload and telemetry configuration, runs the
 // simulation or trial harness, and returns the same rows/series the paper
-// plots. DESIGN.md maps each function to its figure; EXPERIMENTS.md
-// records paper-vs-measured outcomes.
+// plots. README.md maps the harness to the figures; bench_test.go at the
+// repo root reports each figure's headline metric.
 //
 // A Scale knob trades fidelity for runtime: benches run at Scale's
 // defaults (seconds per figure), while cmd/pintfig exposes larger runs.
@@ -42,6 +42,12 @@ type Scale struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed uint64
+	// Shards > 1 routes the recording-heavy Fig 9 sink through the
+	// sharded batch pipeline (internal/pipeline) with that many workers;
+	// answers are bit-identical to the serial path, so the figure does
+	// not change. The other figures' sinks are per-packet (their
+	// decode-progress tracking is inherently serial) and ignore it.
+	Shards int
 }
 
 // Bench returns the scale used by `go test -bench` — small enough for a
@@ -98,14 +104,14 @@ const (
 
 // LoadRunConfig drives one loaded-network simulation.
 type LoadRunConfig struct {
-	Scale     Scale
-	Dist      *workload.Dist
-	Load      float64
-	Kind      TransportKind
-	Overhead  int     // Reno: fixed per-packet bytes
-	PintP     float64 // HPCC-PINT: fraction of packets carrying the digest (0 = 1.0)
-	PintBits  int     // HPCC-PINT: digest width (default 8)
-	MinFlows  int     // keep generating until at least this many flows arrive
+	Scale    Scale
+	Dist     *workload.Dist
+	Load     float64
+	Kind     TransportKind
+	Overhead int     // Reno: fixed per-packet bytes
+	PintP    float64 // HPCC-PINT: fraction of packets carrying the digest (0 = 1.0)
+	PintBits int     // HPCC-PINT: digest width (default 8)
+	MinFlows int     // keep generating until at least this many flows arrive
 
 	// hopHook, when set, observes every data packet's per-switch latency
 	// (hop is 1-based). Used by the Fig 9 harness.

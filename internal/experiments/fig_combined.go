@@ -160,25 +160,21 @@ func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*Combine
 		return nil, err
 	}
 
-	// Switch-side: EWMA update plus the engine's Encoding Modules.
+	// Switch-side: EWMA update plus the engine's compiled Encoding
+	// Modules — the closure-free batch-pipeline encode path.
+	utilQ := spec.util
 	net.OnDequeue = func(n *netsim.Network, sw *netsim.SwitchNode, port *netsim.Port,
 		pkt *netsim.Packet, qlen int, tau, hopLat int64) {
 		if pkt.Ack {
 			return
 		}
 		u := pu.UpdatePortU(port, tau, qlen, pkt.WireSize(n.ValuesPerHop))
-		swID := n.Graph.Nodes[sw.ID].SwitchID
-		pkt.Digest = eng.EncodeHop(pkt.ID, pkt.Hops+1, pkt.Digest, func(q core.Query) uint64 {
-			switch qq := q.(type) {
-			case *core.PathQuery:
-				return swID
-			case *core.LatencyQuery:
-				return uint64(hopLat)
-			case *core.UtilQuery:
-				return qq.EncodeValue(u)
-			}
-			return 0
-		})
+		hv := core.HopValues{
+			SwitchID:  n.Graph.Nodes[sw.ID].SwitchID,
+			LatencyNs: uint64(hopLat),
+			Util:      utilQ.EncodeValue(u),
+		}
+		pkt.Digest = eng.EncodeHopValues(pkt.ID, pkt.Hops+1, pkt.Digest, &hv)
 	}
 
 	// Ground-truth hop latencies per (flow, hop).
@@ -231,9 +227,10 @@ func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*Combine
 	for len(flows) < 200 {
 		flows = append(flows, gen.Next())
 	}
-	utilQ := spec.util
+	var exBuf []core.Extracted
 	extractU := func(pktID, digest uint64) (float64, bool) {
-		for _, ex := range eng.Extract(pktID, digest) {
+		exBuf = eng.ExtractInto(pktID, digest, exBuf[:0])
+		for _, ex := range exBuf {
 			if ex.Query == core.Query(utilQ) {
 				return utilQ.Decode(ex.Bits), true
 			}

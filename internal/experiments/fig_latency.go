@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/netsim"
+	"repro/internal/pipeline"
 	"repro/internal/sketch"
 	"repro/internal/workload"
 )
@@ -65,7 +66,7 @@ func Fig09(s Scale, panel Fig09Panel) ([]LatencySeries, error) {
 			if panel.BySketch {
 				for _, bytes := range []int{50, 100, 150, 200, 250, 300} {
 					e, err := latencyTrial(streams, truth, panel.Quantile, b, 500,
-						sketchParamFor(bytes, b), s.Trials, rng)
+						sketchParamFor(bytes, b), s.Trials, s.Shards, rng)
 					if err != nil {
 						return nil, err
 					}
@@ -78,7 +79,7 @@ func Fig09(s Scale, panel Fig09Panel) ([]LatencySeries, error) {
 				}
 				for _, z := range []int{100, 200, 400, 600, 800, 1000} {
 					e, err := latencyTrial(streams, truth, panel.Quantile, b, z,
-						items, s.Trials, rng)
+						items, s.Trials, s.Shards, rng)
 					if err != nil {
 						return nil, err
 					}
@@ -104,11 +105,15 @@ func sketchParamFor(bytes, b int) int {
 
 // latencyTrial runs `trials` independent PINT samplings of z packets over
 // the per-hop streams and returns the mean relative quantile error (%)
-// across hops and trials.
-func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketchItems, trials int, rng *hash.RNG) (float64, error) {
+// across hops and trials. Packets run through the compiled batch pipeline:
+// EncodeHopBatch per hop, then batched recording — sharded across workers
+// when shards > 1 (the answers are bit-identical either way).
+func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketchItems, trials, shards int, rng *hash.RNG) (float64, error) {
 	k := len(streams)
 	var errSum float64
 	var errN int
+	pkts := make([]core.PacketDigest, z)
+	vals := make([]core.HopValues, z)
 	for tr := 0; tr < trials; tr++ {
 		q, err := core.NewLatencyQuery("lat", b, epsFor(b), 1, hash.Seed(rng.Uint64()))
 		if err != nil {
@@ -118,30 +123,23 @@ func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketc
 		if err != nil {
 			return 0, err
 		}
-		rec, err := core.NewRecording(eng, sketchItems, rng.Split())
+		base := hash.Seed(rng.Uint64())
+		flow := core.FlowKey(1)
+		for j := range pkts {
+			pkts[j] = core.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: k}
+		}
+		// Packet j consumes sample j of every hop's stream (every hop
+		// observed the packet; only the reservoir winner's value survived).
+		for hop := 1; hop <= k; hop++ {
+			st := streams[hop-1]
+			for j := range vals {
+				vals[j].LatencyNs = uint64(st[j%len(st)])
+			}
+			eng.EncodeHopBatch(hop, pkts, vals)
+		}
+		rec, err := recordPackets(eng, pkts, sketchItems, shards, base, flow)
 		if err != nil {
 			return 0, err
-		}
-		flow := core.FlowKey(1)
-		pos := make([]int, k) // next unread sample per hop
-		for j := 0; j < z; j++ {
-			pktID := rng.Uint64()
-			var digest uint64
-			for hop := 1; hop <= k; hop++ {
-				st := streams[hop-1]
-				v := st[pos[hop-1]%len(st)]
-				digest = eng.EncodeHop(pktID, hop, digest, func(core.Query) uint64 {
-					return uint64(v)
-				})
-			}
-			// Each packet consumes one sample per hop (every hop observed
-			// the packet; only the reservoir winner's value survived).
-			for h := range pos {
-				pos[h]++
-			}
-			if err := rec.Record(flow, k, pktID, digest); err != nil {
-				return 0, err
-			}
 		}
 		for hop := 1; hop <= k; hop++ {
 			est, err := rec.LatencyQuantile(q, flow, hop, phi)
@@ -158,6 +156,31 @@ func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketc
 		return math.NaN(), nil
 	}
 	return errSum / float64(errN), nil
+}
+
+// recordPackets ingests an encoded batch serially or through the sharded
+// sink and returns the Recording that owns `flow`'s state.
+func recordPackets(eng *core.Engine, pkts []core.PacketDigest, sketchItems, shards int, base hash.Seed, flow core.FlowKey) (*core.Recording, error) {
+	if shards > 1 {
+		sink, err := pipeline.NewSink(eng, pipeline.Config{
+			Shards: shards, SketchItems: sketchItems, Base: base})
+		if err != nil {
+			return nil, err
+		}
+		sink.Ingest(pkts)
+		if err := sink.Close(); err != nil {
+			return nil, err
+		}
+		return sink.Recording(flow), nil
+	}
+	rec, err := core.NewRecordingSeeded(eng, sketchItems, base)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.RecordBatch(pkts); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // epsFor picks the compression error so the b-bit code space covers the

@@ -2,12 +2,90 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/coding"
 	"repro/internal/core"
+	"repro/internal/hash"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
+
+// EnginePathTrials measures packets-to-decode for a path query driven
+// through the full compiled system — Compile, EncodeHopBatch per hop, and
+// batched Recording — rather than the raw coding harness. cmd/pinttrace
+// and the batch benchmarks use it so the interactive drivers exercise the
+// same hot path the sharded sink runs.
+func EnginePathTrials(cfg coding.Config, values, universe []uint64, trials int, seed uint64, maxPkts int) (coding.Stats, error) {
+	rng := hash.NewRNG(seed)
+	const block = 32
+	pkts := make([]core.PacketDigest, block)
+	vals := make([]core.HopValues, block)
+	counts := make([]int, 0, trials)
+	k := len(values)
+	for t := 0; t < trials; t++ {
+		master := hash.Seed(rng.Uint64())
+		q, err := core.NewPathQuery("path", cfg, 1, master, universe)
+		if err != nil {
+			return coding.Stats{}, err
+		}
+		eng, err := core.Compile([]core.Query{q}, cfg.TotalBits(), master.Derive(1))
+		if err != nil {
+			return coding.Stats{}, err
+		}
+		rec, err := core.NewRecordingSeeded(eng, 0, master.Derive(2))
+		if err != nil {
+			return coding.Stats{}, err
+		}
+		flow := core.FlowKey(uint64(t) + 1)
+		sub := rng.Split()
+		n, done := 0, false
+		for n < maxPkts && !done {
+			b := block
+			if n+b > maxPkts {
+				b = maxPkts - n
+			}
+			for j := 0; j < b; j++ {
+				pkts[j] = core.PacketDigest{Flow: flow, PktID: sub.Uint64(), PathLen: k}
+			}
+			for hop := 1; hop <= k; hop++ {
+				for j := 0; j < b; j++ {
+					vals[j].SwitchID = values[hop-1]
+				}
+				eng.EncodeHopBatch(hop, pkts[:b], vals[:b])
+			}
+			// Record one packet at a time so the decode count is exact.
+			for j := 0; j < b; j++ {
+				if err := rec.RecordBatch(pkts[j : j+1]); err != nil {
+					return coding.Stats{}, err
+				}
+				n++
+				if dec := rec.PathDecoder(q, flow); dec != nil && dec.Done() {
+					done = true
+					break
+				}
+			}
+		}
+		if done {
+			counts = append(counts, n)
+		}
+	}
+	st := coding.Stats{Trials: trials, Decoded: len(counts)}
+	if len(counts) == 0 {
+		return st, nil
+	}
+	sort.Ints(counts)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	st.Mean = float64(sum) / float64(len(counts))
+	st.Median = float64(counts[len(counts)/2])
+	st.P99 = float64(counts[int(math.Ceil(0.99*float64(len(counts))))-1])
+	st.Max = counts[len(counts)-1]
+	return st, nil
+}
 
 // PathPoint is one (scheme, path length) cell of Fig 10.
 type PathPoint struct {
@@ -22,9 +100,9 @@ type Fig10Topology string
 
 // The three evaluation topologies of §6.3.
 const (
-	TopoKentucky Fig10Topology = "kentucky"  // D=59, 753 switches
+	TopoKentucky  Fig10Topology = "kentucky"  // D=59, 753 switches
 	TopoUSCarrier Fig10Topology = "uscarrier" // D=36, 157 switches
-	TopoFatTree  Fig10Topology = "fattree"   // K=8, D=5
+	TopoFatTree   Fig10Topology = "fattree"   // K=8, D=5
 )
 
 // fig10Setup returns the topology, the paper's x-axis path lengths and

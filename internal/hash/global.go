@@ -1,6 +1,9 @@
 package hash
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Global bundles the family of global hash functions a PINT deployment
 // shares between switches and the inference plane (§4.1). Every probabilistic
@@ -52,7 +55,63 @@ func (g Global) ReservoirWrites(pktID uint64, hop int) bool {
 	if hop <= 1 {
 		return true
 	}
-	return Below(g.g.Hash2(pktID, uint64(hop)), 1/float64(hop))
+	h := g.g.Hash2(pktID, uint64(hop))
+	if hop < len(reservoirThreshold) {
+		return h < reservoirThreshold[hop]
+	}
+	return Below(h, 1/float64(hop))
+}
+
+// reservoirThreshold[h] is Below's integer threshold for p = 1/h,
+// precomputed with the identical float expression Below evaluates so the
+// table lookup and the live computation decide every packet the same way.
+var reservoirThreshold = func() [65]uint64 {
+	var t [65]uint64
+	for h := 2; h < len(t); h++ {
+		t[h] = uint64(math.Floor(1 / float64(h) * (1 << 32) * (1 << 32)))
+	}
+	return t
+}()
+
+// ReservoirWritesP is ReservoirWrites on a pointer receiver, so the
+// compiled per-packet loops skip the 48-byte Global copy per hop.
+// Decisions are bit-identical to ReservoirWrites.
+func (g *Global) ReservoirWritesP(pktID uint64, hop int) bool {
+	if hop <= 1 {
+		return true
+	}
+	h := g.g.Hash2(pktID, uint64(hop))
+	if hop < len(reservoirThreshold) {
+		return h < reservoirThreshold[hop]
+	}
+	return Below(h, 1/float64(hop))
+}
+
+// Threshold returns Below's integer threshold for probability p, i.e.
+// event "Hash < Threshold(p)" fires exactly when Below(Hash, p) does.
+// Callers with a fixed p hoist it out of per-packet loops.
+func Threshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	}
+	t := math.Floor(p * (1 << 32) * (1 << 32))
+	if t >= math.MaxUint64 {
+		return ^uint64(0)
+	}
+	return uint64(t)
+}
+
+// ActBelow is Act with a precomputed Threshold, for compiled hot loops.
+// A saturated threshold means p >= 1 and always fires, mirroring Below's
+// p >= 1 branch (a plain < would miss the hash value 2^64-1).
+func (g *Global) ActBelow(pktID uint64, hop int, threshold uint64) bool {
+	if threshold == ^uint64(0) {
+		return true
+	}
+	return g.g.Hash2(pktID, uint64(hop)) < threshold
 }
 
 // ReservoirWinner returns the 1-based hop whose value survives on a packet

@@ -63,13 +63,13 @@ type nodeRef struct {
 
 // Port is a directed egress attachment from a node to a neighbor.
 type Port struct {
-	Spec     LinkSpec
-	DstNode  int
-	queue    []*Packet
-	qBytes   int
-	busy     bool
-	TxBytes  uint64
-	Drops    int
+	Spec      LinkSpec
+	DstNode   int
+	queue     []*Packet
+	qBytes    int
+	busy      bool
+	TxBytes   uint64
+	Drops     int
 	LastDeqNs int64
 	// U is scratch state for a PINT-style switch-resident EWMA (per-link
 	// utilization, §4.3); owned by whatever hook the experiment installs.

@@ -28,9 +28,9 @@ type Packet struct {
 	AckSeq     int64 // cumulative ACK (bytes expected next)
 
 	// Telemetry state carried on the wire.
-	INT         []HopINT // classic INT stack (grows per hop)
-	Digest      uint64   // PINT digest bits (global budget <= 64)
-	DigestBits  int      // how many bits of Digest are on the wire
+	INT        []HopINT // classic INT stack (grows per hop)
+	Digest     uint64   // PINT digest bits (global budget <= 64)
+	DigestBits int      // how many bits of Digest are on the wire
 	// DigestQuery identifies which query set this packet's digest serves
 	// (0 = none). It is NOT wire data: in a deployment every switch
 	// recomputes it from the global query-selection hash on the packet ID
@@ -42,7 +42,7 @@ type Packet struct {
 	EchoQuery   int    // echo of DigestQuery
 	EchoPktID   uint64 // ID of the data packet the echo came from (metadata)
 	EchoSentNs  int64  // echo of the data packet's SentNs (timestamp option)
-	ExtraBytes  int // fixed synthetic overhead (Fig 1/2's 28..108B sweeps)
+	ExtraBytes  int    // fixed synthetic overhead (Fig 1/2's 28..108B sweeps)
 
 	Hops      int   // switch hops traversed so far
 	SentNs    int64 // transmission time at the source (for RTT samples)

@@ -1,0 +1,254 @@
+// Package pipeline is the multi-core sink of the reproduction: it shards
+// sink-captured packets by flow key across a pool of workers, each owning
+// a private core.Recording, so heavy digest streams ingest in parallel
+// while every per-flow answer stays bit-identical to the serial path.
+//
+// Determinism argument: a flow's key maps to exactly one shard, each shard
+// is a single worker draining a FIFO, and Ingest preserves arrival order,
+// so every flow's digests are recorded in arrival order by one goroutine.
+// core.Recording derives all sketch randomness from a (query, flow, hop)
+// seed rather than arrival order, so a flow's state depends only on its
+// own digest stream and the shared seed base — not on how flows interleave
+// or how many shards exist. Hence Sink(n shards) ≡ Sink(1) ≡ serial
+// Recording, bit for bit, for any n.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/sketch"
+)
+
+// Config shapes a sharded sink.
+type Config struct {
+	// Shards is the worker count; values < 1 mean 1 (serial in a worker).
+	Shards int
+	// BatchSize is how many packets buffer per shard before dispatch
+	// (default 256). Smaller values lower latency, larger values lower
+	// channel traffic.
+	BatchSize int
+	// QueueDepth is the per-shard channel capacity in batches (default 4).
+	QueueDepth int
+	// Base seeds every shard's Recording identically; required for
+	// cross-shard-count reproducibility.
+	Base hash.Seed
+	// SketchItems / WindowBuckets / WindowSpan / FreqCounters / MaxFlows
+	// mirror the core.Recording knobs. MaxFlows bounds flows *per shard*
+	// (eviction is a per-shard LRU, so with MaxFlows > 0 the sharded and
+	// serial paths may evict different flows — leave it 0 when exact
+	// serial equivalence matters).
+	SketchItems   int
+	WindowBuckets int
+	WindowSpan    uint64
+	FreqCounters  int
+	MaxFlows      int
+}
+
+// Sink is the sharded Recording Module. Ingest/Record feed it; answers
+// (Path, LatencyQuantile, …) are valid only after Close has drained the
+// workers.
+type Sink struct {
+	engine *core.Engine
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type shard struct {
+	ch  chan []core.PacketDigest
+	rec *core.Recording
+	buf []core.PacketDigest
+	err error
+}
+
+// NewSink builds a sharded sink over an engine and starts its workers.
+func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("pipeline: nil engine")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 256
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 4
+	}
+	s := &Sink{engine: engine, cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		rec, err := core.NewRecordingSeeded(engine, cfg.SketchItems, cfg.Base)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.WindowBuckets > 0 {
+			rec.WindowBuckets = cfg.WindowBuckets
+			rec.WindowSpan = cfg.WindowSpan
+		}
+		if cfg.FreqCounters > 0 {
+			rec.FreqCounters = cfg.FreqCounters
+		}
+		rec.MaxFlows = cfg.MaxFlows
+		s.shards[i] = &shard{
+			ch:  make(chan []core.PacketDigest, cfg.QueueDepth),
+			rec: rec,
+			buf: make([]core.PacketDigest, 0, cfg.BatchSize),
+		}
+	}
+	s.start()
+	return s, nil
+}
+
+// ShardCount returns the number of shards/workers.
+func (s *Sink) ShardCount() int { return len(s.shards) }
+
+// shardOf maps a flow to its owning shard. Mix64 keeps sequential test
+// keys balanced; any pure function of the flow key preserves determinism.
+func (s *Sink) shardOf(flow core.FlowKey) *shard {
+	return s.shards[hash.Mix64(uint64(flow))%uint64(len(s.shards))]
+}
+
+// Record buffers one packet for its flow's shard.
+func (s *Sink) Record(flow core.FlowKey, k int, pktID, digest uint64) {
+	s.ingestOne(core.PacketDigest{Flow: flow, PktID: pktID, PathLen: k, Digest: digest})
+}
+
+// Ingest buffers a batch of packets, routing each to its flow's shard and
+// dispatching any shard buffer that fills. It must not be called
+// concurrently with itself, Record, Flush, or Close (one ingester thread,
+// many worker threads — the paper's sink is likewise a single tap point).
+func (s *Sink) Ingest(batch []core.PacketDigest) {
+	for i := range batch {
+		s.ingestOne(batch[i])
+	}
+}
+
+func (s *Sink) ingestOne(pkt core.PacketDigest) {
+	if s.closed {
+		panic("pipeline: Ingest after Close")
+	}
+	sh := s.shardOf(pkt.Flow)
+	sh.buf = append(sh.buf, pkt)
+	if len(sh.buf) == cap(sh.buf) {
+		sh.dispatch()
+	}
+}
+
+func (sh *shard) dispatch() {
+	if len(sh.buf) == 0 {
+		return
+	}
+	sh.ch <- sh.buf
+	sh.buf = make([]core.PacketDigest, 0, cap(sh.buf))
+}
+
+// Flush dispatches every shard's partial buffer to its worker without
+// waiting for the workers to drain.
+func (s *Sink) Flush() {
+	for _, sh := range s.shards {
+		sh.dispatch()
+	}
+}
+
+// start launches one worker goroutine per shard.
+func (s *Sink) start() {
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go func(sh *shard) {
+			defer s.wg.Done()
+			for b := range sh.ch {
+				if sh.err != nil {
+					continue // drain after failure; keep Ingest unblocked
+				}
+				sh.err = sh.rec.RecordBatch(b)
+			}
+		}(sh)
+	}
+}
+
+// Close flushes the buffers, runs the workers to completion, and returns
+// the first recording error. After Close the answer methods are safe.
+func (s *Sink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.Flush()
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+	for _, sh := range s.shards {
+		if sh.err != nil {
+			return sh.err
+		}
+	}
+	return nil
+}
+
+// Recording exposes the shard-private Recording that owns a flow's state.
+func (s *Sink) Recording(flow core.FlowKey) *core.Recording {
+	return s.shardOf(flow).rec
+}
+
+// TrackedFlows sums live flows across shards.
+func (s *Sink) TrackedFlows() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.rec.TrackedFlows()
+	}
+	return n
+}
+
+// The answer methods below delegate to the owning shard — the
+// deterministic merge: since a flow's state is wholly inside one shard,
+// merging is routing.
+
+// Path answers a path query for one flow.
+func (s *Sink) Path(q *core.PathQuery, flow core.FlowKey) ([]uint64, bool) {
+	return s.Recording(flow).Path(q, flow)
+}
+
+// PathInconsistencies returns the route-change signal for one flow.
+func (s *Sink) PathInconsistencies(q *core.PathQuery, flow core.FlowKey) int {
+	return s.Recording(flow).PathInconsistencies(q, flow)
+}
+
+// RouteChanged applies §7's route-change detection rule for one flow.
+func (s *Sink) RouteChanged(q *core.PathQuery, flow core.FlowKey, threshold int) bool {
+	return s.Recording(flow).RouteChanged(q, flow, threshold)
+}
+
+// LatencyQuantile answers a latency query for one (flow, hop).
+func (s *Sink) LatencyQuantile(q *core.LatencyQuery, flow core.FlowKey, hop int, phi float64) (float64, error) {
+	return s.Recording(flow).LatencyQuantile(q, flow, hop, phi)
+}
+
+// LatencySamples returns a (flow, hop)'s accumulated sample count.
+func (s *Sink) LatencySamples(q *core.LatencyQuery, flow core.FlowKey, hop int) int {
+	return s.Recording(flow).LatencySamples(q, flow, hop)
+}
+
+// UtilSeries answers a per-packet utilization query for one flow.
+func (s *Sink) UtilSeries(q *core.UtilQuery, flow core.FlowKey) []float64 {
+	return s.Recording(flow).UtilSeries(q, flow)
+}
+
+// FrequentValues answers a frequent-values query for one (flow, hop).
+func (s *Sink) FrequentValues(q *core.FreqQuery, flow core.FlowKey, hop int, theta float64) []sketch.HeavyHitter {
+	return s.Recording(flow).FrequentValues(q, flow, hop, theta)
+}
+
+// FreqSamples returns a frequent-values query's sample count for a hop.
+func (s *Sink) FreqSamples(q *core.FreqQuery, flow core.FlowKey, hop int) int {
+	return s.Recording(flow).FreqSamples(q, flow, hop)
+}
+
+// CountSeries answers a randomized-counting query for one flow.
+func (s *Sink) CountSeries(q *core.CountQuery, flow core.FlowKey) []float64 {
+	return s.Recording(flow).CountSeries(q, flow)
+}

@@ -1,0 +1,257 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// testPlan compiles a plan covering every query kind under a 32-bit
+// budget (mirrors core's combined test plan).
+func testPlan(t testing.TB, master hash.Seed) (*core.Engine, *core.PathQuery, *core.LatencyQuery, *core.UtilQuery, *core.FreqQuery, *core.CountQuery) {
+	t.Helper()
+	universe := make([]uint64, 64)
+	for i := range universe {
+		universe[i] = uint64(0xAB00 + i*3)
+	}
+	cfg, err := core.DefaultPathConfig(4, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := core.NewPathQuery("path", cfg, 1, master, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := core.NewLatencyQuery("lat", 8, 0.04, 7.0/8, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := core.NewUtilQuery("util", 8, 0.025, 1.0/8, 1000, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := core.NewFreqQuery("freq", 4, 1.0/4, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := core.NewCountQuery("cnt", 4, 0.5, 1.0/8, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Compile([]core.Query{path, lat, util, freq, cnt}, 32, master.Derive(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, path, lat, util, freq, cnt
+}
+
+// encodeWorkload produces an interleaved multi-flow digest stream through
+// the batch encode path: nFlows flows, k hops, pktsPerFlow packets each,
+// round-robin interleaved (the adversarial order for a sink).
+func encodeWorkload(eng *core.Engine, seed uint64, nFlows, pktsPerFlow, k int) []core.PacketDigest {
+	rng := hash.NewRNG(seed)
+	pkts := make([]core.PacketDigest, 0, nFlows*pktsPerFlow)
+	for p := 0; p < pktsPerFlow; p++ {
+		for f := 0; f < nFlows; f++ {
+			pkts = append(pkts, core.PacketDigest{
+				// Spread keys so shards get uneven, realistic loads.
+				Flow:    core.FlowKey(uint64(f)*2654435761 + 1),
+				PktID:   rng.Uint64(),
+				PathLen: k,
+			})
+		}
+	}
+	vals := make([]core.HopValues, len(pkts))
+	for hop := 1; hop <= k; hop++ {
+		for i := range pkts {
+			h := hash.Seed(42).Hash2(pkts[i].PktID, uint64(hop))
+			vals[i] = core.HopValues{
+				SwitchID:   0xAB00 + (h%16)*3,
+				LatencyNs:  1000 + h%100000,
+				Util:       1 + h%1500,
+				FreqValue:  h % 16,
+				CountFired: h % 3,
+			}
+		}
+		eng.EncodeHopBatch(hop, pkts, vals)
+	}
+	return pkts
+}
+
+// TestShardedSinkMatchesSerial is the determinism acceptance test: for a
+// fixed seed, every query answer from an N-shard sink is bit-identical to
+// the serial Recording, for N in {1, 2, 3, 8}, with raw and sketched
+// latency storage.
+func TestShardedSinkMatchesSerial(t *testing.T) {
+	for _, sketchItems := range []int{0, 32} {
+		eng, path, lat, util, freq, cnt := testPlan(t, 101)
+		const (
+			nFlows      = 24
+			pktsPerFlow = 400
+			k           = 6
+		)
+		pkts := encodeWorkload(eng, 7, nFlows, pktsPerFlow, k)
+		base := hash.Seed(0xD1CE)
+
+		serial, err := core.NewRecordingSeeded(eng, sketchItems, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.RecordBatch(pkts); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, shards := range []int{1, 2, 3, 8} {
+			sink, err := NewSink(eng, Config{
+				Shards: shards, BatchSize: 64, SketchItems: sketchItems, Base: base})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sink.Ingest(pkts)
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sink.TrackedFlows(); got != serial.TrackedFlows() {
+				t.Fatalf("shards=%d: tracked %d flows, serial %d", shards, got, serial.TrackedFlows())
+			}
+			for f := 0; f < nFlows; f++ {
+				flow := core.FlowKey(uint64(f)*2654435761 + 1)
+				compareFlow(t, shards, serial, sink, flow, k, path, lat, util, freq, cnt)
+			}
+		}
+	}
+}
+
+func compareFlow(t *testing.T, shards int, serial *core.Recording, sink *Sink, flow core.FlowKey, k int,
+	path *core.PathQuery, lat *core.LatencyQuery, util *core.UtilQuery, freq *core.FreqQuery, cnt *core.CountQuery) {
+	t.Helper()
+	pa, oka := serial.Path(path, flow)
+	pb, okb := sink.Path(path, flow)
+	if oka != okb || len(pa) != len(pb) {
+		t.Fatalf("shards=%d flow %d: path (%v,%d) vs (%v,%d)", shards, flow, oka, len(pa), okb, len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("shards=%d flow %d hop %d: path %d vs %d", shards, flow, i+1, pa[i], pb[i])
+		}
+	}
+	for hop := 1; hop <= k; hop++ {
+		if na, nb := serial.LatencySamples(lat, flow, hop), sink.LatencySamples(lat, flow, hop); na != nb {
+			t.Fatalf("shards=%d flow %d hop %d: %d vs %d samples", shards, flow, hop, na, nb)
+		}
+		if serial.LatencySamples(lat, flow, hop) > 0 {
+			for _, phi := range []float64{0.5, 0.99} {
+				qa, ea := serial.LatencyQuantile(lat, flow, hop, phi)
+				qb, eb := sink.LatencyQuantile(lat, flow, hop, phi)
+				if (ea == nil) != (eb == nil) || (ea == nil && qa != qb) {
+					t.Fatalf("shards=%d flow %d hop %d phi %v: %v vs %v", shards, flow, hop, phi, qa, qb)
+				}
+			}
+		}
+		ha := serial.FrequentValues(freq, flow, hop, 0.2)
+		hb := sink.FrequentValues(freq, flow, hop, 0.2)
+		if len(ha) != len(hb) {
+			t.Fatalf("shards=%d flow %d hop %d: %d vs %d hitters", shards, flow, hop, len(ha), len(hb))
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Fatalf("shards=%d flow %d hop %d: %+v vs %+v", shards, flow, hop, ha[i], hb[i])
+			}
+		}
+	}
+	ua, ub := serial.UtilSeries(util, flow), sink.UtilSeries(util, flow)
+	if len(ua) != len(ub) {
+		t.Fatalf("shards=%d flow %d: util %d vs %d", shards, flow, len(ua), len(ub))
+	}
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatalf("shards=%d flow %d util[%d]: %v vs %v", shards, flow, i, ua[i], ub[i])
+		}
+	}
+	ca, cb := serial.CountSeries(cnt, flow), sink.CountSeries(cnt, flow)
+	if len(ca) != len(cb) {
+		t.Fatalf("shards=%d flow %d: count %d vs %d", shards, flow, len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] && !(math.IsNaN(ca[i]) && math.IsNaN(cb[i])) {
+			t.Fatalf("shards=%d flow %d count[%d]: %v vs %v", shards, flow, i, ca[i], cb[i])
+		}
+	}
+}
+
+// TestSinkRunToRunDeterminism re-runs the same sharded ingest twice and
+// requires identical answers — goroutine scheduling must not leak into
+// results.
+func TestSinkRunToRunDeterminism(t *testing.T) {
+	eng, path, lat, _, _, _ := testPlan(t, 201)
+	pkts := encodeWorkload(eng, 9, 16, 300, 6)
+	base := hash.Seed(0xBEEF)
+	run := func() *Sink {
+		sink, err := NewSink(eng, Config{Shards: 4, BatchSize: 32, SketchItems: 24, Base: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink.Ingest(pkts)
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sink
+	}
+	a, b := run(), run()
+	for f := 0; f < 16; f++ {
+		flow := core.FlowKey(uint64(f)*2654435761 + 1)
+		va, oka := a.Path(path, flow)
+		vb, okb := b.Path(path, flow)
+		if oka != okb {
+			t.Fatalf("flow %d: decode %v vs %v", flow, oka, okb)
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("flow %d hop %d: %d vs %d", flow, i+1, va[i], vb[i])
+			}
+		}
+		for hop := 1; hop <= 6; hop++ {
+			if a.LatencySamples(lat, flow, hop) == 0 {
+				continue
+			}
+			qa, _ := a.LatencyQuantile(lat, flow, hop, 0.5)
+			qb, _ := b.LatencyQuantile(lat, flow, hop, 0.5)
+			if qa != qb {
+				t.Fatalf("flow %d hop %d: median %v vs %v across runs", flow, hop, qa, qb)
+			}
+		}
+	}
+}
+
+// TestSinkFlushAndReuse checks Flush mid-stream is safe and Close is
+// idempotent.
+func TestSinkFlushAndReuse(t *testing.T) {
+	eng, path, _, _, _, _ := testPlan(t, 301)
+	pkts := encodeWorkload(eng, 3, 8, 500, 6)
+	sink, err := NewSink(eng, Config{Shards: 2, BatchSize: 128, Base: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(pkts) / 2
+	sink.Ingest(pkts[:half])
+	sink.Flush()
+	sink.Ingest(pkts[half:])
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	decoded := 0
+	for f := 0; f < 8; f++ {
+		flow := core.FlowKey(uint64(f)*2654435761 + 1)
+		if _, ok := sink.Path(path, flow); ok {
+			decoded++
+		}
+	}
+	if decoded == 0 {
+		t.Fatal("no flow decoded its path through the sharded sink")
+	}
+}

@@ -16,10 +16,10 @@ import (
 // PINT applies it to the uniformly sub-sampled per-hop value stream to
 // answer the frequent-values aggregation of Theorem 2.
 type SpaceSaving struct {
-	m     int
-	cnt   map[uint64]uint64 // value -> count
-	err   map[uint64]uint64 // value -> overestimation bound
-	n     uint64
+	m   int
+	cnt map[uint64]uint64 // value -> count
+	err map[uint64]uint64 // value -> overestimation bound
+	n   uint64
 }
 
 // NewSpaceSaving creates a summary with m counters.

@@ -6,11 +6,11 @@ import (
 
 // RenoConfig parameterizes the Reno-like sender.
 type RenoConfig struct {
-	MTU       int   // payload bytes per segment (default 960 → 1000B wire)
-	InitRTO   int64 // initial retransmission timeout, ns
-	MinCwnd   int   // floor in segments (1)
-	InitCwnd  int   // initial window in segments (10, RFC 6928 spirit)
-	ExtraBytes int  // fixed synthetic per-packet overhead (Fig 1/2 sweep)
+	MTU        int   // payload bytes per segment (default 960 → 1000B wire)
+	InitRTO    int64 // initial retransmission timeout, ns
+	MinCwnd    int   // floor in segments (1)
+	InitCwnd   int   // initial window in segments (10, RFC 6928 spirit)
+	ExtraBytes int   // fixed synthetic per-packet overhead (Fig 1/2 sweep)
 }
 
 // DefaultRenoConfig returns sane defaults for the scaled-down simulations.

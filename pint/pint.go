@@ -27,6 +27,22 @@
 //	rec.Record(flowKey, pathLen, pktID, digest)
 //	ids, done := rec.Path(q, flowKey)
 //
+// # Batch and sharded hot path
+//
+// The closure API above is the didactic path. The compiled batch pipeline
+// runs the same plan with no interface dispatch, no closures and zero
+// per-packet allocations, and shards sink-side recording across cores
+// with answers bit-identical to the serial path:
+//
+//	pkts := []pint.PacketDigest{{Flow: flow, PktID: id, PathLen: k}, ...}
+//	vals := []pint.HopValues{{SwitchID: sw, LatencyNs: lat}, ...}
+//	engine.EncodeHopBatch(hop, pkts, vals)  // per hop, in place
+//
+//	sink, _ := pint.NewShardedSink(engine, pint.ShardConfig{Shards: 8, Base: seed})
+//	sink.Ingest(pkts)
+//	_ = sink.Close()
+//	ids, done := sink.Path(q, flow)
+//
 // The subpackages referenced here live under internal/; this package
 // re-exports everything a downstream user needs.
 package pint
@@ -35,6 +51,7 @@ import (
 	"repro/internal/coding"
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/pipeline"
 )
 
 // Seed identifies a deployment-wide global hash family. All switches and
@@ -140,6 +157,42 @@ type Recording = core.Recording
 // samples in KLL sketches of that accuracy parameter instead of raw lists.
 func NewRecording(engine *Engine, sketchItems int, rng *RNG) (*Recording, error) {
 	return core.NewRecording(engine, sketchItems, rng)
+}
+
+// NewRecordingSeeded creates a Recording module whose sketch randomness
+// derives entirely from base, making per-flow answers independent of
+// cross-flow arrival order (the contract the sharded sink relies on).
+func NewRecordingSeeded(engine *Engine, sketchItems int, base Seed) (*Recording, error) {
+	return core.NewRecordingSeeded(engine, sketchItems, base)
+}
+
+// HopValues carries everything a switch observes at one hop, one field per
+// query kind — the closure-free input of the compiled batch encode path
+// (Engine.EncodeHopValues / Engine.EncodeHopBatch).
+type HopValues = core.HopValues
+
+// PacketDigest is one packet's telemetry state in the batch pipeline: its
+// flow, path length, packet ID and digest. Engine.EncodeHopBatch rewrites
+// Digest in place; Recording.RecordBatch and ShardedSink.Ingest consume it.
+type PacketDigest = core.PacketDigest
+
+// Extracted is one query's digest slice recovered at the sink; see
+// Engine.Extract and the zero-allocation Engine.ExtractInto.
+type Extracted = core.Extracted
+
+// ShardedSink is the multi-core sink: packets shard by flow key across a
+// worker pool of per-shard Recordings, with answers bit-identical to the
+// serial path for the same ShardConfig.Base (see internal/pipeline).
+type ShardedSink = pipeline.Sink
+
+// ShardConfig shapes a ShardedSink: shard count, batch size, recording
+// knobs, and the shared sketch seed base.
+type ShardConfig = pipeline.Config
+
+// NewShardedSink builds a sharded sink over an engine and starts its
+// workers. Feed it with Ingest/Record, then Close before reading answers.
+func NewShardedSink(engine *Engine, cfg ShardConfig) (*ShardedSink, error) {
+	return pipeline.NewSink(engine, cfg)
 }
 
 // FlowKey identifies a flow at the Recording module.

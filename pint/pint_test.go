@@ -180,3 +180,63 @@ func TestPublicMultiLayer(t *testing.T) {
 		t.Fatalf("d=25 must use 2 XOR layers, got %d", l.Layers())
 	}
 }
+
+// TestPublicBatchPipeline drives the compiled batch path end to end
+// through the facade: EncodeHopBatch on the switch side, a sharded sink
+// on the recording side, and serial-equivalence of the answers.
+func TestPublicBatchPipeline(t *testing.T) {
+	uni := universe(64)
+	truth := uni[:6]
+	cfg, err := pint.DefaultPathConfig(8, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pint.NewPathQuery("path", cfg, 1, 3, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pint.Compile([]pint.Query{q}, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := pint.FlowKeyOf(3, "flow-batch")
+	rng := pint.NewRNG(4)
+	pkts := make([]pint.PacketDigest, 600)
+	vals := make([]pint.HopValues, len(pkts))
+	for i := range pkts {
+		pkts[i] = pint.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: len(truth)}
+	}
+	for hop := 1; hop <= len(truth); hop++ {
+		for i := range vals {
+			vals[i].SwitchID = truth[hop-1]
+		}
+		engine.EncodeHopBatch(hop, pkts, vals)
+	}
+
+	serial, err := pint.NewRecordingSeeded(engine, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.RecordBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	sink, err := pint.NewShardedSink(engine, pint.ShardConfig{Shards: 3, Base: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Ingest(pkts)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, okW := serial.Path(q, flow)
+	got, okG := sink.Path(q, flow)
+	if !okW || !okG {
+		t.Fatalf("path did not decode (serial %v, sharded %v)", okW, okG)
+	}
+	for i := range truth {
+		if want[i] != truth[i] || got[i] != truth[i] {
+			t.Fatalf("hop %d: serial %d sharded %d want %d", i+1, want[i], got[i], truth[i])
+		}
+	}
+}
