@@ -24,12 +24,14 @@ import (
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (1,5,medians,7a,7b,7c,8,9,10a,10b,10c,11,all)")
-	scaleName := flag.String("scale", "bench", "experiment scale: bench or paper")
+	scaleName := flag.String("scale", "bench", "experiment scale: quick, bench or paper")
 	shards := flag.Int("shards", 1, "recording shards for the Fig 9 sink (>1 uses the parallel batch pipeline; output is bit-identical)")
 	flag.Parse()
 
 	var s experiments.Scale
 	switch *scaleName {
+	case "quick":
+		s = experiments.Quick()
 	case "bench":
 		s = experiments.Bench()
 	case "paper":

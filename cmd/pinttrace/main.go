@@ -62,8 +62,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Drive the full compiled system (engine batch encode + recording),
-	// not just the raw coding harness.
+	// Drive the full compiled system — engine batch encode, a wire-format
+	// marshal/unmarshal round trip per block (the switch→collector
+	// transfer), and recording — not just the raw coding harness.
 	st, err := experiments.EnginePathTrials(cfg, values, universe, *trials, *seed, 2_000_000)
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@
 //
 // The public API lives in the pint subpackage; the per-figure benchmark
 // harness lives in bench_test.go next to this file. See README.md for the
-// tour: the quick start, the package map, and the compiled batch/sharded
-// pipeline that runs the per-packet hot path.
+// tour: the quick start, the package map, the compiled batch/sharded
+// pipeline that runs the per-packet hot path, and the streaming collector
+// (bounded flow state, digest wire format, snapshot queries).
 package repro

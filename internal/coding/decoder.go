@@ -98,6 +98,46 @@ func NewDecoder(cfg Config, g hash.Global, k int, universe []uint64) (*Decoder, 
 // K returns the path length being decoded.
 func (d *Decoder) K() int { return d.k }
 
+// Clone deep-copies the decoder's mutable state so a snapshot can keep
+// answering (and even keep observing) independently of the original. The
+// universe and candidate slices are shared: candidate sets are only ever
+// replaced wholesale, never mutated in place.
+func (d *Decoder) Clone() *Decoder {
+	c := &Decoder{
+		cfg:          d.cfg,
+		g:            d.g,
+		k:            d.k,
+		universe:     d.universe,
+		frags:        d.frags,
+		observed:     d.observed,
+		inconsistent: d.inconsistent,
+		decodedHops:  d.decodedHops,
+	}
+	c.insts = append([]hash.Global(nil), d.insts...)
+	if d.cand != nil {
+		c.cand = append([][]uint64(nil), d.cand...)
+	}
+	c.known = make([][]bool, d.frags)
+	c.vals = make([][]uint64, d.frags)
+	c.hopIndex = make([][][]int, d.frags)
+	for f := 0; f < d.frags; f++ {
+		c.known[f] = append([]bool(nil), d.known[f]...)
+		c.vals[f] = append([]uint64(nil), d.vals[f]...)
+		c.hopIndex[f] = make([][]int, d.k)
+		for h, idxs := range d.hopIndex[f] {
+			if idxs != nil {
+				c.hopIndex[f][h] = append([]int(nil), idxs...)
+			}
+		}
+	}
+	c.pkts = make([]pktRec, len(d.pkts))
+	for i, rec := range d.pkts {
+		rec.res = append([]uint64(nil), rec.res...)
+		c.pkts[i] = rec
+	}
+	return c
+}
+
 // Observed returns the number of digests consumed so far.
 func (d *Decoder) Observed() int { return d.observed }
 

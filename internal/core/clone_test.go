@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// cloneWorkload encodes an interleaved multi-flow stream through the
+// batch pipeline for clone/merge testing.
+func cloneWorkload(t *testing.T, eng *Engine, seed uint64, nFlows, n, k int) []PacketDigest {
+	t.Helper()
+	rng := hash.NewRNG(seed)
+	pkts := make([]PacketDigest, n)
+	vals := make([]HopValues, n)
+	for i := range pkts {
+		pkts[i] = PacketDigest{Flow: FlowKey(i%nFlows + 1), PktID: rng.Uint64(), PathLen: k}
+	}
+	for hop := 1; hop <= k; hop++ {
+		for i := range pkts {
+			vals[i] = hopValuesFor(pkts[i].PktID, hop, 0xAB00)
+		}
+		eng.EncodeHopBatch(hop, pkts, vals)
+	}
+	return pkts
+}
+
+// TestRecordingCloneIsIndependentAndIdentical is the contract snapshot
+// queries rely on: a clone answers bit-identically at the copy point, and
+// recording into the original afterwards leaves the clone untouched while
+// the clone, fed the same continuation, stays bit-identical to the
+// original — for raw, sketched, and sliding-window latency storage.
+func TestRecordingCloneIsIndependentAndIdentical(t *testing.T) {
+	type variant struct {
+		name        string
+		sketchItems int
+		winBuckets  int
+		winSpan     uint64
+	}
+	for _, v := range []variant{
+		{name: "raw"},
+		{name: "sketched", sketchItems: 24},
+		{name: "windowed", sketchItems: 24, winBuckets: 4, winSpan: 64},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			eng, path, lat, util, freq, cnt := combinedTestPlan(t, 37)
+			const (
+				nFlows = 6
+				k      = 6
+			)
+			pkts := cloneWorkload(t, eng, 91, nFlows, 4096, k)
+			half := len(pkts) / 2
+			mk := func() *Recording {
+				rec, err := NewRecordingSeeded(eng, v.sketchItems, 0xC10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec.WindowBuckets = v.winBuckets
+				rec.WindowSpan = v.winSpan
+				return rec
+			}
+			orig := mk()
+			if err := orig.RecordBatch(pkts[:half]); err != nil {
+				t.Fatal(err)
+			}
+			// Sliding-window quantile queries advance sketch RNG state, so
+			// every comparison below uses recordings queried exactly once:
+			// one clone (or reference) per comparison, all taken at the
+			// copy point before anything is queried.
+			cloneA, cloneB, cloneC, halfRef := orig.Clone(), orig.Clone(), orig.Clone(), orig.Clone()
+			if got, want := cloneA.TrackedFlows(), orig.TrackedFlows(); got != want {
+				t.Fatalf("clone tracks %d flows, original %d", got, want)
+			}
+
+			// At the copy point a clone answers bit-identically.
+			for f := 1; f <= nFlows; f++ {
+				assertSameAnswers(t, halfRef, cloneA, FlowKey(f), k, path, lat, util, freq, cnt)
+			}
+
+			// Recording the continuation into the original must not leak
+			// into the clones...
+			if err := orig.RecordBatch(pkts[half:]); err != nil {
+				t.Fatal(err)
+			}
+			fresh := mk()
+			if err := fresh.RecordBatch(pkts[:half]); err != nil {
+				t.Fatal(err)
+			}
+			for f := 1; f <= nFlows; f++ {
+				assertSameAnswers(t, fresh, cloneB, FlowKey(f), k, path, lat, util, freq, cnt)
+			}
+
+			// ...and feeding a clone the same continuation converges it
+			// with the original, bit for bit.
+			if err := cloneC.RecordBatch(pkts[half:]); err != nil {
+				t.Fatal(err)
+			}
+			for f := 1; f <= nFlows; f++ {
+				assertSameAnswers(t, orig, cloneC, FlowKey(f), k, path, lat, util, freq, cnt)
+			}
+		})
+	}
+}
+
+// TestRecordingMergeAdoptsDisjointFlows splits a stream by flow parity
+// into two recordings and merges them; every answer must match a single
+// recording that saw the whole stream.
+func TestRecordingMergeAdoptsDisjointFlows(t *testing.T) {
+	eng, path, lat, util, freq, cnt := combinedTestPlan(t, 41)
+	const (
+		nFlows = 8
+		k      = 6
+	)
+	pkts := cloneWorkload(t, eng, 97, nFlows, 4096, k)
+	mk := func() *Recording {
+		rec, err := NewRecordingSeeded(eng, 24, 0xE5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	whole, left, right := mk(), mk(), mk()
+	if err := whole.RecordBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		dst := left
+		if pkts[i].Flow%2 == 0 {
+			dst = right
+		}
+		// Copy the packet so the cached query-set selection filled by the
+		// first RecordBatch is reused, matching the serial path exactly.
+		if err := dst.RecordBatch(pkts[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := left.TrackedFlows(), whole.TrackedFlows(); got != want {
+		t.Fatalf("merged tracks %d flows, want %d", got, want)
+	}
+	for f := 1; f <= nFlows; f++ {
+		assertSameAnswers(t, whole, left, FlowKey(f), k, path, lat, util, freq, cnt)
+	}
+}
+
+// TestRecordingMergeRejectsOverlapAndForeignEngine pins Merge's error
+// cases: duplicated flows and mismatched engines.
+func TestRecordingMergeRejectsOverlapAndForeignEngine(t *testing.T) {
+	eng, _, _, _, _, _ := combinedTestPlan(t, 43)
+	pkts := cloneWorkload(t, eng, 101, 4, 512, 6)
+	a, err := NewRecordingSeeded(eng, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRecordingSeeded(eng, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecordBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge accepted overlapping flow sets")
+	}
+	eng2, _, _, _, _, _ := combinedTestPlan(t, 47)
+	c, err := NewRecordingSeeded(eng2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge accepted a recording from a different engine")
+	}
+}

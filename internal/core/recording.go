@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/coding"
 	"repro/internal/hash"
@@ -275,6 +276,180 @@ func (r *Recording) Evict(flow FlowKey) {
 
 // TrackedFlows returns the number of flows with live state.
 func (r *Recording) TrackedFlows() int { return len(r.flowSeq) }
+
+// HasFlow reports whether a flow currently has live state — e.g. inside
+// an eviction callback, where the flow is still queryable.
+func (r *Recording) HasFlow(flow FlowKey) bool {
+	_, ok := r.flowSeq[flow]
+	return ok
+}
+
+// Clone deep-copies the Recording — decoders, sketches, sample lists, and
+// recency state — sharing only the immutable engine and configuration.
+// The clone answers every query bit-identically to the original at the
+// moment of the copy, and both sides can keep recording (or be queried)
+// independently afterwards. This is what makes the pipeline's snapshot
+// queries race-free: a shard worker clones its Recording between batches
+// and hands the copy to concurrent readers.
+func (r *Recording) Clone() *Recording {
+	c := &Recording{
+		engine:        r.engine,
+		SketchItems:   r.SketchItems,
+		WindowBuckets: r.WindowBuckets,
+		WindowSpan:    r.WindowSpan,
+		FreqCounters:  r.FreqCounters,
+		MaxFlows:      r.MaxFlows,
+		seq:           r.seq,
+		base:          r.base,
+		flowSeq:       make(map[FlowKey]uint64, len(r.flowSeq)),
+		paths:         make(map[*PathQuery]map[FlowKey]*coding.Decoder, len(r.paths)),
+		lats:          make(map[*LatencyQuery]map[FlowKey][]*latStore, len(r.lats)),
+		utils:         make(map[*UtilQuery]map[FlowKey][]float64, len(r.utils)),
+		freqs:         make(map[*FreqQuery]map[FlowKey][]*sketch.SpaceSaving, len(r.freqs)),
+		cnts:          make(map[*CountQuery]map[FlowKey][]float64, len(r.cnts)),
+	}
+	for f, s := range r.flowSeq {
+		c.flowSeq[f] = s
+	}
+	for q, byFlow := range r.paths {
+		m := make(map[FlowKey]*coding.Decoder, len(byFlow))
+		for f, dec := range byFlow {
+			m[f] = dec.Clone()
+		}
+		c.paths[q] = m
+	}
+	for q, byFlow := range r.lats {
+		m := make(map[FlowKey][]*latStore, len(byFlow))
+		for f, hops := range byFlow {
+			cp := make([]*latStore, len(hops))
+			for i, st := range hops {
+				if st == nil {
+					continue
+				}
+				cst := &latStore{raw: append([]uint64(nil), st.raw...)}
+				if st.kll != nil {
+					cst.kll = st.kll.Clone()
+				}
+				if st.win != nil {
+					cst.win = st.win.Clone()
+				}
+				cp[i] = cst
+			}
+			m[f] = cp
+		}
+		c.lats[q] = m
+	}
+	for q, byFlow := range r.utils {
+		m := make(map[FlowKey][]float64, len(byFlow))
+		for f, vs := range byFlow {
+			m[f] = append([]float64(nil), vs...)
+		}
+		c.utils[q] = m
+	}
+	for q, byFlow := range r.freqs {
+		m := make(map[FlowKey][]*sketch.SpaceSaving, len(byFlow))
+		for f, hops := range byFlow {
+			cp := make([]*sketch.SpaceSaving, len(hops))
+			for i, ss := range hops {
+				if ss != nil {
+					cp[i] = ss.Clone()
+				}
+			}
+			m[f] = cp
+		}
+		c.freqs[q] = m
+	}
+	for q, byFlow := range r.cnts {
+		m := make(map[FlowKey][]float64, len(byFlow))
+		for f, vs := range byFlow {
+			m[f] = append([]float64(nil), vs...)
+		}
+		c.cnts[q] = m
+	}
+	return c
+}
+
+// Merge adopts every flow of o into r. The two recordings must serve the
+// same engine and must track disjoint flow sets — the shape produced by
+// the sharded sink, where a flow's state lives wholly inside one shard —
+// so merging is adoption, not sketch arithmetic. o's per-flow state moves
+// into r by reference; o must not be used afterwards. Flow recency is
+// preserved within o and appended after r's, deterministically.
+func (r *Recording) Merge(o *Recording) error {
+	if o == nil {
+		return nil
+	}
+	if o.engine != r.engine {
+		return fmt.Errorf("core: merging recordings of different engines")
+	}
+	for f := range o.flowSeq {
+		if _, dup := r.flowSeq[f]; dup {
+			return fmt.Errorf("core: merge would duplicate flow %v", f)
+		}
+	}
+	// Re-sequence o's flows after r's, in o's own recency order, so the
+	// merged recency ranking is independent of map iteration order.
+	flows := make([]FlowKey, 0, len(o.flowSeq))
+	for f := range o.flowSeq {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return o.flowSeq[flows[i]] < o.flowSeq[flows[j]] })
+	for _, f := range flows {
+		r.seq++
+		r.flowSeq[f] = r.seq
+	}
+	for q, byFlow := range o.paths {
+		dst := r.paths[q]
+		if dst == nil {
+			dst = map[FlowKey]*coding.Decoder{}
+			r.paths[q] = dst
+		}
+		for f, dec := range byFlow {
+			dst[f] = dec
+		}
+	}
+	for q, byFlow := range o.lats {
+		dst := r.lats[q]
+		if dst == nil {
+			dst = map[FlowKey][]*latStore{}
+			r.lats[q] = dst
+		}
+		for f, hops := range byFlow {
+			dst[f] = hops
+		}
+	}
+	for q, byFlow := range o.utils {
+		dst := r.utils[q]
+		if dst == nil {
+			dst = map[FlowKey][]float64{}
+			r.utils[q] = dst
+		}
+		for f, vs := range byFlow {
+			dst[f] = vs
+		}
+	}
+	for q, byFlow := range o.freqs {
+		dst := r.freqs[q]
+		if dst == nil {
+			dst = map[FlowKey][]*sketch.SpaceSaving{}
+			r.freqs[q] = dst
+		}
+		for f, hops := range byFlow {
+			dst[f] = hops
+		}
+	}
+	for q, byFlow := range o.cnts {
+		dst := r.cnts[q]
+		if dst == nil {
+			dst = map[FlowKey][]float64{}
+			r.cnts[q] = dst
+		}
+		for f, vs := range byFlow {
+			dst[f] = vs
+		}
+	}
+	return nil
+}
 
 // Path answers a path query: the decoded switch IDs and whether decoding
 // is complete (Inference Module, static aggregation).

@@ -65,6 +65,17 @@ func Bench() Scale {
 	}
 }
 
+// Quick returns the smallest sensible scale: a smoke-test configuration
+// (cmd/pintfig -scale quick) that exercises every figure's full code path
+// in seconds, for CI and bit-rot checks rather than for fidelity.
+func Quick() Scale {
+	s := Bench()
+	s.SizeDivisor = 256
+	s.DurationNs = 10_000_000 // 10 ms of arrivals
+	s.Trials = 3
+	return s
+}
+
 // Paper returns a scale closer to the paper's setup (minutes to hours per
 // figure; used by cmd/pintfig -scale paper).
 func Paper() Scale {

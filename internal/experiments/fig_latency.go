@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pipeline"
 	"repro/internal/sketch"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -158,9 +159,21 @@ func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketc
 	return errSum / float64(errN), nil
 }
 
-// recordPackets ingests an encoded batch serially or through the sharded
-// sink and returns the Recording that owns `flow`'s state.
+// recordPackets ships an encoded batch through the wire format (the
+// switch→collector transfer) and ingests the decoded copy serially or
+// through the sharded sink, returning the Recording that owns `flow`'s
+// state. The round trip is exercised on every Fig-harness run: answers
+// must be bit-identical to recording the in-memory batch directly.
 func recordPackets(eng *core.Engine, pkts []core.PacketDigest, sketchItems, shards int, base hash.Seed, flow core.FlowKey) (*core.Recording, error) {
+	data, err := wire.Marshal(pkts)
+	if err != nil {
+		return nil, err
+	}
+	rx, err := wire.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	pkts = rx
 	if shards > 1 {
 		sink, err := pipeline.NewSink(eng, pipeline.Config{
 			Shards: shards, SketchItems: sketchItems, Base: base})

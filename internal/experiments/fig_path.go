@@ -10,18 +10,23 @@ import (
 	"repro/internal/hash"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/wire"
 )
 
 // EnginePathTrials measures packets-to-decode for a path query driven
-// through the full compiled system — Compile, EncodeHopBatch per hop, and
-// batched Recording — rather than the raw coding harness. cmd/pinttrace
-// and the batch benchmarks use it so the interactive drivers exercise the
-// same hot path the sharded sink runs.
+// through the full compiled system — Compile, EncodeHopBatch per hop, a
+// wire-format round trip (every encoded block is marshaled and unmarshaled
+// as a switch→collector transfer would), and batched Recording — rather
+// than the raw coding harness. cmd/pinttrace and the batch benchmarks use
+// it so the interactive drivers exercise the same hot path the sharded
+// sink runs, wire encoding included.
 func EnginePathTrials(cfg coding.Config, values, universe []uint64, trials int, seed uint64, maxPkts int) (coding.Stats, error) {
 	rng := hash.NewRNG(seed)
 	const block = 32
 	pkts := make([]core.PacketDigest, block)
 	vals := make([]core.HopValues, block)
+	wireBuf := make([]byte, 0, block*12)
+	rx := make([]core.PacketDigest, 0, block)
 	counts := make([]int, 0, trials)
 	k := len(values)
 	for t := 0; t < trials; t++ {
@@ -55,9 +60,19 @@ func EnginePathTrials(cfg coding.Config, values, universe []uint64, trials int, 
 				}
 				eng.EncodeHopBatch(hop, pkts[:b], vals[:b])
 			}
+			// Ship the block switch→collector through the wire format, as
+			// a deployment would; the collector records the decoded copy.
+			wireBuf, err = wire.AppendMarshal(wireBuf[:0], pkts[:b])
+			if err != nil {
+				return coding.Stats{}, err
+			}
+			rx, err = wire.AppendUnmarshal(rx[:0], wireBuf)
+			if err != nil {
+				return coding.Stats{}, err
+			}
 			// Record one packet at a time so the decode count is exact.
 			for j := 0; j < b; j++ {
-				if err := rec.RecordBatch(pkts[j : j+1]); err != nil {
+				if err := rec.RecordBatch(rx[j : j+1]); err != nil {
 					return coding.Stats{}, err
 				}
 				n++

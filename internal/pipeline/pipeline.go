@@ -1,7 +1,18 @@
-// Package pipeline is the multi-core sink of the reproduction: it shards
-// sink-captured packets by flow key across a pool of workers, each owning
-// a private core.Recording, so heavy digest streams ingest in parallel
-// while every per-flow answer stays bit-identical to the serial path.
+// Package pipeline is the streaming collector of the reproduction: it
+// shards sink-captured packets by flow key across a pool of workers, each
+// owning a private core.Recording, so heavy digest streams ingest in
+// parallel while every per-flow answer stays bit-identical to the serial
+// path. Three properties make it run-forever capable:
+//
+//   - bounded flow state: each shard's flow table is governed by a
+//     pluggable EvictionPolicy (LRU, admission-order cap, idle timeout),
+//     and every evicted flow is surfaced through Config.OnEvict before
+//     its state is dropped, so finalized answers are never silently lost;
+//   - snapshot queries: Sink.Snapshot() returns a copy-on-read view whose
+//     queries run concurrently with ingestion, without a global flush;
+//   - a wire-friendly shape: Ingest consumes the same core.PacketDigest
+//     batches internal/wire marshals, so a remote tap's stream replays
+//     into the sink unchanged.
 //
 // Determinism argument: a flow's key maps to exactly one shard, each shard
 // is a single worker draining a FIFO, and Ingest preserves arrival order,
@@ -16,6 +27,7 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hash"
@@ -39,30 +51,65 @@ type Config struct {
 	// mirror the core.Recording knobs. MaxFlows bounds flows *per shard*
 	// (eviction is a per-shard LRU, so with MaxFlows > 0 the sharded and
 	// serial paths may evict different flows — leave it 0 when exact
-	// serial equivalence matters).
+	// serial equivalence matters). Prefer Policy + OnEvict, which also
+	// surface the evicted flows' answers; combining MaxFlows with Policy
+	// is rejected by NewSink, because Recording-level evictions would
+	// bypass OnEvict and desync the policy's flow table.
 	SketchItems   int
 	WindowBuckets int
 	WindowSpan    uint64
 	FreqCounters  int
 	MaxFlows      int
+	// Policy, when non-nil, builds one EvictionPolicy instance per shard;
+	// the policy bounds that shard's flow table. The policy clock is the
+	// shard's packet count.
+	Policy func() EvictionPolicy
+	// OnEvict, when non-nil, runs on the owning shard's worker goroutine
+	// for every eviction, before the flow's state is dropped: rec still
+	// holds the flow, so the callback can extract any finalized answers
+	// (rec.Path(...), rec.LatencyQuantile(...), ...). The callback must
+	// not retain rec and must not call Sink methods (the worker it would
+	// wait on is the one running it).
+	OnEvict func(ev Eviction, rec *core.Recording)
 }
 
-// Sink is the sharded Recording Module. Ingest/Record feed it; answers
-// (Path, LatencyQuantile, …) are valid only after Close has drained the
-// workers.
+// Sink is the sharded Recording Module. Ingest/Record feed it from one
+// ingester goroutine; Snapshot serves concurrent readers at any time; the
+// direct answer methods (Path, LatencyQuantile, …) are valid only after
+// Close has drained the workers.
 type Sink struct {
 	engine *core.Engine
 	cfg    Config
 	shards []*shard
 	wg     sync.WaitGroup
+	// mu serializes Snapshot and Close so a snapshot request is never in
+	// flight while the workers shut down. Ingest does not take it — the
+	// single-ingester contract covers Ingest vs Close ordering.
+	mu     sync.Mutex
 	closed bool
 }
 
 type shard struct {
-	ch  chan []core.PacketDigest
-	rec *core.Recording
-	buf []core.PacketDigest
-	err error
+	ch   chan []core.PacketDigest
+	free chan []core.PacketDigest
+	snap chan chan *core.Recording
+	rec  *core.Recording
+	buf  []core.PacketDigest
+	pol  EvictionPolicy
+	now  uint64
+	vict []Eviction
+	// err holds the shard's first recording error; written by the worker,
+	// read concurrently by Sink.Err, hence atomic.
+	err atomic.Pointer[error]
+}
+
+func (sh *shard) fail(err error) { sh.err.Store(&err) }
+
+func (sh *shard) failed() error {
+	if p := sh.err.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // NewSink builds a sharded sink over an engine and starts its workers.
@@ -79,6 +126,10 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 4
 	}
+	if cfg.MaxFlows > 0 && (cfg.Policy != nil || cfg.OnEvict != nil) {
+		return nil, fmt.Errorf("pipeline: MaxFlows is mutually exclusive with Policy/OnEvict" +
+			" (Recording-level evictions bypass the eviction callback)")
+	}
 	s := &Sink{engine: engine, cfg: cfg, shards: make([]*shard, cfg.Shards)}
 	for i := range s.shards {
 		rec, err := core.NewRecordingSeeded(engine, cfg.SketchItems, cfg.Base)
@@ -93,11 +144,17 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 			rec.FreqCounters = cfg.FreqCounters
 		}
 		rec.MaxFlows = cfg.MaxFlows
-		s.shards[i] = &shard{
-			ch:  make(chan []core.PacketDigest, cfg.QueueDepth),
-			rec: rec,
-			buf: make([]core.PacketDigest, 0, cfg.BatchSize),
+		sh := &shard{
+			ch:   make(chan []core.PacketDigest, cfg.QueueDepth),
+			free: make(chan []core.PacketDigest, cfg.QueueDepth+1),
+			snap: make(chan chan *core.Recording),
+			rec:  rec,
+			buf:  make([]core.PacketDigest, 0, cfg.BatchSize),
 		}
+		if cfg.Policy != nil {
+			sh.pol = cfg.Policy()
+		}
+		s.shards[i] = sh
 	}
 	s.start()
 	return s, nil
@@ -121,6 +178,7 @@ func (s *Sink) Record(flow core.FlowKey, k int, pktID, digest uint64) {
 // dispatching any shard buffer that fills. It must not be called
 // concurrently with itself, Record, Flush, or Close (one ingester thread,
 // many worker threads — the paper's sink is likewise a single tap point).
+// Snapshot, by contrast, may run concurrently from any goroutine.
 func (s *Sink) Ingest(batch []core.PacketDigest) {
 	for i := range batch {
 		s.ingestOne(batch[i])
@@ -138,12 +196,21 @@ func (s *Sink) ingestOne(pkt core.PacketDigest) {
 	}
 }
 
+// dispatch hands the filled buffer to the worker and replaces it with a
+// recycled one (workers return drained buffers on sh.free), so the
+// steady-state ingest path allocates nothing.
 func (sh *shard) dispatch() {
 	if len(sh.buf) == 0 {
 		return
 	}
+	size := cap(sh.buf)
 	sh.ch <- sh.buf
-	sh.buf = make([]core.PacketDigest, 0, cap(sh.buf))
+	select {
+	case b := <-sh.free:
+		sh.buf = b[:0]
+	default:
+		sh.buf = make([]core.PacketDigest, 0, size)
+	}
 }
 
 // Flush dispatches every shard's partial buffer to its worker without
@@ -160,34 +227,142 @@ func (s *Sink) start() {
 		s.wg.Add(1)
 		go func(sh *shard) {
 			defer s.wg.Done()
-			for b := range sh.ch {
-				if sh.err != nil {
-					continue // drain after failure; keep Ingest unblocked
+			for {
+				select {
+				case b, ok := <-sh.ch:
+					if !ok {
+						return
+					}
+					sh.consume(b, s.cfg.OnEvict)
+					select {
+					case sh.free <- b[:0]:
+					default:
+					}
+				case req := <-sh.snap:
+					// Serve the snapshot only after draining everything
+					// already queued, so a snapshot taken after
+					// Ingest+Flush (from the ingester, or synchronized
+					// with it) observes all of it.
+					sh.drainPending(s.cfg.OnEvict)
+					req <- sh.rec.Clone()
 				}
-				sh.err = sh.rec.RecordBatch(b)
 			}
 		}(sh)
 	}
 }
 
+// drainPending consumes every batch already queued without blocking.
+func (sh *shard) drainPending(onEvict func(Eviction, *core.Recording)) {
+	for {
+		select {
+		case b, ok := <-sh.ch:
+			if !ok {
+				// Close is serialized against Snapshot by Sink.mu, so the
+				// channel cannot close mid-snapshot; guard anyway.
+				return
+			}
+			sh.consume(b, onEvict)
+			select {
+			case sh.free <- b[:0]:
+			default:
+			}
+		default:
+			return
+		}
+	}
+}
+
+// consume records one batch, driving the eviction policy packet-by-packet
+// so a victim's state is finalized (callback, then dropped) before any
+// later packet is recorded — a flow is never half-evicted, and an evicted
+// flow's re-arrival within the same batch starts a fresh flow.
+func (sh *shard) consume(b []core.PacketDigest, onEvict func(Eviction, *core.Recording)) {
+	if sh.failed() != nil {
+		return // drain after failure; keep Ingest unblocked
+	}
+	if sh.pol == nil {
+		sh.now += uint64(len(b))
+		if err := sh.rec.RecordBatch(b); err != nil {
+			sh.fail(err)
+		}
+		return
+	}
+	for i := range b {
+		sh.now++
+		sh.vict = sh.pol.Touch(b[i].Flow, sh.now, sh.vict[:0])
+		for _, ev := range sh.vict {
+			if onEvict != nil {
+				onEvict(ev, sh.rec)
+			}
+			sh.rec.Evict(ev.Flow)
+		}
+		if err := sh.rec.RecordBatch(b[i : i+1]); err != nil {
+			sh.fail(err)
+			return
+		}
+	}
+}
+
+// Snapshot returns a copy-on-read view of every shard's Recording, safe
+// to take from any goroutine while ingestion continues. Each worker
+// clones at a batch boundary after draining its queue, so the snapshot
+// includes at least every packet dispatched (Ingest of a full batch, or
+// Flush) before the call, happens-before respected. See Snapshot's doc
+// for its own concurrency contract.
+func (s *Sink) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]*core.Recording, len(s.shards))
+	if s.closed {
+		// Workers are gone; their Recordings are quiescent.
+		for i, sh := range s.shards {
+			recs[i] = sh.rec.Clone()
+		}
+		return &Snapshot{recs: recs}
+	}
+	// Fan the requests out first so the workers clone concurrently;
+	// snapshot latency is then the slowest shard's clone, not the sum.
+	replies := make([]chan *core.Recording, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan *core.Recording, 1)
+		sh.snap <- replies[i]
+	}
+	for i := range replies {
+		recs[i] = <-replies[i]
+	}
+	return &Snapshot{recs: recs}
+}
+
+// Err returns the first recording error any shard has hit so far, or nil.
+// A long-running collector that never Closes should check it alongside
+// Snapshot: after a shard fails, that shard stops recording (its answers
+// freeze) while the others continue.
+func (s *Sink) Err() error {
+	for _, sh := range s.shards {
+		if err := sh.failed(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close flushes the buffers, runs the workers to completion, and returns
 // the first recording error. After Close the answer methods are safe.
 func (s *Sink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	s.Flush()
+	for _, sh := range s.shards {
+		sh.dispatch()
+	}
 	for _, sh := range s.shards {
 		close(sh.ch)
 	}
 	s.wg.Wait()
-	for _, sh := range s.shards {
-		if sh.err != nil {
-			return sh.err
-		}
-	}
-	return nil
+	return s.Err()
 }
 
 // Recording exposes the shard-private Recording that owns a flow's state.

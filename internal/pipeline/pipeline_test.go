@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/sketch"
 )
 
 // testPlan compiles a plan covering every query kind under a 32-bit
@@ -124,7 +125,25 @@ func TestShardedSinkMatchesSerial(t *testing.T) {
 	}
 }
 
-func compareFlow(t *testing.T, shards int, serial *core.Recording, sink *Sink, flow core.FlowKey, k int,
+// queryReader is the per-flow answer surface shared by *core.Recording,
+// *Sink, and *Snapshot — the three places a collector answer can come
+// from; the conformance suite compares them pairwise.
+type queryReader interface {
+	Path(*core.PathQuery, core.FlowKey) ([]uint64, bool)
+	LatencySamples(*core.LatencyQuery, core.FlowKey, int) int
+	LatencyQuantile(*core.LatencyQuery, core.FlowKey, int, float64) (float64, error)
+	FrequentValues(*core.FreqQuery, core.FlowKey, int, float64) []sketch.HeavyHitter
+	UtilSeries(*core.UtilQuery, core.FlowKey) []float64
+	CountSeries(*core.CountQuery, core.FlowKey) []float64
+}
+
+var (
+	_ queryReader = (*core.Recording)(nil)
+	_ queryReader = (*Sink)(nil)
+	_ queryReader = (*Snapshot)(nil)
+)
+
+func compareFlow(t *testing.T, shards int, serial queryReader, sink queryReader, flow core.FlowKey, k int,
 	path *core.PathQuery, lat *core.LatencyQuery, util *core.UtilQuery, freq *core.FreqQuery, cnt *core.CountQuery) {
 	t.Helper()
 	pa, oka := serial.Path(path, flow)
@@ -222,6 +241,61 @@ func TestSinkRunToRunDeterminism(t *testing.T) {
 				t.Fatalf("flow %d hop %d: median %v vs %v across runs", flow, hop, qa, qb)
 			}
 		}
+	}
+}
+
+// TestSinkRejectsPolicyWithMaxFlows pins the config guard: Recording-level
+// MaxFlows evictions would bypass OnEvict and desync the policy's table.
+func TestSinkRejectsPolicyWithMaxFlows(t *testing.T) {
+	eng, _, _, _, _, _ := testPlan(t, 901)
+	_, err := NewSink(eng, Config{
+		MaxFlows: 10,
+		Policy:   func() EvictionPolicy { return NewLRU(10) },
+	})
+	if err == nil {
+		t.Fatal("NewSink accepted Policy together with MaxFlows")
+	}
+	_, err = NewSink(eng, Config{
+		MaxFlows: 10,
+		OnEvict:  func(Eviction, *core.Recording) {},
+	})
+	if err == nil {
+		t.Fatal("NewSink accepted OnEvict together with MaxFlows (those evictions never run the callback)")
+	}
+}
+
+// TestSinkErrSurfacesShardFailure checks a long-running collector can see
+// a shard's recording error without Close: a packet with an impossible
+// path length fails its shard's decoder, Err() reports it mid-stream,
+// Snapshot keeps serving the healthy shards, and Close returns it too.
+func TestSinkErrSurfacesShardFailure(t *testing.T) {
+	eng, _, _, _, _, _ := testPlan(t, 1001)
+	pkts := encodeWorkload(eng, 31, 8, 50, 6)
+	sink, err := NewSink(eng, Config{Shards: 2, BatchSize: 8, Base: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Ingest(pkts[:100])
+	// Fresh flows force decoder construction; path length 65 is beyond
+	// the decoder's [1, 64] domain. Several packets so at least one falls
+	// in a path-carrying query set (deterministic for this seed).
+	for i := 0; i < 20; i++ {
+		bad := pkts[i]
+		bad.Flow = core.FlowKey(0xDEAD0000 + uint64(i))
+		bad.PathLen = 65
+		sink.Ingest([]core.PacketDigest{bad})
+	}
+	sink.Flush()
+	// The failure surfaces once the owning worker reaches the packet.
+	snap := sink.Snapshot() // forces the workers to drain their queues
+	if snap == nil {
+		t.Fatal("nil snapshot")
+	}
+	if sink.Err() == nil {
+		t.Fatal("Err() nil after a shard hit an impossible path length")
+	}
+	if err := sink.Close(); err == nil {
+		t.Fatal("Close returned nil after a shard failure")
 	}
 }
 

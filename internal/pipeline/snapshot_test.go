@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// TestSnapshotMidStreamMatchesPrefix checks the snapshot completeness
+// guarantee: a snapshot taken after Ingest+Flush from the ingesting
+// goroutine answers exactly like a serial recording of the packets
+// ingested so far — and stays frozen while ingestion continues.
+func TestSnapshotMidStreamMatchesPrefix(t *testing.T) {
+	eng, path, lat, util, freq, cnt := testPlan(t, 501)
+	const (
+		nFlows = 16
+		k      = 6
+	)
+	pkts := encodeWorkload(eng, 13, nFlows, 400, k)
+	base := hash.Seed(0xABAD)
+	half := len(pkts) / 2
+
+	sink, err := NewSink(eng, Config{Shards: 4, BatchSize: 32, SketchItems: 24, Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Ingest(pkts[:half])
+	sink.Flush()
+	snap := sink.Snapshot()
+
+	halfSerial, err := core.NewRecordingSeeded(eng, 24, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := halfSerial.RecordBatch(pkts[:half]); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < nFlows; f++ {
+		flow := core.FlowKey(uint64(f)*2654435761 + 1)
+		compareFlow(t, 4, halfSerial, snap, flow, k, path, lat, util, freq, cnt)
+	}
+
+	// Ingest the rest; the earlier snapshot must not move.
+	sink.Ingest(pkts[half:])
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := snap.TrackedFlows()
+	for f := 0; f < nFlows; f++ {
+		flow := core.FlowKey(uint64(f)*2654435761 + 1)
+		if got, want := snap.LatencySamples(lat, flow, 1), halfSerial.LatencySamples(lat, flow, 1); got != want {
+			t.Fatalf("flow %d: snapshot samples moved to %d (want %d) after further ingest", flow, got, want)
+		}
+	}
+	if snap.TrackedFlows() != before {
+		t.Fatal("snapshot flow count moved after further ingest")
+	}
+
+	fullSerial, err := core.NewRecordingSeeded(eng, 24, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fullSerial.RecordBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < nFlows; f++ {
+		flow := core.FlowKey(uint64(f)*2654435761 + 1)
+		compareFlow(t, 4, fullSerial, sink, flow, k, path, lat, util, freq, cnt)
+	}
+}
+
+// TestSnapshotConcurrentWithIngest is the -race acceptance test: readers
+// take snapshots and run every query kind while the ingester keeps
+// feeding the sink. Per-flow sample counts must be monotone across a
+// reader's successive snapshots (each snapshot reflects a prefix of the
+// per-shard stream, and prefixes only grow).
+func TestSnapshotConcurrentWithIngest(t *testing.T) {
+	eng, path, lat, util, freq, cnt := testPlan(t, 601)
+	const (
+		nFlows  = 16
+		k       = 6
+		readers = 3
+	)
+	pkts := encodeWorkload(eng, 17, nFlows, 500, k)
+	sink, err := NewSink(eng, Config{Shards: 4, BatchSize: 16, SketchItems: 24, Base: 0xF00D})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := make(map[core.FlowKey]int, nFlows)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := sink.Snapshot()
+				for f := 0; f < nFlows; f++ {
+					flow := core.FlowKey(uint64(f)*2654435761 + 1)
+					n := 0
+					for hop := 1; hop <= k; hop++ {
+						n += snap.LatencySamples(lat, flow, hop)
+						if snap.LatencySamples(lat, flow, hop) > 0 {
+							if _, err := snap.LatencyQuantile(lat, flow, hop, 0.5); err != nil {
+								t.Errorf("reader %d: quantile: %v", r, err)
+								return
+							}
+						}
+						snap.FrequentValues(freq, flow, hop, 0.2)
+					}
+					snap.Path(path, flow)
+					snap.UtilSeries(util, flow)
+					snap.CountSeries(cnt, flow)
+					if n < last[flow] {
+						t.Errorf("reader %d flow %d: samples went backwards %d -> %d", r, flow, last[flow], n)
+						return
+					}
+					last[flow] = n
+				}
+			}
+		}(r)
+	}
+
+	for off := 0; off < len(pkts); off += 64 {
+		end := min(off+64, len(pkts))
+		sink.Ingest(pkts[off:end])
+	}
+	sink.Flush()
+	close(done)
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot after Close equals the sink's own (drained) answers.
+	snap := sink.Snapshot()
+	for f := 0; f < nFlows; f++ {
+		flow := core.FlowKey(uint64(f)*2654435761 + 1)
+		compareFlow(t, 4, sink, snap, flow, k, path, lat, util, freq, cnt)
+	}
+}

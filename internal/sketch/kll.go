@@ -190,6 +190,18 @@ func (s *KLL) CDF(v float64) float64 {
 	return float64(s.Rank(v)) / float64(s.n)
 }
 
+// Clone deep-copies the sketch, including its RNG state, so the copy
+// answers queries and absorbs further insertions independently while
+// staying bit-identical to what the original would have produced.
+func (s *KLL) Clone() *KLL {
+	c := &KLL{k: s.k, c: s.c, n: s.n, rng: s.rng.Clone()}
+	c.compactors = make([][]float64, len(s.compactors))
+	for h, comp := range s.compactors {
+		c.compactors[h] = append(make([]float64, 0, cap(comp)), comp...)
+	}
+	return c
+}
+
 // Merge folds another sketch into this one. Both sketches remain valid
 // rank-error-wise because compaction is oblivious to insertion order.
 func (s *KLL) Merge(o *KLL) {

@@ -119,6 +119,20 @@ func (s *SlidingKLL) Quantile(phi float64) (float64, error) {
 	return merged.Quantile(phi), nil
 }
 
+// Clone deep-copies the window, its sub-sketches, and its RNG state, so
+// the copy rotates, answers, and evolves exactly as the original would.
+func (s *SlidingKLL) Clone() *SlidingKLL {
+	c := &SlidingKLL{buckets: s.buckets, span: s.span, k: s.k,
+		cur: s.cur, inCur: s.inCur, rng: s.rng.Clone()}
+	c.ring = make([]*KLL, len(s.ring))
+	for i, b := range s.ring {
+		if b != nil {
+			c.ring[i] = b.Clone()
+		}
+	}
+	return c
+}
+
 // WindowCount returns the number of items currently inside the window.
 func (s *SlidingKLL) WindowCount() uint64 {
 	var n uint64

@@ -115,3 +115,17 @@ func (s *SpaceSaving) HeavyHitters(theta float64) []HeavyHitter {
 
 // Counters returns the number of counters in use.
 func (s *SpaceSaving) Counters() int { return len(s.cnt) }
+
+// Clone deep-copies the summary; the copy evolves independently.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	c := &SpaceSaving{m: s.m, n: s.n,
+		cnt: make(map[uint64]uint64, len(s.cnt)),
+		err: make(map[uint64]uint64, len(s.err))}
+	for v, n := range s.cnt {
+		c.cnt[v] = n
+	}
+	for v, e := range s.err {
+		c.err[v] = e
+	}
+	return c
+}

@@ -1,0 +1,189 @@
+// Package wire is the switch→collector transport encoding of the batch
+// pipeline: a compact, versioned binary format for core.PacketDigest
+// batches, so digest streams can leave the switch (or a first-hop
+// aggregator) and be replayed into a remote sharded sink bit-identically.
+//
+// # Format (version 1)
+//
+// A marshaled batch is
+//
+//	magic   [2]byte  'P' 'D'
+//	version byte     0x01
+//	count   uvarint  number of packets
+//	packets count records, each
+//	    flowΔ   zigzag varint  FlowKey minus the previous record's FlowKey
+//	    pktIDΔ  zigzag varint  PktID minus the previous record's PktID
+//	    lenΔ    zigzag varint  PathLen minus the previous record's PathLen
+//	    digest  uvarint        the digest value itself
+//
+// Delta coding exploits the shape of real sink streams: consecutive
+// packets of one flow differ by small flow/ID/length deltas, and PINT
+// digests occupy only the plan's global bit budget (typically 8–32 of the
+// 64 bits), so every field varint-compresses well. The first record's
+// deltas are taken against zero.
+//
+// Unmarshal is strict: unknown magic/version, truncated input, non-minimal
+// or overflowing varints are rejected with an error (never a panic), a
+// batch whose count cannot fit in the remaining bytes is rejected before
+// any allocation (so hostile headers cannot force large allocations), and
+// trailing bytes after the last record are an error. PathLen is validated
+// against the decoder's [1, 64] domain. The query-set and coding-layer
+// caches a PacketDigest may carry are deliberately not transported: they
+// are engine-specific memoizations of pure functions, and the receiving
+// collector recomputes them.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Version is the current wire-format version byte.
+const Version = 1
+
+// MaxPathLen mirrors the Inference Module's path-length domain: the
+// decoder peels hop sets held in one 64-bit mask.
+const MaxPathLen = 64
+
+const headerLen = 4 // magic (2) + version (1) + count (>= 1)
+
+// minRecordLen is the smallest possible marshaled packet record: four
+// varints of one byte each. Unmarshal uses it to bound the claimed count
+// against the bytes actually present.
+const minRecordLen = 4
+
+var magic = [2]byte{'P', 'D'}
+
+// Marshal encodes a batch. It errors if any packet's PathLen is outside
+// [1, MaxPathLen] — such a packet could never have been produced by a
+// sink and would be rejected by the receiving side.
+func Marshal(batch []core.PacketDigest) ([]byte, error) {
+	return AppendMarshal(nil, batch)
+}
+
+// AppendMarshal appends the encoding of batch to dst (which may be nil or
+// a reused buffer's dst[:0]) and returns the extended slice.
+func AppendMarshal(dst []byte, batch []core.PacketDigest) ([]byte, error) {
+	dst = append(dst, magic[0], magic[1], Version)
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	var prevFlow, prevID uint64
+	var prevLen int
+	for i := range batch {
+		p := &batch[i]
+		if p.PathLen < 1 || p.PathLen > MaxPathLen {
+			return nil, fmt.Errorf("wire: packet %d has path length %d outside [1, %d]",
+				i, p.PathLen, MaxPathLen)
+		}
+		dst = binary.AppendVarint(dst, int64(uint64(p.Flow)-prevFlow))
+		dst = binary.AppendVarint(dst, int64(p.PktID-prevID))
+		dst = binary.AppendVarint(dst, int64(p.PathLen-prevLen))
+		dst = binary.AppendUvarint(dst, p.Digest)
+		prevFlow, prevID, prevLen = uint64(p.Flow), p.PktID, p.PathLen
+	}
+	return dst, nil
+}
+
+// Unmarshal decodes a marshaled batch. On error the returned slice is nil.
+func Unmarshal(data []byte) ([]core.PacketDigest, error) {
+	return AppendUnmarshal(nil, data)
+}
+
+// AppendUnmarshal appends the decoded packets to dst (pass a reused
+// buffer's dst[:0] to avoid allocation on the replay hot path) and returns
+// the extended slice. On error dst is returned unextended.
+func AppendUnmarshal(dst []core.PacketDigest, data []byte) ([]core.PacketDigest, error) {
+	if len(data) < headerLen {
+		return dst, fmt.Errorf("wire: %d-byte input shorter than the %d-byte header", len(data), headerLen)
+	}
+	if data[0] != magic[0] || data[1] != magic[1] {
+		return dst, fmt.Errorf("wire: bad magic %#02x%02x", data[0], data[1])
+	}
+	if data[2] != Version {
+		return dst, fmt.Errorf("wire: unsupported version %d (have %d)", data[2], Version)
+	}
+	rest := data[3:]
+	count, n, err := uvarint(rest)
+	if err != nil {
+		return dst, fmt.Errorf("wire: batch count: %w", err)
+	}
+	rest = rest[n:]
+	// Bound the claimed count by the bytes present before allocating
+	// anything, so a hostile header cannot force a huge allocation.
+	if count > uint64(len(rest)/minRecordLen) {
+		return dst, fmt.Errorf("wire: count %d exceeds the %d remaining bytes", count, len(rest))
+	}
+	out := dst
+	if free := cap(out) - len(out); uint64(free) < count {
+		grown := make([]core.PacketDigest, len(out), len(out)+int(count))
+		copy(grown, out)
+		out = grown
+	}
+	var prevFlow, prevID uint64
+	var prevLen int64
+	for i := uint64(0); i < count; i++ {
+		dFlow, n, err := varint(rest)
+		if err != nil {
+			return dst, fmt.Errorf("wire: packet %d flow: %w", i, err)
+		}
+		rest = rest[n:]
+		dID, n, err := varint(rest)
+		if err != nil {
+			return dst, fmt.Errorf("wire: packet %d id: %w", i, err)
+		}
+		rest = rest[n:]
+		dLen, n, err := varint(rest)
+		if err != nil {
+			return dst, fmt.Errorf("wire: packet %d path length: %w", i, err)
+		}
+		rest = rest[n:]
+		digest, n, err := uvarint(rest)
+		if err != nil {
+			return dst, fmt.Errorf("wire: packet %d digest: %w", i, err)
+		}
+		rest = rest[n:]
+		prevFlow += uint64(dFlow)
+		prevID += uint64(dID)
+		prevLen += dLen
+		if prevLen < 1 || prevLen > MaxPathLen {
+			return dst, fmt.Errorf("wire: packet %d path length %d outside [1, %d]", i, prevLen, MaxPathLen)
+		}
+		out = append(out, core.PacketDigest{
+			Flow:    core.FlowKey(prevFlow),
+			PktID:   prevID,
+			PathLen: int(prevLen),
+			Digest:  digest,
+		})
+	}
+	if len(rest) != 0 {
+		return dst, fmt.Errorf("wire: %d trailing bytes after the last record", len(rest))
+	}
+	return out, nil
+}
+
+// uvarint reads one canonical unsigned varint. Unlike binary.Uvarint it
+// rejects truncated input, 64-bit overflow, and non-minimal encodings
+// (e.g. 0x80 0x00 for zero), so every valid byte stream has exactly one
+// decoding — the property the fuzz harness's re-marshal check relies on.
+func uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	switch {
+	case n == 0:
+		return 0, 0, fmt.Errorf("truncated varint")
+	case n < 0:
+		return 0, 0, fmt.Errorf("varint overflows 64 bits")
+	case n > 1 && b[n-1] == 0:
+		return 0, 0, fmt.Errorf("non-minimal varint")
+	}
+	return v, n, nil
+}
+
+// varint reads one canonical zigzag varint.
+func varint(b []byte) (int64, int, error) {
+	u, n, err := uvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), n, nil
+}

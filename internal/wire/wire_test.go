@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// sampleBatch builds a stream shaped like a real sink tap: a few flows,
+// monotone-ish packet IDs, constant path length, digests confined to a
+// 16-bit budget.
+func sampleBatch(n int) []core.PacketDigest {
+	rng := hash.NewRNG(42)
+	batch := make([]core.PacketDigest, n)
+	for i := range batch {
+		batch[i] = core.PacketDigest{
+			Flow:    core.FlowKey(uint64(i%5)*2654435761 + 1),
+			PktID:   uint64(i)*3 + rng.Uint64()%3,
+			PathLen: 5 + i%3,
+			Digest:  rng.Uint64() & 0xFFFF,
+		}
+	}
+	return batch
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256, 4096} {
+		batch := sampleBatch(n)
+		data, err := Marshal(batch)
+		if err != nil {
+			t.Fatalf("n=%d: marshal: %v", n, err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("n=%d: unmarshal: %v", n, err)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("n=%d: got %d packets, want %d", n, len(got), len(batch))
+		}
+		for i := range batch {
+			if got[i] != batch[i] {
+				t.Fatalf("n=%d: packet %d = %+v, want %+v", n, i, got[i], batch[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripExtremes(t *testing.T) {
+	batch := []core.PacketDigest{
+		{Flow: 0, PktID: 0, PathLen: 1, Digest: 0},
+		{Flow: ^core.FlowKey(0), PktID: ^uint64(0), PathLen: MaxPathLen, Digest: ^uint64(0)},
+		{Flow: 1, PktID: 1, PathLen: 1, Digest: 1},
+		{Flow: ^core.FlowKey(0) - 1, PktID: 2, PathLen: 64, Digest: 1<<63 + 7},
+	}
+	data, err := Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		if got[i] != batch[i] {
+			t.Fatalf("packet %d = %+v, want %+v", i, got[i], batch[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// 16-bit-budget digests for one flow should cost only a few bytes per
+	// packet on the wire — far below the 8-byte raw digest alone.
+	const n = 1024
+	batch := make([]core.PacketDigest, n)
+	for i := range batch {
+		batch[i] = core.PacketDigest{Flow: 7, PktID: uint64(1000 + i), PathLen: 12,
+			Digest: uint64(i) & 0xFFFF}
+	}
+	data, err := Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPkt := float64(len(data)) / n
+	if perPkt > 8 {
+		t.Fatalf("wire cost %.1f B/pkt, want <= 8 (raw struct is 32)", perPkt)
+	}
+}
+
+func TestAppendFormsReuseBuffers(t *testing.T) {
+	batch := sampleBatch(300)
+	buf, err := AppendMarshal(make([]byte, 0, 4096), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]core.PacketDigest, 0, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = AppendMarshal(buf[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts, err = AppendUnmarshal(pkts[:0], buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("append round trip allocates %.0f times per run, want 0", allocs)
+	}
+}
+
+func TestMarshalRejectsBadPathLen(t *testing.T) {
+	for _, k := range []int{0, -1, MaxPathLen + 1} {
+		if _, err := Marshal([]core.PacketDigest{{PathLen: k}}); err == nil {
+			t.Fatalf("marshal accepted path length %d", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	valid, err := Marshal(sampleBatch(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   valid[:3],
+		"bad magic":      append([]byte{'X', 'D'}, valid[2:]...),
+		"bad version":    append([]byte{'P', 'D', 99}, valid[3:]...),
+		"huge count":     {'P', 'D', Version, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+		"trailing bytes": append(append([]byte(nil), valid...), 0),
+		"zero path len":  {'P', 'D', Version, 1, 0, 0, 0, 0},
+		"nonminimal":     {'P', 'D', Version, 1, 0x80, 0x00, 0, 0, 0},
+	}
+	for i := 1; i < len(valid); i++ {
+		cases[fmt.Sprintf("truncated@%d", i)] = valid[:i]
+	}
+	for name, data := range cases {
+		if bytes.Equal(data, valid) {
+			continue
+		}
+		pkts, err := Unmarshal(data)
+		if err == nil {
+			t.Errorf("%s: unmarshal accepted %x", name, data)
+		}
+		if pkts != nil {
+			t.Errorf("%s: unmarshal returned packets alongside an error", name)
+		}
+	}
+}
+
+func TestUnmarshalErrorLeavesDstUnextended(t *testing.T) {
+	dst := make([]core.PacketDigest, 2, 8)
+	out, err := AppendUnmarshal(dst, []byte{'P', 'D', Version, 3, 0, 0, 2, 0})
+	if err == nil {
+		t.Fatal("want error for truncated batch")
+	}
+	if len(out) != len(dst) {
+		t.Fatalf("dst grew to %d on error, want %d", len(out), len(dst))
+	}
+}

@@ -43,6 +43,21 @@
 //	_ = sink.Close()
 //	ids, done := sink.Path(q, flow)
 //
+// The sink runs as a long-lived collector: digest batches travel
+// switch→collector in a compact wire format (MarshalDigests /
+// UnmarshalDigests), per-shard flow state is bounded by a pluggable
+// eviction policy whose evictions surface finalized answers through a
+// callback, and Snapshot() answers queries concurrently with ingestion:
+//
+//	sink, _ := pint.NewShardedSink(engine, pint.ShardConfig{
+//	    Shards: 8, Base: seed,
+//	    Policy:  func() pint.EvictionPolicy { return pint.NewLRU(1 << 20) },
+//	    OnEvict: func(ev pint.Eviction, rec *pint.Recording) { /* export answers */ },
+//	})
+//	sink.Ingest(pkts)           // from the tap, forever
+//	snap := sink.Snapshot()     // from any goroutine, no flush needed
+//	ids, done := snap.Path(q, flow)
+//
 // The subpackages referenced here live under internal/; this package
 // re-exports everything a downstream user needs.
 package pint
@@ -52,6 +67,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/pipeline"
+	"repro/internal/wire"
 )
 
 // Seed identifies a deployment-wide global hash family. All switches and
@@ -193,6 +209,54 @@ type ShardConfig = pipeline.Config
 // workers. Feed it with Ingest/Record, then Close before reading answers.
 func NewShardedSink(engine *Engine, cfg ShardConfig) (*ShardedSink, error) {
 	return pipeline.NewSink(engine, cfg)
+}
+
+// Snapshot is a copy-on-read view of a ShardedSink's state: its query
+// methods answer concurrently with ingestion, without a global flush.
+type Snapshot = pipeline.Snapshot
+
+// EvictionPolicy bounds a ShardedSink shard's flow table; see NewLRU,
+// NewMaxFlows and NewIdleTimeout for the built-in policies.
+type EvictionPolicy = pipeline.EvictionPolicy
+
+// Eviction describes one finalized (evicted) flow.
+type Eviction = pipeline.Eviction
+
+// Eviction reasons.
+const (
+	EvictCapacity = pipeline.EvictCapacity
+	EvictIdle     = pipeline.EvictIdle
+)
+
+// NewLRU returns an eviction policy that caps live flows, evicting the
+// least-recently-used.
+func NewLRU(maxFlows int) EvictionPolicy { return pipeline.NewLRU(maxFlows) }
+
+// NewMaxFlows returns an eviction policy that caps live flows, evicting
+// in admission order.
+func NewMaxFlows(cap int) EvictionPolicy { return pipeline.NewMaxFlows(cap) }
+
+// NewIdleTimeout returns an eviction policy that finalizes flows idle for
+// more than timeout packets of shard traffic.
+func NewIdleTimeout(timeout uint64) EvictionPolicy { return pipeline.NewIdleTimeout(timeout) }
+
+// MarshalDigests encodes a PacketDigest batch in the versioned
+// switch→collector wire format (see internal/wire's package doc).
+func MarshalDigests(batch []PacketDigest) ([]byte, error) { return wire.Marshal(batch) }
+
+// AppendMarshalDigests is MarshalDigests appending into a reused buffer.
+func AppendMarshalDigests(dst []byte, batch []PacketDigest) ([]byte, error) {
+	return wire.AppendMarshal(dst, batch)
+}
+
+// UnmarshalDigests decodes a wire-format batch; malformed input errors,
+// never panics.
+func UnmarshalDigests(data []byte) ([]PacketDigest, error) { return wire.Unmarshal(data) }
+
+// AppendUnmarshalDigests is UnmarshalDigests appending into a reused
+// buffer.
+func AppendUnmarshalDigests(dst []PacketDigest, data []byte) ([]PacketDigest, error) {
+	return wire.AppendUnmarshal(dst, data)
 }
 
 // FlowKey identifies a flow at the Recording module.

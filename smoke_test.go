@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSmokeBinariesAndExamples build-and-runs every command and example
+// main so CI catches bit-rot in the untested binaries: each subtest `go
+// run`s the package with fast arguments and checks for a marker string
+// the program prints on a healthy run.
+func TestSmokeBinariesAndExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the go tool; skipped in -short")
+	}
+	cases := []struct {
+		name   string
+		args   []string
+		marker string
+	}{
+		{"pintplan", []string{"./cmd/pintplan", "-budget", "16"}, "pipeline:"},
+		{"pintfig-quick", []string{"./cmd/pintfig", "-scale", "quick", "-fig", "5"}, "Fig 5"},
+		{"pinttrace", []string{"./cmd/pinttrace", "-topo", "fattree", "-len", "5",
+			"-trials", "20", "-baselines=false"}, "PINT"},
+		{"example-quickstart", []string{"./examples/quickstart"}, "path"},
+		{"example-pathtracing", []string{"./examples/pathtracing"}, ""},
+		{"example-latency", []string{"./examples/latency"}, ""},
+		{"example-loopdetect", []string{"./examples/loopdetect"}, ""},
+		{"example-congestion", []string{"./examples/congestion"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(ctx, "go", append([]string{"run"}, tc.args...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", strings.Join(tc.args, " "), err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("go run %s printed nothing", strings.Join(tc.args, " "))
+			}
+			if tc.marker != "" && !strings.Contains(string(out), tc.marker) {
+				t.Fatalf("go run %s output lacks %q:\n%s", strings.Join(tc.args, " "), tc.marker, out)
+			}
+		})
+	}
+}
