@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/coding"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hash"
 	"repro/internal/pipeline"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -629,4 +631,27 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkScenarioRunner runs the full registry (every paper figure plus
+// the non-paper scenarios) at quick scale through the shared trial
+// runner, at 1 and GOMAXPROCS workers — the registry's wall-clock scaling
+// axis. Output is bit-identical across the two (pinned by the golden
+// tests); only the wall clock moves.
+func BenchmarkScenarioRunner(b *testing.B) {
+	s := experiments.Quick()
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run("parallel="+itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := scenario.RunNames([]string{"all"}, scenario.Options{Scale: s, Parallel: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) < 16 {
+					b.Fatalf("only %d scenarios ran", len(results))
+				}
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "s/catalog")
+		})
+	}
 }

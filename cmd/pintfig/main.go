@@ -1,32 +1,52 @@
-// Command pintfig regenerates any of the paper's tables and figures.
+// Command pintfig drives the scenario registry: every paper figure and
+// every non-paper scenario runs through the same declarative engine
+// (internal/scenario), with trials spread over a worker pool and results
+// bit-identical at any parallelism.
 //
 // Usage:
 //
-//	pintfig -fig 1 [-scale bench|paper]     Figs 1+2 (overhead vs FCT/goodput)
-//	pintfig -fig 5                          Fig 5 (coding scheme progress)
-//	pintfig -fig medians                    §4.2 packets-to-decode table
-//	pintfig -fig 7a | 7b | 7c | 8           HPCC experiments
-//	pintfig -fig 9                          latency-quantile error panels
-//	pintfig -fig 10a | 10b | 10c            path tracing per topology
-//	pintfig -fig 11                         combined three-query experiment
-//	pintfig -fig all                        everything
+//	pintfig -list                          catalog of registered scenarios
+//	pintfig -run fig10c                    one scenario
+//	pintfig -run fig9,fig11                several scenarios, one shared pool
+//	pintfig -run all                       everything
+//	pintfig -run all -json                 machine-readable results
+//	pintfig -run all -parallel 8           8 trial workers
+//	pintfig -run all -scale quick          quick | bench | paper
+//	pintfig -run fig9 -shards 4            recording-sink workers (answers identical)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/workload"
+	"repro/internal/scenario"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (1,5,medians,7a,7b,7c,8,9,10a,10b,10c,11,all)")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	run := flag.String("run", "", "scenario name(s) to run, comma-separated, or 'all'")
 	scaleName := flag.String("scale", "bench", "experiment scale: quick, bench or paper")
-	shards := flag.Int("shards", 1, "recording shards for the Fig 9 sink (>1 uses the parallel batch pipeline; output is bit-identical)")
+	parallel := flag.Int("parallel", 1, "trial worker-pool size (results are bit-identical for any value)")
+	shards := flag.Int("shards", 0, "recording-sink shard workers for every scenario with a recording path (0 = 1; answers are bit-identical)")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	seed := flag.Uint64("seed", 0, "override the scale's random seed (0 keeps the default)")
 	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "pintfig: nothing to do; use -list or -run <name|all>")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var s experiments.Scale
 	switch *scaleName {
@@ -40,137 +60,47 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
 	s.Shards = *shards
-
-	run := func(name string, fn func() error) {
-		if *fig != "all" && *fig != name {
-			return
-		}
-		fmt.Fprintf(os.Stderr, "running %s at scale %s...\n", name, *scaleName)
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
-	run("1", func() error {
-		pts, err := experiments.Fig01_02(s)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.Fig01_02Table(pts))
-		return nil
-	})
-	run("5", func() error {
-		curves, err := experiments.Fig05(s)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.Fig05Table(curves))
-		return nil
-	})
-	run("medians", func() error {
-		tab, err := experiments.CodingMedians(s)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tab)
-		return nil
-	})
-	run("7a", func() error {
-		pts, err := experiments.Fig07a(s)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.Fig07aTable(pts))
-		return nil
-	})
-	run("7b", func() error {
-		sr, err := experiments.Fig07bc(s, workload.WebSearch())
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.SlowdownTable("Fig 7b: p95 slowdown, web search, 50% load", sr))
-		return nil
-	})
-	run("7c", func() error {
-		sr, err := experiments.Fig07bc(s, workload.Hadoop())
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.SlowdownTable("Fig 7c: p95 slowdown, Hadoop, 50% load", sr))
-		return nil
-	})
-	run("8", func() error {
-		for _, wl := range []struct {
-			name string
-			dist *workload.Dist
-		}{{"web search", workload.WebSearch()}, {"hadoop", workload.Hadoop()}} {
-			sr, err := experiments.Fig08(s, wl.dist)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.SlowdownTable(
-				fmt.Sprintf("Fig 8: p95 slowdown vs feedback fraction, %s", wl.name), sr))
-		}
-		return nil
-	})
-	run("9", func() error {
-		panels := []experiments.Fig09Panel{
-			{Workload: "websearch", Quantile: 0.99},
-			{Workload: "hadoop", Quantile: 0.99},
-			{Workload: "hadoop", Quantile: 0.5},
-			{Workload: "websearch", Quantile: 0.99, BySketch: true},
-			{Workload: "hadoop", Quantile: 0.99, BySketch: true},
-			{Workload: "hadoop", Quantile: 0.5, BySketch: true},
-		}
-		for _, p := range panels {
-			series, err := experiments.Fig09(s, p)
-			if err != nil {
-				return err
-			}
-			axis := "sample size [pkts]"
-			if p.BySketch {
-				axis = "sketch size [bytes]"
-			}
-			fmt.Printf("== Fig 9 panel: %s q=%.2f vs %s ==\n", p.Workload, p.Quantile, axis)
-			for _, sr := range series {
-				fmt.Printf("  %-14s", sr.Name)
-				for _, pt := range sr.Points {
-					fmt.Printf("  %d:%.1f%%", pt.X, pt.RelErr)
-				}
-				fmt.Println()
-			}
-			fmt.Println()
-		}
-		return nil
-	})
-	for _, topo := range []struct {
-		id   string
-		name experiments.Fig10Topology
-	}{{"10a", experiments.TopoKentucky}, {"10b", experiments.TopoUSCarrier}, {"10c", experiments.TopoFatTree}} {
-		topo := topo
-		run(topo.id, func() error {
-			pts, err := experiments.Fig10(s, topo.name)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Fig10Table(topo.name, pts))
-			return nil
-		})
+	names := strings.Split(*run, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
 	}
-	run("11", func() error {
-		rows, err := experiments.Fig11(s)
-		if err != nil {
-			return err
+	start := time.Now()
+	results, err := scenario.RunNames(names, scenario.Options{Scale: s, Parallel: *parallel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println(experiments.Fig11Table(rows))
-		return nil
-	})
-	run("collection", func() error {
-		stats, err := experiments.CollectionOverhead(s)
-		if err != nil {
-			return err
+	} else {
+		for _, res := range results {
+			fmt.Printf("# %s (%s, %d trials)\n", res.Scenario, res.Figure, res.Trials)
+			for _, tb := range res.Tables {
+				fmt.Println(tb)
+			}
 		}
-		fmt.Println(experiments.CollectionTable(stats))
-		return nil
-	})
+	}
+	fmt.Fprintf(os.Stderr, "ran %d scenario(s) at scale %s in %v (parallel=%d, shards=%d)\n",
+		len(results), *scaleName, time.Since(start).Round(time.Millisecond), *parallel, *shards)
+}
+
+func printCatalog() {
+	tb := experiments.Table{
+		Title:   "Scenario catalog",
+		Columns: []string{"name", "figure", "topology", "recording stack", "measures"},
+	}
+	for _, sc := range scenario.All() {
+		tb.Rows = append(tb.Rows, []string{sc.Name, sc.Figure, sc.Topology, sc.Stack, sc.Desc})
+	}
+	fmt.Println(tb)
 }

@@ -1,10 +1,13 @@
 // Command pinttrace measures packets-to-decode for path tracing over one
-// of the evaluation topologies, with a configurable budget — the
-// interactive counterpart of Fig 10.
+// of the evaluation topologies with a configurable budget — a
+// parameterized instance of the scenario registry's path-trace scenario,
+// executed by the shared trial runner. Every digest runs the production
+// stack (engine batch encode → wire → sharded sink), and -parallel
+// spreads the decode episodes over workers with bit-identical output.
 //
 // Usage:
 //
-//	pinttrace -topo kentucky -len 24 -bits 8 -instances 2 -trials 1000
+//	pinttrace -topo kentucky -len 24 -bits 8 -instances 2 -trials 1000 -parallel 8
 package main
 
 import (
@@ -12,10 +15,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/telemetry"
-	"repro/internal/topology"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -26,66 +27,32 @@ func main() {
 	d := flag.Int("d", 10, "assumed typical path length (layering parameter)")
 	trials := flag.Int("trials", 1000, "trials")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 1, "trial worker-pool size (output is bit-identical for any value)")
+	shards := flag.Int("shards", 0, "recording-sink shard workers (answers are bit-identical)")
 	baselines := flag.Bool("baselines", true, "also run PPM and AMS2")
 	flag.Parse()
 
-	var g *topology.Graph
-	var err error
-	switch *topoName {
-	case "kentucky":
-		g, err = topology.KentuckyDatalinkLike()
-	case "uscarrier":
-		g, err = topology.USCarrierLike()
-	case "fattree":
-		g, err = topology.FatTree(8)
-	default:
-		log.Fatalf("unknown topology %q", *topoName)
+	sc := scenario.PathTrace(scenario.PathTraceSpec{
+		Topo:      *topoName,
+		PathLen:   *pathLen,
+		Bits:      *bits,
+		Instances: *instances,
+		D:         *d,
+		MaxPkts:   2_000_000,
+		Baselines: *baselines,
+	})
+	s := experiments.Bench()
+	s.Trials = *trials
+	s.Seed = *seed
+	s.Shards = *shards
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
 	}
+	res, err := scenario.Run(&sc, scenario.Options{Scale: s, Parallel: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// A path visiting `len` switches connects a pair at BFS distance len-1.
-	pairs := g.SwitchPairsAtDistance(*pathLen-1, 1, *seed)
-	if len(pairs) == 0 {
-		log.Fatalf("no %d-switch path in %s", *pathLen, g.Name)
-	}
-	nodePath := g.Path(pairs[0][0], pairs[0][1], *seed)
-	var values []uint64
-	for _, n := range nodePath {
-		values = append(values, g.Nodes[n].SwitchID)
-	}
-	universe := g.SwitchIDUniverse()
-	fmt.Printf("%s: %d switches, tracing a %d-hop path, %d trials\n\n",
-		g.Name, len(universe), len(values), *trials)
-
-	cfg, err := core.DefaultPathConfig(*bits, *instances, *d)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Drive the full compiled system — engine batch encode, a wire-format
-	// marshal/unmarshal round trip per block (the switch→collector
-	// transfer), and recording — not just the raw coding harness.
-	st, err := experiments.EnginePathTrials(cfg, values, universe, *trials, *seed, 2_000_000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("PINT %dx(b=%d)   mean %.0f   median %.0f   p99 %.0f   (%d bits/pkt)\n",
-		*instances, *bits, st.Mean, st.Median, st.P99, cfg.TotalBits())
-
-	if *baselines {
-		ppm, err := telemetry.RunPPMTrials(values, *trials, *seed+1, 2_000_000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("PPM            mean %.0f   median %.0f   p99 %.0f   (16 bits/pkt)\n",
-			ppm.Mean, ppm.Median, ppm.P99)
-		for _, m := range []int{5, 6} {
-			ams, err := telemetry.RunAMS2Trials(values, universe, m, *trials, *seed+uint64(m), 2_000_000)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("AMS2 (m=%d)     mean %.0f   median %.0f   p99 %.0f   (16 bits/pkt)\n",
-				m, ams.Mean, ams.Median, ams.P99)
-		}
+	for _, tb := range res.Tables {
+		fmt.Println(tb)
 	}
 }

@@ -1,9 +1,13 @@
 // Package repro is a from-scratch Go reproduction of "PINT: Probabilistic
 // In-band Network Telemetry" (Ben Basat et al., SIGCOMM 2020).
 //
-// The public API lives in the pint subpackage; the per-figure benchmark
-// harness lives in bench_test.go next to this file. See README.md for the
-// tour: the quick start, the package map, the compiled batch/sharded
-// pipeline that runs the per-packet hot path, and the streaming collector
-// (bounded flow state, digest wire format, snapshot queries).
+// The public API lives in the pint subpackage. Every experiment — each
+// paper figure and the non-paper workloads — is registered in the
+// scenario engine (internal/scenario, re-exported by pint and driven by
+// cmd/pintfig -list/-run): a declarative registry whose trial runner
+// executes across a worker pool with bit-identical results at any
+// parallelism. See README.md for the tour: the quick start, the package
+// map, the compiled batch/sharded pipeline that runs the per-packet hot
+// path, the streaming collector (bounded flow state, digest wire format,
+// snapshot queries), and the scenario catalog.
 package repro

@@ -43,9 +43,43 @@ type Decoder struct {
 	pkts     []pktRec
 	hopIndex [][][]int // [frag][hop] -> indices into pkts
 
+	// scratch holds the residual words of the packet currently being
+	// observed; arena owns the residuals of stored packets. Together they
+	// keep Observe free of per-packet slice allocations: packets explained
+	// on arrival never touch the heap, stored ones bump-allocate.
+	scratch []uint64
+	arena   wordArena
+
 	observed     int
 	inconsistent int // packets contradicting the decoded prefix (§7: path change signal)
 	decodedHops  int
+}
+
+// wordArena bump-allocates small []uint64 residuals out of fixed-size
+// chunks. Chunks are never reallocated, so handed-out slices stay valid;
+// freed space is never reclaimed — the decoder's stored packets live until
+// the decoder itself is dropped, exactly as the per-packet copies they
+// replace did.
+type wordArena struct {
+	chunks [][]uint64
+	free   []uint64
+}
+
+const arenaChunkWords = 1024
+
+func (a *wordArena) alloc(n int) []uint64 {
+	if n > len(a.free) {
+		size := arenaChunkWords
+		if n > size {
+			size = n
+		}
+		c := make([]uint64, size)
+		a.chunks = append(a.chunks, c)
+		a.free = c
+	}
+	s := a.free[:n:n]
+	a.free = a.free[n:]
+	return s
 }
 
 type pktRec struct {
@@ -189,12 +223,18 @@ func (d *Decoder) Observe(pktID uint64, dig Digest) bool {
 	if d.cfg.Mode == ModeRaw {
 		frag = d.g.Fragment(pktID, d.frags)
 	}
+	// Work on the reusable scratch first: most packets are explained (or
+	// become a single constraint) on arrival and never need stored state.
+	if cap(d.scratch) < len(dig.Words) {
+		d.scratch = make([]uint64, len(dig.Words))
+	}
 	rec := pktRec{
 		id:   pktID,
 		frag: frag,
 		mask: mask,
-		res:  append([]uint64(nil), dig.Words...),
+		res:  d.scratch[:len(dig.Words)],
 	}
+	copy(rec.res, dig.Words)
 	// Strip hops whose block (fragment) is already decoded.
 	d.strip(&rec, layer)
 	if rec.mask == 0 {
@@ -213,6 +253,11 @@ func (d *Decoder) Observe(pktID uint64, dig Digest) bool {
 		d.applyConstraint(&rec)
 		return d.Done()
 	}
+	// The packet is stored for cascading: move its residual off the
+	// scratch into arena-owned space.
+	stored := d.arena.alloc(len(rec.res))
+	copy(stored, rec.res)
+	rec.res = stored
 	idx := len(d.pkts)
 	d.pkts = append(d.pkts, rec)
 	for m := rec.mask; m != 0; m &= m - 1 {

@@ -19,39 +19,54 @@ type CollectionStats struct {
 	TotalBytes int64
 }
 
-// CollectionOverhead runs one loaded simulation per telemetry system and
-// models the sink's report stream for every delivered data packet. The
+// CollectionSystems lists the compared telemetry systems in table order —
+// the trial axis the scenario registry fans out over.
+func CollectionSystems() []string {
+	return []string{"INT (3 values/hop)", "PINT (16-bit digest)"}
+}
+
+// CollectionOverheadFor runs one telemetry system's loaded simulation and
+// models the sink's report stream for every delivered data packet.
+func CollectionOverheadFor(s Scale, system string) (CollectionStats, error) {
+	var kind telemetry.ReportKind
+	var tk TransportKind
+	switch system {
+	case "INT (3 values/hop)":
+		kind, tk = telemetry.ReportINT, KindHPCCINT
+	case "PINT (16-bit digest)":
+		kind, tk = telemetry.ReportPINT, KindHPCCPINT
+	default:
+		return CollectionStats{}, fmt.Errorf("experiments: unknown telemetry system %q", system)
+	}
+	sink, err := telemetry.NewSink(kind, 3, 16)
+	if err != nil {
+		return CollectionStats{}, err
+	}
+	cfg := LoadRunConfig{Scale: s, Dist: workload.Hadoop(), Load: 0.5,
+		Kind: tk, MinFlows: 100}
+	if _, err := runLoadWithSink(cfg, sink); err != nil {
+		return CollectionStats{}, err
+	}
+	return CollectionStats{
+		System:     system,
+		Reports:    sink.Reports,
+		MeanBytes:  sink.MeanBytes(),
+		FixedSize:  sink.FixedSize(),
+		TotalBytes: sink.TotalBytes,
+	}, nil
+}
+
+// CollectionOverhead runs one loaded simulation per telemetry system. The
 // paper's claims: INT reports vary with path length and dwarf PINT's
 // fixed two-byte digests.
 func CollectionOverhead(s Scale) ([]CollectionStats, error) {
 	var out []CollectionStats
-	for _, sys := range []struct {
-		name string
-		kind telemetry.ReportKind
-		tk   TransportKind
-	}{
-		{"INT (3 values/hop)", telemetry.ReportINT, KindHPCCINT},
-		{"PINT (16-bit digest)", telemetry.ReportPINT, KindHPCCPINT},
-	} {
-		sink, err := telemetry.NewSink(sys.kind, 3, 16)
+	for _, system := range CollectionSystems() {
+		st, err := CollectionOverheadFor(s, system)
 		if err != nil {
 			return nil, err
 		}
-		cfg := LoadRunConfig{Scale: s, Dist: workload.Hadoop(), Load: 0.5,
-			Kind: sys.tk, MinFlows: 100}
-		cfg.hopHook = nil
-		res, err := runLoadWithSink(cfg, sink)
-		if err != nil {
-			return nil, err
-		}
-		_ = res
-		out = append(out, CollectionStats{
-			System:     sys.name,
-			Reports:    sink.Reports,
-			MeanBytes:  sink.MeanBytes(),
-			FixedSize:  sink.FixedSize(),
-			TotalBytes: sink.TotalBytes,
-		})
+		out = append(out, st)
 	}
 	return out, nil
 }

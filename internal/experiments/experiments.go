@@ -1,9 +1,12 @@
-// Package experiments reproduces every table and figure of the PINT
-// paper's evaluation (§2 and §6). Each FigXX function is self-contained:
-// it builds the topology, workload and telemetry configuration, runs the
-// simulation or trial harness, and returns the same rows/series the paper
-// plots. README.md maps the harness to the figures; bench_test.go at the
-// repo root reports each figure's headline metric.
+// Package experiments holds the building blocks of the PINT paper's
+// evaluation (§2 and §6): the loaded-network simulation harness, the
+// per-figure trial units (decomposed along each figure's independent
+// axis — loads, schemes, panels, path lengths, plan arms), and the table
+// renderers. The scenario registry (internal/scenario) assembles these
+// units into declarative scenarios and runs them through its parallel
+// deterministic trial runner; the FigXX convenience functions remain as
+// the serial reference implementations and are bit-identical to the
+// registry's output.
 //
 // A Scale knob trades fidelity for runtime: benches run at Scale's
 // defaults (seconds per figure), while cmd/pintfig exposes larger runs.
@@ -42,12 +45,50 @@ type Scale struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed uint64
-	// Shards > 1 routes the recording-heavy Fig 9 sink through the
-	// sharded batch pipeline (internal/pipeline) with that many workers;
-	// answers are bit-identical to the serial path, so the figure does
-	// not change. The other figures' sinks are per-packet (their
-	// decode-progress tracking is inherently serial) and ignore it.
+	// Shards sets the worker count of every scenario's recording sink:
+	// wherever an experiment records digests (Fig 9's latency trials,
+	// Fig 11's delivery tap, the engine path trials, the non-paper
+	// scenarios), the stream runs through the sharded batch pipeline
+	// (internal/pipeline) with this many workers. Answers are
+	// bit-identical for any value, so figures do not change; 0 means 1.
+	// Experiments with no recording path (pure transport or coding
+	// studies) have nothing to shard. Validate rejects invalid values —
+	// they are never silently ignored.
 	Shards int
+}
+
+// MaxShards bounds Scale.Shards: beyond this, per-shard state dominates
+// and the configuration is almost certainly a typo.
+const MaxShards = 256
+
+// Validate rejects scales no experiment can run: the scenario runner and
+// the CLIs call it up front so a bad knob fails loudly instead of being
+// silently ignored by some figures and honored by others.
+func (s Scale) Validate() error {
+	switch {
+	case s.HostBps <= 0 || s.TierBps <= 0:
+		return fmt.Errorf("experiments: link rates must be positive (host %d, tier %d)", s.HostBps, s.TierBps)
+	case s.SizeDivisor < 1:
+		return fmt.Errorf("experiments: SizeDivisor %v below 1", s.SizeDivisor)
+	case s.DurationNs <= 0:
+		return fmt.Errorf("experiments: DurationNs %d not positive", s.DurationNs)
+	case s.Pods < 1 || s.HostsPerTor < 1:
+		return fmt.Errorf("experiments: topology shape %dx%d invalid", s.Pods, s.HostsPerTor)
+	case s.Trials < 1:
+		return fmt.Errorf("experiments: Trials %d below 1", s.Trials)
+	case s.Shards < 0 || s.Shards > MaxShards:
+		return fmt.Errorf("experiments: Shards %d out of [0,%d]", s.Shards, MaxShards)
+	}
+	return nil
+}
+
+// ShardCount returns the effective recording-sink worker count (Shards,
+// with 0 meaning serial-in-a-worker).
+func (s Scale) ShardCount() int {
+	if s.Shards < 1 {
+		return 1
+	}
+	return s.Shards
 }
 
 // Bench returns the scale used by `go test -bench` — small enough for a
@@ -113,6 +154,16 @@ const (
 	KindHPCCPINT
 )
 
+// Tenant describes one traffic class of a multi-tenant run: its own flow
+// size distribution and offered load, sharing the network (and transport
+// kind) with the other tenants.
+type Tenant struct {
+	Name     string
+	Dist     *workload.Dist
+	Load     float64
+	MinFlows int
+}
+
 // LoadRunConfig drives one loaded-network simulation.
 type LoadRunConfig struct {
 	Scale    Scale
@@ -123,6 +174,11 @@ type LoadRunConfig struct {
 	PintP    float64 // HPCC-PINT: fraction of packets carrying the digest (0 = 1.0)
 	PintBits int     // HPCC-PINT: digest width (default 8)
 	MinFlows int     // keep generating until at least this many flows arrive
+	// Tenants, when non-empty, replaces the single Dist/Load/MinFlows
+	// workload with one Poisson arrival process per tenant (independent
+	// derived seeds), merged by arrival time onto the shared fabric.
+	// LoadRunResult.TenantOf then maps each flow ID to its tenant index.
+	Tenants []Tenant
 
 	// hopHook, when set, observes every data packet's per-switch latency
 	// (hop is 1-based). Used by the Fig 9 harness.
@@ -138,12 +194,21 @@ func runLoadWithHook(cfg LoadRunConfig, hook func(pkt *netsim.Packet, hop int, l
 	return RunLoad(cfg)
 }
 
+// RunLoadWithHopHook exposes the hop-latency observer to the scenario
+// registry: hook sees every data packet's (packet, 1-based hop, latency).
+func RunLoadWithHopHook(cfg LoadRunConfig, hook func(pkt *netsim.Packet, hop int, latNs int64)) (*LoadRunResult, error) {
+	return runLoadWithHook(cfg, hook)
+}
+
 // LoadRunResult aggregates one run.
 type LoadRunResult struct {
 	Collector *transport.Collector
 	Net       *netsim.Network
 	BaseRTTNs int64
 	HostBps   int64
+	// TenantOf maps flow IDs to LoadRunConfig.Tenants indices; nil for
+	// single-workload runs.
+	TenantOf map[uint64]int
 }
 
 // RunLoad builds the leaf-spine network, schedules Poisson arrivals for
@@ -196,18 +261,27 @@ func RunLoad(cfg LoadRunConfig) (*LoadRunResult, error) {
 		}
 	}
 
-	dist := cfg.Dist
-	if s.SizeDivisor > 1 {
-		dist = dist.Scaled(s.SizeDivisor)
-	}
-	gen, err := workload.NewGenerator(g.Hosts(), dist, cfg.Load, s.HostBps, hash.NewRNG(s.Seed))
-	if err != nil {
-		return nil, err
-	}
-	flows := gen.GenerateUntil(s.DurationNs)
-	for len(flows) < cfg.MinFlows {
-		f := gen.Next()
-		flows = append(flows, f)
+	var flows []workload.Flow
+	var tenantOf map[uint64]int
+	if len(cfg.Tenants) > 0 {
+		flows, tenantOf, err = tenantFlows(g.Hosts(), cfg.Tenants, s)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		dist := cfg.Dist
+		if s.SizeDivisor > 1 {
+			dist = dist.Scaled(s.SizeDivisor)
+		}
+		gen, err := workload.NewGenerator(g.Hosts(), dist, cfg.Load, s.HostBps, hash.NewRNG(s.Seed))
+		if err != nil {
+			return nil, err
+		}
+		flows = gen.GenerateUntil(s.DurationNs)
+		for len(flows) < cfg.MinFlows {
+			f := gen.Next()
+			flows = append(flows, f)
+		}
 	}
 
 	col := &transport.Collector{}
@@ -251,7 +325,60 @@ func RunLoad(cfg LoadRunConfig) (*LoadRunResult, error) {
 		})
 	}
 	sim.Run(s.DurationNs * 4)
-	return &LoadRunResult{Collector: col, Net: net, BaseRTTNs: baseRTT, HostBps: s.HostBps}, nil
+	return &LoadRunResult{Collector: col, Net: net, BaseRTTNs: baseRTT,
+		HostBps: s.HostBps, TenantOf: tenantOf}, nil
+}
+
+// tenantFlows draws every tenant's Poisson arrivals with an independent
+// derived seed, tags each flow ID with its tenant (high byte, keeping IDs
+// collision-free across generators), and merges the processes by arrival
+// time so the shared fabric sees one interleaved stream.
+func tenantFlows(hosts []int, tenants []Tenant, s Scale) ([]workload.Flow, map[uint64]int, error) {
+	var flows []workload.Flow
+	tenantOf := map[uint64]int{}
+	for ti, tn := range tenants {
+		dist := tn.Dist
+		if s.SizeDivisor > 1 {
+			dist = dist.Scaled(s.SizeDivisor)
+		}
+		rng := hash.NewRNG(uint64(hash.Seed(s.Seed).Derive(0x7E4A00 + uint64(ti))))
+		gen, err := workload.NewGenerator(hosts, dist, tn.Load, s.HostBps, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tenant %q: %w", tn.Name, err)
+		}
+		tf := gen.GenerateUntil(s.DurationNs)
+		for len(tf) < tn.MinFlows {
+			tf = append(tf, gen.Next())
+		}
+		for _, f := range tf {
+			f.ID |= uint64(ti+1) << 56
+			tenantOf[f.ID] = ti
+			flows = append(flows, f)
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Start != flows[j].Start {
+			return flows[i].Start < flows[j].Start
+		}
+		return flows[i].ID < flows[j].ID
+	})
+	return flows, tenantOf, nil
+}
+
+// SlowdownsByTenant splits a multi-tenant run's completed-flow (size,
+// slowdown) vectors per tenant index.
+func (r *LoadRunResult) SlowdownsByTenant(tenants int) ([][]int64, [][]float64) {
+	sizes := make([][]int64, tenants)
+	slow := make([][]float64, tenants)
+	for _, f := range r.Collector.Completed() {
+		ti, ok := r.TenantOf[f.ID]
+		if !ok {
+			continue
+		}
+		sizes[ti] = append(sizes[ti], f.Bytes)
+		slow[ti] = append(slow[ti], float64(f.FCT())/r.IdealFCT(f.Bytes))
+	}
+	return sizes, slow
 }
 
 // IdealFCT is the canonical slowdown denominator: line-rate transmission
@@ -332,11 +459,13 @@ func PercentileSlowdownByBin(sizes []int64, slow []float64, edges []int64, q flo
 	return out
 }
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. Cells are strings, so JSON
+// serialization (the scenario registry's -json output and golden files)
+// is byte-stable.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // String renders the table with aligned columns.

@@ -269,3 +269,87 @@ func TestPercentileSlowdownByBin(t *testing.T) {
 		t.Fatalf("bin2 %v", out[2])
 	}
 }
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{Quick(), Bench(), Paper(), tiny()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("stock scale rejected: %v", err)
+		}
+	}
+	bad := Bench()
+	bad.Shards = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	bad.Shards = MaxShards + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized Shards accepted")
+	}
+	bad = Bench()
+	bad.Trials = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero Trials accepted")
+	}
+	if (Scale{Shards: 0}).ShardCount() != 1 || (Scale{Shards: 4}).ShardCount() != 4 {
+		t.Fatal("ShardCount normalization wrong")
+	}
+}
+
+func TestRunLoadMultiTenant(t *testing.T) {
+	res, err := RunLoad(LoadRunConfig{Scale: tiny(), Kind: KindHPCCPINT,
+		Tenants: []Tenant{
+			{Name: "hadoop", Dist: workload.Hadoop(), Load: 0.25, MinFlows: 20},
+			{Name: "websearch", Dist: workload.WebSearch(), Load: 0.25, MinFlows: 20},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TenantOf == nil {
+		t.Fatal("multi-tenant run returned no tenant map")
+	}
+	sizes, slow := res.SlowdownsByTenant(2)
+	if len(sizes) != 2 || len(slow) != 2 {
+		t.Fatalf("per-tenant split shape %d/%d", len(sizes), len(slow))
+	}
+	for ti := range sizes {
+		if len(sizes[ti]) < 5 {
+			t.Fatalf("tenant %d completed only %d flows", ti, len(sizes[ti]))
+		}
+	}
+	// Tenant IDs must not collide (the high-byte tag keeps generators apart).
+	seen := map[uint64]bool{}
+	for id := range res.TenantOf {
+		if seen[id] {
+			t.Fatalf("flow ID %d duplicated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFig10AtLengthMatchesFig10(t *testing.T) {
+	s := tiny()
+	whole, err := Fig10(s, TopoFatTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stitched []PathPoint
+	lengths, err := Fig10Lengths(TopoFatTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lengths {
+		pts, err := Fig10AtLength(s, TopoFatTree, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stitched = append(stitched, pts...)
+	}
+	if len(whole) != len(stitched) {
+		t.Fatalf("point counts differ: %d vs %d", len(whole), len(stitched))
+	}
+	for i := range whole {
+		if whole[i] != stitched[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, whole[i], stitched[i])
+		}
+	}
+}

@@ -82,44 +82,64 @@ func Fig05Table(curves []CodingCurve) Table {
 	return t
 }
 
-// CodingMedians summarizes each scheme's packets-to-decode order
-// statistics (the §4.2 numbers: Baseline median 89/p99 189, Hybrid
-// median 41/p99 68 for k=25).
-func CodingMedians(s Scale) (Table, error) {
+// CodingMedianSchemes lists the §4.2 comparison's schemes in table order —
+// the trial axis the scenario registry fans out over (each scheme runs
+// with the same Scale.Seed, independently of the others).
+func CodingMedianSchemes() []string {
+	return []string{"Baseline", "XOR(1/d)", "Hybrid", "MultiLayer", "LNC"}
+}
+
+// CodingMedianStats runs one scheme's packets-to-decode trials.
+func CodingMedianStats(s Scale, scheme string) (coding.Stats, error) {
 	const k, d = 25, 25
 	values := make([]uint64, k)
 	for i := range values {
 		values[i] = uint64(0x1000 + i)
 	}
-	schemes := []struct {
-		name string
-		lay  coding.Layering
-	}{
-		{"Baseline", coding.PureBaseline()},
-		{"XOR(1/d)", coding.PureXOR(1.0 / d)},
-		{"Hybrid", coding.Hybrid(d, 0.75)},
-		{"MultiLayer", coding.MultiLayer(d, true)},
-		{"LNC", coding.Layering{}},
+	var lay coding.Layering
+	switch scheme {
+	case "Baseline":
+		lay = coding.PureBaseline()
+	case "XOR(1/d)":
+		lay = coding.PureXOR(1.0 / d)
+	case "Hybrid":
+		lay = coding.Hybrid(d, 0.75)
+	case "MultiLayer":
+		lay = coding.MultiLayer(d, true)
+	case "LNC":
+		return lncTrials(values, s.Trials, s.Seed)
+	default:
+		return coding.Stats{}, fmt.Errorf("experiments: unknown coding scheme %q", scheme)
 	}
+	cfg := coding.Config{Bits: 16, Mode: coding.ModeRaw, ValueBits: 16, Layering: lay}
+	return coding.RunTrials(cfg, values, nil, s.Trials, s.Seed, 5000)
+}
+
+// CodingMediansTable renders scheme stats in CodingMedianSchemes order.
+func CodingMediansTable(schemes []string, stats []coding.Stats) Table {
 	t := Table{Title: "§4.2: packets to decode, k=d=25",
 		Columns: []string{"scheme", "mean", "median", "p99"}}
-	for _, sc := range schemes {
-		if sc.name == "LNC" {
-			st, err := lncTrials(values, s.Trials, s.Seed)
-			if err != nil {
-				return Table{}, err
-			}
-			t.Rows = append(t.Rows, []string{sc.name, F(st.Mean), F(st.Median), F(st.P99)})
-			continue
-		}
-		cfg := coding.Config{Bits: 16, Mode: coding.ModeRaw, ValueBits: 16, Layering: sc.lay}
-		st, err := coding.RunTrials(cfg, values, nil, s.Trials, s.Seed, 5000)
+	for i, name := range schemes {
+		st := stats[i]
+		t.Rows = append(t.Rows, []string{name, F(st.Mean), F(st.Median), F(st.P99)})
+	}
+	return t
+}
+
+// CodingMedians summarizes each scheme's packets-to-decode order
+// statistics (the §4.2 numbers: Baseline median 89/p99 189, Hybrid
+// median 41/p99 68 for k=25).
+func CodingMedians(s Scale) (Table, error) {
+	schemes := CodingMedianSchemes()
+	stats := make([]coding.Stats, len(schemes))
+	for i, name := range schemes {
+		st, err := CodingMedianStats(s, name)
 		if err != nil {
 			return Table{}, err
 		}
-		t.Rows = append(t.Rows, []string{sc.name, F(st.Mean), F(st.Median), F(st.P99)})
+		stats[i] = st
 	}
-	return t, nil
+	return CodingMediansTable(schemes, stats), nil
 }
 
 func lncTrials(values []uint64, trials int, seed uint64) (coding.Stats, error) {

@@ -3,13 +3,16 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/hash"
 	"repro/internal/netsim"
+	"repro/internal/pipeline"
 	"repro/internal/sketch"
 	"repro/internal/topology"
 	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -34,12 +37,29 @@ type planSpec struct {
 	measure bool               // measure the slowdown from this run
 }
 
-// Fig11 reproduces Figure 11: three queries (path tracing on every
-// packet, latency on 15/16, HPCC on 1/16) share a 16-bit global budget,
-// compared against each query running alone with 16 bits. The paper's
-// claims: the combined plan costs almost nothing — median-latency error
-// +0.7%, short-flow slowdown +6.6%, path packets +0.5% vs solo baselines.
-func Fig11(s Scale) ([]CombinedMetrics, error) {
+// Fig11Arm names one of Figure 11's three full-system runs; the arms are
+// seeded independently, so the scenario registry runs them as parallel
+// trials with results bit-identical to the serial figure.
+type Fig11Arm int
+
+// The figure's arms.
+const (
+	Fig11Combined Fig11Arm = iota
+	Fig11SoloPath
+	Fig11SoloLat
+)
+
+// Fig11RunArm runs one arm's loaded simulation and returns its metrics.
+func Fig11RunArm(s Scale, arm Fig11Arm) (*CombinedMetrics, error) {
+	mk, err := fig11ArmSpec(s, arm)
+	if err != nil {
+		return nil, err
+	}
+	return runPlanSim(s, mk)
+}
+
+// fig11ArmSpec builds one arm's plan constructor.
+func fig11ArmSpec(s Scale, arm Fig11Arm) (func(universe []uint64) (planSpec, error), error) {
 	master := hash.Seed(s.Seed).Derive(0xF16)
 	const d = 5
 
@@ -99,19 +119,21 @@ func Fig11(s Scale) ([]CombinedMetrics, error) {
 			lat: lat, util: util, measure: true}, nil
 	}
 
-	combined, err := runPlanSim(s, makeCombined)
-	if err != nil {
-		return nil, err
+	switch arm {
+	case Fig11Combined:
+		return makeCombined, nil
+	case Fig11SoloPath:
+		return makeSoloPath, nil
+	case Fig11SoloLat:
+		return makeSoloLat, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown Fig 11 arm %d", arm)
 	}
+}
+
+// Fig11Assemble folds the three arms' metrics into the figure's two rows.
+func Fig11Assemble(combined, soloPath, soloLat *CombinedMetrics) []CombinedMetrics {
 	combined.Name = "Combined"
-	soloPath, err := runPlanSim(s, makeSoloPath)
-	if err != nil {
-		return nil, err
-	}
-	soloLat, err := runPlanSim(s, makeSoloLat)
-	if err != nil {
-		return nil, err
-	}
 	baseline := CombinedMetrics{
 		Name:             "Baseline",
 		MeanSlowdown:     soloLat.MeanSlowdown,
@@ -120,12 +142,35 @@ func Fig11(s Scale) ([]CombinedMetrics, error) {
 		MedianLatErrPct:  soloLat.MedianLatErrPct,
 		TailLatErrPct:    soloLat.TailLatErrPct,
 	}
-	return []CombinedMetrics{baseline, *combined}, nil
+	return []CombinedMetrics{baseline, *combined}
 }
 
-// runPlanSim runs the full PINT system — engine on switches, recording at
-// sinks, HPCC fed from the utilization query — over a Hadoop-loaded
-// leaf-spine network and extracts Fig 11's metrics.
+// Fig11 reproduces Figure 11: three queries (path tracing on every
+// packet, latency on 15/16, HPCC on 1/16) share a 16-bit global budget,
+// compared against each query running alone with 16 bits. The paper's
+// claims: the combined plan costs almost nothing — median-latency error
+// +0.7%, short-flow slowdown +6.6%, path packets +0.5% vs solo baselines.
+func Fig11(s Scale) ([]CombinedMetrics, error) {
+	combined, err := Fig11RunArm(s, Fig11Combined)
+	if err != nil {
+		return nil, err
+	}
+	soloPath, err := Fig11RunArm(s, Fig11SoloPath)
+	if err != nil {
+		return nil, err
+	}
+	soloLat, err := Fig11RunArm(s, Fig11SoloLat)
+	if err != nil {
+		return nil, err
+	}
+	return Fig11Assemble(combined, soloPath, soloLat), nil
+}
+
+// runPlanSim runs the full PINT system — engine on switches, a wire-format
+// switch→collector transfer and the sharded sink at the recording side,
+// HPCC fed from the utilization query — over a Hadoop-loaded leaf-spine
+// network and extracts Fig 11's metrics. Scale.Shards sets the sink's
+// worker count; per-flow answers are bit-identical for any value.
 func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*CombinedMetrics, error) {
 	g, err := topology.LeafSpine(s.Pods, 2, 2, s.HostsPerTor, 2)
 	if err != nil {
@@ -139,10 +184,18 @@ func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*Combine
 	if err != nil {
 		return nil, err
 	}
-	rec, err := core.NewRecording(eng, 0, hash.NewRNG(s.Seed+21))
+	// The sink seed base reproduces the retired serial Recording's
+	// (first draw of RNG(s.Seed+21)); with raw latency storage no sketch
+	// randomness is consumed, but keeping the base identical makes the
+	// equivalence exact by construction.
+	sink, err := pipeline.NewSink(eng, pipeline.Config{
+		Shards: s.ShardCount(),
+		Base:   hash.Seed(hash.NewRNG(s.Seed + 21).Uint64()),
+	})
 	if err != nil {
 		return nil, err
 	}
+	defer sink.Close()
 
 	sim := netsim.NewSim()
 	buf := 1 << 21
@@ -193,21 +246,33 @@ func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*Combine
 		}
 	}
 
-	// Sink-side: record digests, track packets-to-decode per flow.
+	// Sink-side: every delivered digest travels the production collector
+	// path — wire marshal/unmarshal (the switch→collector transfer), then
+	// the sharded sink. Packets-to-decode tracking stays exact: while a
+	// flow's path is undecoded, the sink is barriered after its packet so
+	// the decoder can be consulted synchronously.
 	pktsSeen := map[core.FlowKey]int{}
 	decodedAt := map[core.FlowKey]int{}
+	var tap [1]core.PacketDigest
+	wireBuf := make([]byte, 0, 16)
+	rxBuf := make([]core.PacketDigest, 0, 1)
 	net.OnDeliver = func(h *netsim.HostNode, pkt *netsim.Packet) {
 		if pkt.Ack || pkt.Dst != h.ID || pkt.Hops == 0 {
 			return
 		}
 		fk := core.FlowKey(pkt.FlowID)
 		pktsSeen[fk]++
-		if err := rec.Record(fk, pkt.Hops, pkt.ID, pkt.Digest); err != nil {
+		tap[0] = core.PacketDigest{Flow: fk, PktID: pkt.ID, PathLen: pkt.Hops, Digest: pkt.Digest}
+		var err error
+		rxBuf, wireBuf, err = wire.Roundtrip(rxBuf, wireBuf, tap[:])
+		if err != nil {
 			panic(err)
 		}
+		sink.Ingest(rxBuf)
 		if spec.path != nil {
 			if _, done := decodedAt[fk]; !done {
-				if dec := rec.PathDecoder(spec.path, fk); dec != nil && dec.Done() {
+				sink.Barrier()
+				if dec := sink.Recording(fk).PathDecoder(spec.path, fk); dec != nil && dec.Done() {
 					decodedAt[fk] = pktsSeen[fk]
 				}
 			}
@@ -253,6 +318,9 @@ func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*Combine
 		})
 	}
 	sim.Run(s.DurationNs * 4)
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
 
 	// Metrics.
 	m := &CombinedMetrics{MedianLatErrPct: math.NaN(), TailLatErrPct: math.NaN()}
@@ -281,15 +349,24 @@ func runPlanSim(s Scale, mk func(universe []uint64) (planSpec, error)) (*Combine
 	if spec.lat != nil {
 		var medErr, tailErr float64
 		var nPairs int
-		for flowID, hops := range truthLat {
+		// Iterate flows in sorted order: the error aggregation sums
+		// floats, so a fixed order makes the figure byte-reproducible
+		// (map order would reshuffle the additions run to run).
+		flowIDs := make([]uint64, 0, len(truthLat))
+		for flowID := range truthLat {
+			flowIDs = append(flowIDs, flowID)
+		}
+		sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+		for _, flowID := range flowIDs {
+			hops := truthLat[flowID]
 			fk := core.FlowKey(flowID)
 			for h := 1; h <= len(hops); h++ {
 				truth := hops[h-1]
-				if len(truth) < 64 || rec.LatencySamples(spec.lat, fk, h) < 16 {
+				if len(truth) < 64 || sink.LatencySamples(spec.lat, fk, h) < 16 {
 					continue
 				}
-				estMed, err1 := rec.LatencyQuantile(spec.lat, fk, h, 0.5)
-				estTail, err2 := rec.LatencyQuantile(spec.lat, fk, h, 0.9)
+				estMed, err1 := sink.LatencyQuantile(spec.lat, fk, h, 0.5)
+				estTail, err2 := sink.LatencyQuantile(spec.lat, fk, h, 0.9)
 				if err1 != nil || err2 != nil {
 					continue
 				}

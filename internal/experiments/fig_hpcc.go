@@ -133,6 +133,12 @@ func SlowdownTable(title string, series []SlowdownSeries) Table {
 	return t
 }
 
+// DecileEdges exposes the scaled workload's decile boundaries to the
+// scenario registry (the slowdown figures' x-axis bins).
+func DecileEdges(dist *workload.Dist, divisor float64) []int64 {
+	return decileEdges(dist, divisor)
+}
+
 // decileEdges returns the scaled workload's decile boundaries — the
 // paper's x-axis ticks ("10% of the flows between consecutive marks").
 func decileEdges(dist *workload.Dist, divisor float64) []int64 {

@@ -93,6 +93,35 @@ func Fig09(s Scale, panel Fig09Panel) ([]LatencySeries, error) {
 	return out, nil
 }
 
+// Fig09PanelTitle names one panel the way the paper's grid does.
+func Fig09PanelTitle(p Fig09Panel) string {
+	axis := "sample size [pkts]"
+	if p.BySketch {
+		axis = "sketch size [bytes]"
+	}
+	return fmt.Sprintf("Fig 9: %s q=%.2f, rel. error vs %s", p.Workload, p.Quantile, axis)
+}
+
+// Fig09Table renders one panel's series side by side (one row per
+// x-position, one column per PINT variant).
+func Fig09Table(p Fig09Panel, series []LatencySeries) Table {
+	t := Table{Title: Fig09PanelTitle(p), Columns: []string{"x"}}
+	for _, sr := range series {
+		t.Columns = append(t.Columns, sr.Name)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].Points {
+		row := []string{fmt.Sprintf("%d", series[0].Points[i].X)}
+		for _, sr := range series {
+			row = append(row, F(sr.Points[i].RelErr)+"%")
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
 // sketchParamFor converts a byte budget into a KLL accuracy parameter,
 // assuming items are b-bit digests and KLL retains ~3k items.
 func sketchParamFor(bytes, b int) int {
@@ -160,40 +189,29 @@ func latencyTrial(streams [][]float64, truth []float64, phi float64, b, z, sketc
 }
 
 // recordPackets ships an encoded batch through the wire format (the
-// switch→collector transfer) and ingests the decoded copy serially or
-// through the sharded sink, returning the Recording that owns `flow`'s
-// state. The round trip is exercised on every Fig-harness run: answers
-// must be bit-identical to recording the in-memory batch directly.
+// switch→collector transfer) and ingests the decoded copy through the
+// sharded sink — the production collector stack on every Fig-harness run,
+// serial included (shards <= 1 runs one worker). It returns the Recording
+// that owns `flow`'s state; answers are bit-identical to recording the
+// in-memory batch directly, for any shard count.
 func recordPackets(eng *core.Engine, pkts []core.PacketDigest, sketchItems, shards int, base hash.Seed, flow core.FlowKey) (*core.Recording, error) {
-	data, err := wire.Marshal(pkts)
+	rx, _, err := wire.Roundtrip(nil, nil, pkts)
 	if err != nil {
 		return nil, err
 	}
-	rx, err := wire.Unmarshal(data)
+	if shards < 1 {
+		shards = 1
+	}
+	sink, err := pipeline.NewSink(eng, pipeline.Config{
+		Shards: shards, SketchItems: sketchItems, Base: base})
 	if err != nil {
 		return nil, err
 	}
-	pkts = rx
-	if shards > 1 {
-		sink, err := pipeline.NewSink(eng, pipeline.Config{
-			Shards: shards, SketchItems: sketchItems, Base: base})
-		if err != nil {
-			return nil, err
-		}
-		sink.Ingest(pkts)
-		if err := sink.Close(); err != nil {
-			return nil, err
-		}
-		return sink.Recording(flow), nil
-	}
-	rec, err := core.NewRecordingSeeded(eng, sketchItems, base)
-	if err != nil {
+	sink.Ingest(rx)
+	if err := sink.Close(); err != nil {
 		return nil, err
 	}
-	if err := rec.RecordBatch(pkts); err != nil {
-		return nil, err
-	}
-	return rec, nil
+	return sink.Recording(flow), nil
 }
 
 // epsFor picks the compression error so the b-bit code space covers the

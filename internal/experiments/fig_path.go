@@ -8,88 +8,116 @@ import (
 	"repro/internal/coding"
 	"repro/internal/core"
 	"repro/internal/hash"
+	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/wire"
 )
 
-// EnginePathTrials measures packets-to-decode for a path query driven
-// through the full compiled system — Compile, EncodeHopBatch per hop, a
-// wire-format round trip (every encoded block is marshaled and unmarshaled
-// as a switch→collector transfer would), and batched Recording — rather
-// than the raw coding harness. cmd/pinttrace and the batch benchmarks use
-// it so the interactive drivers exercise the same hot path the sharded
-// sink runs, wire encoding included.
-func EnginePathTrials(cfg coding.Config, values, universe []uint64, trials int, seed uint64, maxPkts int) (coding.Stats, error) {
+// PathTrialSeed is one engine path trial's randomness, pre-derived so
+// trials can run on any worker in any order with bit-identical results:
+// Master seeds the query/engine/recording, Stream seeds the packet-ID
+// generator, Flow is the trial's flow key.
+type PathTrialSeed struct {
+	Master hash.Seed
+	Stream uint64
+	Flow   core.FlowKey
+}
+
+// EnginePathTrialSeeds fans the harness seed out into per-trial seeds
+// with the exact draw order the serial harness used (two RNG draws per
+// trial), so a parallel runner consuming these seeds reproduces the
+// serial run bit for bit.
+func EnginePathTrialSeeds(seed uint64, trials int) []PathTrialSeed {
 	rng := hash.NewRNG(seed)
+	out := make([]PathTrialSeed, trials)
+	for t := range out {
+		out[t] = PathTrialSeed{
+			Master: hash.Seed(rng.Uint64()),
+			Stream: rng.Uint64(),
+			Flow:   core.FlowKey(uint64(t) + 1),
+		}
+	}
+	return out
+}
+
+// EnginePathTrial runs one packets-to-decode episode through the full
+// production stack: Compile, EncodeHopBatch per hop, a wire-format round
+// trip per block (the switch→collector transfer), and the sharded sink
+// (shards workers; answers are bit-identical for any count). The decode
+// count is exact: each packet is ingested individually and the sink is
+// barriered before the decoder is consulted. Returns the packet count and
+// whether the path decoded within maxPkts.
+func EnginePathTrial(cfg coding.Config, values, universe []uint64, ts PathTrialSeed, maxPkts, shards int) (int, bool, error) {
 	const block = 32
 	pkts := make([]core.PacketDigest, block)
 	vals := make([]core.HopValues, block)
 	wireBuf := make([]byte, 0, block*12)
 	rx := make([]core.PacketDigest, 0, block)
-	counts := make([]int, 0, trials)
 	k := len(values)
-	for t := 0; t < trials; t++ {
-		master := hash.Seed(rng.Uint64())
-		q, err := core.NewPathQuery("path", cfg, 1, master, universe)
-		if err != nil {
-			return coding.Stats{}, err
+	q, err := core.NewPathQuery("path", cfg, 1, ts.Master, universe)
+	if err != nil {
+		return 0, false, err
+	}
+	eng, err := core.Compile([]core.Query{q}, cfg.TotalBits(), ts.Master.Derive(1))
+	if err != nil {
+		return 0, false, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	sink, err := pipeline.NewSink(eng, pipeline.Config{Shards: shards, Base: ts.Master.Derive(2)})
+	if err != nil {
+		return 0, false, err
+	}
+	defer sink.Close()
+	sub := hash.NewRNG(ts.Stream)
+	n, done := 0, false
+	for n < maxPkts && !done {
+		b := block
+		if n+b > maxPkts {
+			b = maxPkts - n
 		}
-		eng, err := core.Compile([]core.Query{q}, cfg.TotalBits(), master.Derive(1))
-		if err != nil {
-			return coding.Stats{}, err
+		for j := 0; j < b; j++ {
+			pkts[j] = core.PacketDigest{Flow: ts.Flow, PktID: sub.Uint64(), PathLen: k}
 		}
-		rec, err := core.NewRecordingSeeded(eng, 0, master.Derive(2))
-		if err != nil {
-			return coding.Stats{}, err
-		}
-		flow := core.FlowKey(uint64(t) + 1)
-		sub := rng.Split()
-		n, done := 0, false
-		for n < maxPkts && !done {
-			b := block
-			if n+b > maxPkts {
-				b = maxPkts - n
-			}
+		for hop := 1; hop <= k; hop++ {
 			for j := 0; j < b; j++ {
-				pkts[j] = core.PacketDigest{Flow: flow, PktID: sub.Uint64(), PathLen: k}
+				vals[j].SwitchID = values[hop-1]
 			}
-			for hop := 1; hop <= k; hop++ {
-				for j := 0; j < b; j++ {
-					vals[j].SwitchID = values[hop-1]
-				}
-				eng.EncodeHopBatch(hop, pkts[:b], vals[:b])
-			}
-			// Ship the block switch→collector through the wire format, as
-			// a deployment would; the collector records the decoded copy.
-			wireBuf, err = wire.AppendMarshal(wireBuf[:0], pkts[:b])
-			if err != nil {
-				return coding.Stats{}, err
-			}
-			rx, err = wire.AppendUnmarshal(rx[:0], wireBuf)
-			if err != nil {
-				return coding.Stats{}, err
-			}
-			// Record one packet at a time so the decode count is exact.
-			for j := 0; j < b; j++ {
-				if err := rec.RecordBatch(rx[j : j+1]); err != nil {
-					return coding.Stats{}, err
-				}
-				n++
-				if dec := rec.PathDecoder(q, flow); dec != nil && dec.Done() {
-					done = true
-					break
-				}
-			}
+			eng.EncodeHopBatch(hop, pkts[:b], vals[:b])
 		}
-		if done {
-			counts = append(counts, n)
+		// Ship the block switch→collector through the wire format, as
+		// a deployment would; the collector records the decoded copy.
+		rx, wireBuf, err = wire.Roundtrip(rx, wireBuf, pkts[:b])
+		if err != nil {
+			return 0, false, err
+		}
+		// Ingest one packet at a time so the decode count is exact.
+		for j := 0; j < b; j++ {
+			sink.Ingest(rx[j : j+1])
+			n++
+			sink.Barrier()
+			if dec := sink.Recording(ts.Flow).PathDecoder(q, ts.Flow); dec != nil && dec.Done() {
+				done = true
+				break
+			}
 		}
 	}
+	if err := sink.Close(); err != nil {
+		return 0, false, err
+	}
+	return n, done, nil
+}
+
+// EnginePathStats aggregates decoded-trial packet counts into the order
+// statistics the path experiments report.
+func EnginePathStats(counts []int, trials int) coding.Stats {
 	st := coding.Stats{Trials: trials, Decoded: len(counts)}
 	if len(counts) == 0 {
-		return st, nil
+		return st
 	}
+	counts = append([]int(nil), counts...)
 	sort.Ints(counts)
 	sum := 0
 	for _, c := range counts {
@@ -99,7 +127,29 @@ func EnginePathTrials(cfg coding.Config, values, universe []uint64, trials int, 
 	st.Median = float64(counts[len(counts)/2])
 	st.P99 = float64(counts[int(math.Ceil(0.99*float64(len(counts))))-1])
 	st.Max = counts[len(counts)-1]
-	return st, nil
+	return st
+}
+
+// EnginePathTrials measures packets-to-decode for a path query driven
+// through the full compiled system — Compile, EncodeHopBatch per hop, a
+// wire-format round trip (every encoded block is marshaled and unmarshaled
+// as a switch→collector transfer would), and the sharded sink — rather
+// than the raw coding harness. cmd/pinttrace and the scenario registry
+// run the same trials through a worker pool (see internal/scenario); this
+// serial form is their reference and is bit-identical to any parallel
+// schedule of the same seeds.
+func EnginePathTrials(cfg coding.Config, values, universe []uint64, trials int, seed uint64, maxPkts, shards int) (coding.Stats, error) {
+	counts := make([]int, 0, trials)
+	for _, ts := range EnginePathTrialSeeds(seed, trials) {
+		n, ok, err := EnginePathTrial(cfg, values, universe, ts, maxPkts, shards)
+		if err != nil {
+			return coding.Stats{}, err
+		}
+		if ok {
+			counts = append(counts, n)
+		}
+	}
+	return EnginePathStats(counts, trials), nil
 }
 
 // PathPoint is one (scheme, path length) cell of Fig 10.
@@ -138,6 +188,103 @@ func fig10Setup(name Fig10Topology) (*topology.Graph, []int, int, error) {
 	}
 }
 
+// Fig10Lengths returns the paper's x-axis path lengths for one of the
+// figure's topologies — the trial axis the scenario registry fans out
+// over (each length's randomness derives purely from (Scale.Seed, l)).
+func Fig10Lengths(name Fig10Topology) ([]int, error) {
+	_, lengths, _, err := fig10Setup(name)
+	return lengths, err
+}
+
+// Fig10Planner builds the named topology once and returns the figure's
+// length axis plus a per-length runner over the shared graph (topology
+// queries are pure reads, so concurrent trials may share it). Every
+// scheme's seeds are pure functions of (s.Seed, l), so lengths are
+// independent trials: running them in any order or on any worker
+// reproduces the serial figure bit for bit.
+func Fig10Planner(name Fig10Topology) ([]int, func(s Scale, l int) ([]PathPoint, error), error) {
+	g, lengths, d, err := fig10Setup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	universe := g.SwitchIDUniverse()
+	run := func(s Scale, l int) ([]PathPoint, error) {
+		return fig10AtLength(g, universe, d, s, l)
+	}
+	return lengths, run, nil
+}
+
+// Fig10AtLength runs one path length of Figure 10: all three PINT budgets
+// plus the PPM and AMS2 baselines over a path of l switches in the named
+// topology. It returns nil points when the topology has no such path
+// length. Callers looping over lengths should use Fig10Planner, which
+// builds the topology once.
+func Fig10AtLength(s Scale, name Fig10Topology, l int) ([]PathPoint, error) {
+	g, _, d, err := fig10Setup(name)
+	if err != nil {
+		return nil, err
+	}
+	return fig10AtLength(g, g.SwitchIDUniverse(), d, s, l)
+}
+
+// fig10AtLength is the shared per-length body over a prebuilt graph.
+func fig10AtLength(g *topology.Graph, universe []uint64, d int, s Scale, l int) ([]PathPoint, error) {
+	// "Path length l" counts encoder switches; a path visiting l
+	// switches connects a switch pair at BFS distance l-1.
+	pairs := g.SwitchPairsAtDistance(l-1, 1, s.Seed+uint64(l))
+	if len(pairs) == 0 {
+		return nil, nil // topology has no such path length
+	}
+	// Path switch IDs between the chosen pair.
+	nodePath := g.Path(pairs[0][0], pairs[0][1], s.Seed)
+	values := make([]uint64, 0, l+1)
+	for _, n := range nodePath {
+		values = append(values, g.Nodes[n].SwitchID)
+	}
+	maxPkts := 400000
+
+	var out []PathPoint
+	pintCfg := func(bits, inst int) coding.Config {
+		cfg, _ := core.DefaultPathConfig(bits, inst, d)
+		return cfg
+	}
+	for _, sc := range []struct {
+		name string
+		cfg  coding.Config
+	}{
+		{"PINT 2x(b=8)", pintCfg(8, 2)},
+		{"PINT (b=4)", pintCfg(4, 1)},
+		{"PINT (b=1)", pintCfg(1, 1)},
+	} {
+		st, err := coding.RunTrials(sc.cfg, values, universe, s.Trials, s.Seed+uint64(l), maxPkts)
+		if err != nil {
+			return nil, err
+		}
+		if st.Decoded < st.Trials {
+			return nil, fmt.Errorf("experiments: %s decoded %d/%d at l=%d",
+				sc.name, st.Decoded, st.Trials, l)
+		}
+		out = append(out, PathPoint{Scheme: sc.name, PathLen: len(values),
+			Mean: st.Mean, P99: st.P99})
+	}
+	ppm, err := telemetry.RunPPMTrials(values, s.Trials, s.Seed+uint64(l)*7, maxPkts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, PathPoint{Scheme: "PPM", PathLen: len(values),
+		Mean: ppm.Mean, P99: ppm.P99})
+	for _, m := range []int{5, 6} {
+		ams, err := telemetry.RunAMS2Trials(values, universe, m, s.Trials,
+			s.Seed+uint64(l)*11+uint64(m), maxPkts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PathPoint{Scheme: fmt.Sprintf("AMS2 (m=%d)", m),
+			PathLen: len(values), Mean: ams.Mean, P99: ams.P99})
+	}
+	return out, nil
+}
+
 // Fig10 reproduces Figure 10: the number of packets needed to decode a
 // flow's path (mean and 99th percentile) as a function of path length,
 // comparing PINT with budgets 2×(b=8), b=4 and b=1 against the improved
@@ -145,65 +292,17 @@ func fig10Setup(name Fig10Topology) (*topology.Graph, []int, int, error) {
 // grows near-linearly in path length and beats the baselines by an order
 // of magnitude; even b=1 needs ~7-10x fewer packets than the baselines.
 func Fig10(s Scale, name Fig10Topology) ([]PathPoint, error) {
-	g, lengths, d, err := fig10Setup(name)
+	lengths, run, err := Fig10Planner(name)
 	if err != nil {
 		return nil, err
 	}
-	universe := g.SwitchIDUniverse()
 	var out []PathPoint
 	for _, l := range lengths {
-		// "Path length l" counts encoder switches; a path visiting l
-		// switches connects a switch pair at BFS distance l-1.
-		pairs := g.SwitchPairsAtDistance(l-1, 1, s.Seed+uint64(l))
-		if len(pairs) == 0 {
-			continue // topology has no such path length
-		}
-		// Path switch IDs between the chosen pair.
-		nodePath := g.Path(pairs[0][0], pairs[0][1], s.Seed)
-		values := make([]uint64, 0, l+1)
-		for _, n := range nodePath {
-			values = append(values, g.Nodes[n].SwitchID)
-		}
-		maxPkts := 400000
-
-		pintCfg := func(bits, inst int) coding.Config {
-			cfg, _ := core.DefaultPathConfig(bits, inst, d)
-			return cfg
-		}
-		for _, sc := range []struct {
-			name string
-			cfg  coding.Config
-		}{
-			{"PINT 2x(b=8)", pintCfg(8, 2)},
-			{"PINT (b=4)", pintCfg(4, 1)},
-			{"PINT (b=1)", pintCfg(1, 1)},
-		} {
-			st, err := coding.RunTrials(sc.cfg, values, universe, s.Trials, s.Seed+uint64(l), maxPkts)
-			if err != nil {
-				return nil, err
-			}
-			if st.Decoded < st.Trials {
-				return nil, fmt.Errorf("experiments: %s decoded %d/%d at l=%d",
-					sc.name, st.Decoded, st.Trials, l)
-			}
-			out = append(out, PathPoint{Scheme: sc.name, PathLen: len(values),
-				Mean: st.Mean, P99: st.P99})
-		}
-		ppm, err := telemetry.RunPPMTrials(values, s.Trials, s.Seed+uint64(l)*7, maxPkts)
+		pts, err := run(s, l)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, PathPoint{Scheme: "PPM", PathLen: len(values),
-			Mean: ppm.Mean, P99: ppm.P99})
-		for _, m := range []int{5, 6} {
-			ams, err := telemetry.RunAMS2Trials(values, universe, m, s.Trials,
-				s.Seed+uint64(l)*11+uint64(m), maxPkts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, PathPoint{Scheme: fmt.Sprintf("AMS2 (m=%d)", m),
-				PathLen: len(values), Mean: ams.Mean, P99: ams.P99})
-		}
+		out = append(out, pts...)
 	}
 	return out, nil
 }

@@ -87,12 +87,16 @@ type Sink struct {
 	// single-ingester contract covers Ingest vs Close ordering.
 	mu     sync.Mutex
 	closed bool
+	// barrier is the reusable Barrier reply channel; Barrier shares the
+	// single-ingester contract with Ingest, so reuse is race-free.
+	barrier chan struct{}
 }
 
 type shard struct {
 	ch   chan []core.PacketDigest
 	free chan []core.PacketDigest
 	snap chan chan *core.Recording
+	sync chan chan<- struct{}
 	rec  *core.Recording
 	buf  []core.PacketDigest
 	pol  EvictionPolicy
@@ -130,7 +134,8 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 		return nil, fmt.Errorf("pipeline: MaxFlows is mutually exclusive with Policy/OnEvict" +
 			" (Recording-level evictions bypass the eviction callback)")
 	}
-	s := &Sink{engine: engine, cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	s := &Sink{engine: engine, cfg: cfg, shards: make([]*shard, cfg.Shards),
+		barrier: make(chan struct{}, cfg.Shards)}
 	for i := range s.shards {
 		rec, err := core.NewRecordingSeeded(engine, cfg.SketchItems, cfg.Base)
 		if err != nil {
@@ -148,6 +153,7 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 			ch:   make(chan []core.PacketDigest, cfg.QueueDepth),
 			free: make(chan []core.PacketDigest, cfg.QueueDepth+1),
 			snap: make(chan chan *core.Recording),
+			sync: make(chan chan<- struct{}),
 			rec:  rec,
 			buf:  make([]core.PacketDigest, 0, cfg.BatchSize),
 		}
@@ -221,6 +227,31 @@ func (s *Sink) Flush() {
 	}
 }
 
+// Barrier flushes every shard's partial buffer and blocks until all the
+// packets ingested so far are recorded, so the ingester may read shard
+// Recordings (via Recording or the answer methods) without racing the
+// workers — until it ingests again. Unlike Close it leaves the workers
+// running, which is what decode-progress harnesses need: ingest a packet,
+// Barrier, ask the flow's decoder whether it just finished. It shares
+// Ingest's single-ingester contract (never call it concurrently with
+// Ingest, Record, Flush, or Close) and allocates nothing. After Close it
+// is a no-op: everything is already drained.
+func (s *Sink) Barrier() {
+	if s.closed {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.dispatch()
+	}
+	// Fan out first so the shards drain concurrently.
+	for _, sh := range s.shards {
+		sh.sync <- s.barrier
+	}
+	for range s.shards {
+		<-s.barrier
+	}
+}
+
 // start launches one worker goroutine per shard.
 func (s *Sink) start() {
 	for _, sh := range s.shards {
@@ -245,6 +276,9 @@ func (s *Sink) start() {
 					// with it) observes all of it.
 					sh.drainPending(s.cfg.OnEvict)
 					req <- sh.rec.Clone()
+				case req := <-sh.sync:
+					sh.drainPending(s.cfg.OnEvict)
+					req <- struct{}{}
 				}
 			}
 		}(sh)

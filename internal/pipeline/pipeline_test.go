@@ -329,3 +329,48 @@ func TestSinkFlushAndReuse(t *testing.T) {
 		t.Fatal("no flow decoded its path through the sharded sink")
 	}
 }
+
+// TestBarrierMakesStateReadable pins Barrier's contract: after Ingest +
+// Barrier the ingester may read shard Recordings directly, and the
+// observed per-flow state matches a serial Recording packet for packet —
+// the synchronous read decode-progress harnesses rely on.
+func TestBarrierMakesStateReadable(t *testing.T) {
+	master := hash.Seed(41)
+	eng, path, _, _, _, _ := testPlan(t, master)
+	pkts := encodeWorkload(eng, 5, 6, 300, 6)
+
+	for _, shards := range []int{1, 4} {
+		sink, err := NewSink(eng, Config{Shards: shards, SketchItems: 16, Base: master.Derive(7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := core.NewRecordingSeeded(eng, 16, master.Derive(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pkts {
+			sink.Ingest(pkts[i : i+1])
+			if err := serial.RecordBatch(pkts[i : i+1]); err != nil {
+				t.Fatal(err)
+			}
+			if i%37 != 0 {
+				continue // barrier at irregular points, not every packet
+			}
+			sink.Barrier()
+			flow := pkts[i].Flow
+			want := serial.PathDecoder(path, flow)
+			got := sink.Recording(flow).PathDecoder(path, flow)
+			if (want == nil) != (got == nil) {
+				t.Fatalf("shards=%d pkt %d: decoder presence diverged", shards, i)
+			}
+			if want != nil && (want.Done() != got.Done() || want.Observed() != got.Observed()) {
+				t.Fatalf("shards=%d pkt %d: decode progress diverged: serial done=%v obs=%d, sink done=%v obs=%d",
+					shards, i, want.Done(), want.Observed(), got.Done(), got.Observed())
+			}
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sink.Barrier() // no-op after Close, must not hang
+	}
+}

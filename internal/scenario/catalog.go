@@ -1,0 +1,506 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coding"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// This file ports every figure and table of the paper's evaluation onto
+// the registry. Each scenario decomposes along the figure's natural
+// independent axis — (load, overhead) pairs, coding schemes, panels, path
+// lengths, plan arms — chosen so every trial's randomness is a pure
+// function of the Scale (the legacy harness already seeded these units
+// independently). Reduction replays the legacy aggregation in the legacy
+// order, so the registry output is bit-identical to the retired FigXX
+// drivers at any scale and any parallelism.
+
+func init() {
+	for _, sc := range paperScenarios() {
+		Register(sc)
+	}
+}
+
+const (
+	stackNone      = "transport sim (no recording path)"
+	stackCoding    = "coding harness (no recording path)"
+	stackFullSink  = "engine→wire→sharded sink"
+	leafSpineTopo  = "leaf-spine (Scale.Pods)"
+	transportHPCC  = "HPCC(INT) vs HPCC(PINT)"
+	transportPINTd = "HPCC(PINT)"
+)
+
+func paperScenarios() []Scenario {
+	return []Scenario{
+		fig1Scenario(),
+		fig5Scenario(),
+		mediansScenario(),
+		fig7aScenario(),
+		fig7bcScenario("fig7b", "web search", workload.WebSearch),
+		fig7bcScenario("fig7c", "Hadoop", workload.Hadoop),
+		fig8Scenario(),
+		fig9Scenario(),
+		fig10Scenario("fig10a", experiments.TopoKentucky),
+		fig10Scenario("fig10b", experiments.TopoUSCarrier),
+		fig10Scenario("fig10c", experiments.TopoFatTree),
+		fig11Scenario(),
+		collectionScenario(),
+	}
+}
+
+// --- Figs 1+2: overhead vs FCT/goodput ---
+
+type overheadOut struct {
+	fct   float64
+	gp    float64
+	flows int
+}
+
+func fig1Scenario() Scenario {
+	loads := []float64{0.3, 0.7}
+	overheads := []int{0, 28, 48, 68, 88, 108}
+	return Scenario{
+		Name:      "fig1",
+		Figure:    "Fig 1+2",
+		Desc:      "normalized FCT and long-flow goodput vs per-packet telemetry overhead",
+		Topology:  leafSpineTopo,
+		Workload:  "websearch",
+		Transport: "Reno + fixed overhead",
+		Queries:   "none (overhead study)",
+		Stack:     stackNone,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, load := range loads {
+				for _, ov := range overheads {
+					load, ov := load, ov
+					trials = append(trials, Trial{
+						Name: fmt.Sprintf("load=%v,ov=%d", load, ov),
+						Run: func() (any, error) {
+							res, err := experiments.RunLoad(experiments.LoadRunConfig{
+								Scale: s, Dist: workload.WebSearch(), Load: load,
+								Kind: experiments.KindReno, Overhead: ov, MinFlows: 50})
+							if err != nil {
+								return nil, err
+							}
+							longThr := int64(workload.WebSearch().Scaled(s.SizeDivisor).Quantile(0.8))
+							return overheadOut{
+								fct:   res.AvgFCT(),
+								gp:    res.AvgGoodputLong(longThr),
+								flows: len(res.Collector.Completed()),
+							}, nil
+						},
+					})
+				}
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			var pts []experiments.OverheadPoint
+			i := 0
+			for _, load := range loads {
+				var baseFCT, baseGP float64
+				for _, ov := range overheads {
+					o := outs[i].(overheadOut)
+					i++
+					if ov == 0 {
+						baseFCT, baseGP = o.fct, o.gp
+					}
+					pts = append(pts, experiments.OverheadPoint{
+						OverheadBytes:  ov,
+						Load:           load,
+						NormFCT:        o.fct / baseFCT,
+						NormGoodput:    o.gp / baseGP,
+						CompletedFlows: o.flows,
+					})
+				}
+			}
+			return []experiments.Table{experiments.Fig01_02Table(pts)}, nil
+		},
+	}
+}
+
+// --- Fig 5: coding scheme progress ---
+
+func fig5Scenario() Scenario {
+	return Scenario{
+		Name:     "fig5",
+		Figure:   "Fig 5",
+		Desc:     "Baseline vs XOR vs Hybrid decode progress, k=d=25",
+		Topology: "synthetic 25-hop path",
+		Workload: "uniform packet IDs",
+		Queries:  "static message coding",
+		Stack:    stackCoding,
+		// The three schemes share one RNG stream in the legacy harness,
+		// so the figure is a single trial; parallelism comes from the
+		// scenarios running beside it.
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			return []Trial{{Name: "all-schemes", Run: func() (any, error) {
+				return experiments.Fig05(s)
+			}}}, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			return []experiments.Table{experiments.Fig05Table(outs[0].([]experiments.CodingCurve))}, nil
+		},
+	}
+}
+
+// --- §4.2 medians table ---
+
+func mediansScenario() Scenario {
+	schemes := experiments.CodingMedianSchemes()
+	return Scenario{
+		Name:     "medians",
+		Figure:   "§4.2 table",
+		Desc:     "packets-to-decode order statistics per coding scheme (incl. LNC)",
+		Topology: "synthetic 25-hop path",
+		Workload: "uniform packet IDs",
+		Queries:  "static message coding",
+		Stack:    stackCoding,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, scheme := range schemes {
+				scheme := scheme
+				trials = append(trials, Trial{Name: scheme, Run: func() (any, error) {
+					return experiments.CodingMedianStats(s, scheme)
+				}})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			stats := make([]coding.Stats, len(outs))
+			for i := range outs {
+				stats[i] = outs[i].(coding.Stats)
+			}
+			return []experiments.Table{experiments.CodingMediansTable(schemes, stats)}, nil
+		},
+	}
+}
+
+// --- Fig 7a: goodput gain ---
+
+func fig7aScenario() Scenario {
+	loads := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	kinds := []experiments.TransportKind{experiments.KindHPCCINT, experiments.KindHPCCPINT}
+	return Scenario{
+		Name:      "fig7a",
+		Figure:    "Fig 7(a)",
+		Desc:      "long-flow goodput gain of HPCC(PINT) over HPCC(INT) vs load",
+		Topology:  leafSpineTopo,
+		Workload:  "websearch",
+		Transport: transportHPCC,
+		Queries:   "utilization (8-bit digest)",
+		Stack:     stackNone,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			longThr := int64(workload.WebSearch().Scaled(s.SizeDivisor).Quantile(0.8))
+			var trials []Trial
+			for _, load := range loads {
+				for _, kind := range kinds {
+					load, kind := load, kind
+					trials = append(trials, Trial{
+						Name: fmt.Sprintf("load=%v,kind=%d", load, kind),
+						Run: func() (any, error) {
+							res, err := experiments.RunLoad(experiments.LoadRunConfig{
+								Scale: s, Dist: workload.WebSearch(), Load: load,
+								Kind: kind, MinFlows: 50})
+							if err != nil {
+								return nil, err
+							}
+							return res.AvgGoodputLong(longThr), nil
+						},
+					})
+				}
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			var pts []experiments.GainPoint
+			for i, load := range loads {
+				gi := outs[2*i].(float64)
+				gp := outs[2*i+1].(float64)
+				pts = append(pts, experiments.GainPoint{
+					Load: load, GoodputINT: gi, GoodputPINT: gp,
+					GainPercent: (gp - gi) / gi * 100,
+				})
+			}
+			return []experiments.Table{experiments.Fig07aTable(pts)}, nil
+		},
+	}
+}
+
+// --- Figs 7b/7c: slowdown by flow size ---
+
+func fig7bcScenario(name, wlName string, mkDist func() *workload.Dist) Scenario {
+	figure := "Fig 7(b)"
+	if name == "fig7c" {
+		figure = "Fig 7(c)"
+	}
+	kinds := []struct {
+		name string
+		k    experiments.TransportKind
+	}{{"HPCC(INT)", experiments.KindHPCCINT}, {"HPCC(PINT)", experiments.KindHPCCPINT}}
+	return Scenario{
+		Name:      name,
+		Figure:    figure,
+		Desc:      fmt.Sprintf("p95 slowdown by flow size at 50%% load, %s workload", wlName),
+		Topology:  leafSpineTopo,
+		Workload:  wlName,
+		Transport: transportHPCC,
+		Queries:   "utilization (8-bit digest)",
+		Stack:     stackNone,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, kind := range kinds {
+				kind := kind
+				trials = append(trials, Trial{Name: kind.name, Run: func() (any, error) {
+					res, err := experiments.RunLoad(experiments.LoadRunConfig{
+						Scale: s, Dist: mkDist(), Load: 0.5, Kind: kind.k, MinFlows: 200})
+					if err != nil {
+						return nil, err
+					}
+					edges := experiments.DecileEdges(mkDist(), s.SizeDivisor)
+					sizes, slow := res.Slowdowns()
+					return experiments.SlowdownSeries{
+						Name:     kind.name,
+						BinEdges: edges,
+						P95:      experiments.PercentileSlowdownByBin(sizes, slow, edges, 0.95),
+					}, nil
+				}})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			series := make([]experiments.SlowdownSeries, len(outs))
+			for i := range outs {
+				series[i] = outs[i].(experiments.SlowdownSeries)
+			}
+			title := fmt.Sprintf("%s: p95 slowdown, %s, 50%% load",
+				map[string]string{"fig7b": "Fig 7b", "fig7c": "Fig 7c"}[name], wlName)
+			return []experiments.Table{experiments.SlowdownTable(title, series)}, nil
+		},
+	}
+}
+
+// --- Fig 8: feedback fraction ---
+
+func fig8Scenario() Scenario {
+	wls := []struct {
+		name string
+		mk   func() *workload.Dist
+	}{{"web search", workload.WebSearch}, {"hadoop", workload.Hadoop}}
+	ps := []float64{1, 1.0 / 16, 1.0 / 256}
+	return Scenario{
+		Name:      "fig8",
+		Figure:    "Fig 8",
+		Desc:      "p95 slowdown with the congestion query on a p-fraction of packets",
+		Topology:  leafSpineTopo,
+		Workload:  "websearch + hadoop",
+		Transport: transportPINTd,
+		Queries:   "utilization at p ∈ {1, 1/16, 1/256}",
+		Stack:     stackNone,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, wl := range wls {
+				for _, p := range ps {
+					wl, p := wl, p
+					trials = append(trials, Trial{
+						Name: fmt.Sprintf("%s,p=1/%d", wl.name, int(math.Round(1/p))),
+						Run: func() (any, error) {
+							res, err := experiments.RunLoad(experiments.LoadRunConfig{
+								Scale: s, Dist: wl.mk(), Load: 0.5,
+								Kind: experiments.KindHPCCPINT, PintP: p, MinFlows: 200})
+							if err != nil {
+								return nil, err
+							}
+							edges := experiments.DecileEdges(wl.mk(), s.SizeDivisor)
+							sizes, slow := res.Slowdowns()
+							return experiments.SlowdownSeries{
+								Name:     fmt.Sprintf("p=1/%d", int(math.Round(1/p))),
+								BinEdges: edges,
+								P95:      experiments.PercentileSlowdownByBin(sizes, slow, edges, 0.95),
+							}, nil
+						},
+					})
+				}
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			var tables []experiments.Table
+			for wi, wl := range wls {
+				series := make([]experiments.SlowdownSeries, len(ps))
+				for pi := range ps {
+					series[pi] = outs[wi*len(ps)+pi].(experiments.SlowdownSeries)
+				}
+				tables = append(tables, experiments.SlowdownTable(
+					fmt.Sprintf("Fig 8: p95 slowdown vs feedback fraction, %s", wl.name), series))
+			}
+			return tables, nil
+		},
+	}
+}
+
+// --- Fig 9: latency quantile error ---
+
+func fig9Scenario() Scenario {
+	panels := []experiments.Fig09Panel{
+		{Workload: "websearch", Quantile: 0.99},
+		{Workload: "hadoop", Quantile: 0.99},
+		{Workload: "hadoop", Quantile: 0.5},
+		{Workload: "websearch", Quantile: 0.99, BySketch: true},
+		{Workload: "hadoop", Quantile: 0.99, BySketch: true},
+		{Workload: "hadoop", Quantile: 0.5, BySketch: true},
+	}
+	return Scenario{
+		Name:      "fig9",
+		Figure:    "Fig 9",
+		Desc:      "per-hop latency quantile relative error vs sample and sketch size",
+		Topology:  leafSpineTopo,
+		Workload:  "websearch + hadoop",
+		Transport: transportPINTd,
+		Queries:   "latency (b=4/8, raw + KLL-sketched)",
+		Stack:     stackFullSink,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, p := range panels {
+				p := p
+				trials = append(trials, Trial{
+					Name: experiments.Fig09PanelTitle(p),
+					Run: func() (any, error) {
+						return experiments.Fig09(s, p)
+					},
+				})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			var tables []experiments.Table
+			for i, p := range panels {
+				tables = append(tables, experiments.Fig09Table(p, outs[i].([]experiments.LatencySeries)))
+			}
+			return tables, nil
+		},
+	}
+}
+
+// --- Fig 10: path tracing ---
+
+func fig10Scenario(name string, topo experiments.Fig10Topology) Scenario {
+	figure := map[string]string{
+		"fig10a": "Fig 10(a)/(d)", "fig10b": "Fig 10(b)/(e)", "fig10c": "Fig 10(c)/(f)",
+	}[name]
+	return Scenario{
+		Name:     name,
+		Figure:   figure,
+		Desc:     fmt.Sprintf("packets to decode a path vs length on %s, PINT vs PPM/AMS2", topo),
+		Topology: string(topo),
+		Workload: "uniform packet IDs",
+		Queries:  "path (2×b=8, b=4, b=1) vs PPM/AMS2 baselines",
+		Stack:    stackCoding,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			// The topology is built once here; per-length trials share it
+			// (graph queries are pure reads).
+			lengths, run, err := experiments.Fig10Planner(topo)
+			if err != nil {
+				return nil, err
+			}
+			var trials []Trial
+			for _, l := range lengths {
+				l := l
+				trials = append(trials, Trial{
+					Name: fmt.Sprintf("len=%d", l),
+					Run: func() (any, error) {
+						pts, err := run(s, l)
+						if err != nil {
+							return nil, err
+						}
+						return pts, nil
+					},
+				})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			var pts []experiments.PathPoint
+			for _, out := range outs {
+				pts = append(pts, out.([]experiments.PathPoint)...)
+			}
+			return []experiments.Table{experiments.Fig10Table(topo, pts)}, nil
+		},
+	}
+}
+
+// --- Fig 11: concurrent queries ---
+
+func fig11Scenario() Scenario {
+	arms := []struct {
+		name string
+		arm  experiments.Fig11Arm
+	}{
+		{"combined", experiments.Fig11Combined},
+		{"solo-path", experiments.Fig11SoloPath},
+		{"solo-latency", experiments.Fig11SoloLat},
+	}
+	return Scenario{
+		Name:      "fig11",
+		Figure:    "Fig 11",
+		Desc:      "three concurrent queries in a 16-bit budget vs solo baselines",
+		Topology:  leafSpineTopo,
+		Workload:  "hadoop",
+		Transport: transportPINTd,
+		Queries:   "path 2×(b=4) + latency 8b + HPCC 8b",
+		Stack:     stackFullSink,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, a := range arms {
+				a := a
+				trials = append(trials, Trial{Name: a.name, Run: func() (any, error) {
+					return experiments.Fig11RunArm(s, a.arm)
+				}})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			rows := experiments.Fig11Assemble(
+				outs[0].(*experiments.CombinedMetrics),
+				outs[1].(*experiments.CombinedMetrics),
+				outs[2].(*experiments.CombinedMetrics))
+			return []experiments.Table{experiments.Fig11Table(rows)}, nil
+		},
+	}
+}
+
+// --- §2 collection overhead ---
+
+func collectionScenario() Scenario {
+	systems := experiments.CollectionSystems()
+	return Scenario{
+		Name:      "collection",
+		Figure:    "§2 problem 3",
+		Desc:      "sink-to-collector report-stream bandwidth, INT vs PINT",
+		Topology:  leafSpineTopo,
+		Workload:  "hadoop",
+		Transport: transportHPCC,
+		Queries:   "report stream modeling",
+		Stack:     stackNone,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			var trials []Trial
+			for _, system := range systems {
+				system := system
+				trials = append(trials, Trial{Name: system, Run: func() (any, error) {
+					return experiments.CollectionOverheadFor(s, system)
+				}})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			stats := make([]experiments.CollectionStats, len(outs))
+			for i := range outs {
+				stats[i] = outs[i].(experiments.CollectionStats)
+			}
+			return []experiments.Table{experiments.CollectionTable(stats)}, nil
+		},
+	}
+}

@@ -1,0 +1,628 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hash"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/sketch"
+	"repro/internal/topology"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// This file registers the non-paper scenarios: workloads the paper never
+// evaluated, running end to end through the production stack (engine
+// batch encode → wire marshal/unmarshal → sharded sink). They are the
+// proof that the registry scales by scenario count: each is a Plan/Reduce
+// pair over the same backbone the figures use.
+
+func init() {
+	Register(routeChangeScenario())
+	Register(ecmpImbalanceScenario())
+	Register(multiTenantScenario())
+}
+
+// shipBlocks runs an encoded packet block switch→collector: wire round
+// trip, then sink ingest. The returned buffers are reused across calls.
+func shipBlocks(sink *pipeline.Sink, pkts []core.PacketDigest, wireBuf []byte, rx []core.PacketDigest) ([]byte, []core.PacketDigest, error) {
+	rx, wireBuf, err := wire.Roundtrip(rx, wireBuf, pkts)
+	if err != nil {
+		return wireBuf, rx, err
+	}
+	sink.Ingest(rx)
+	return wireBuf, rx, nil
+}
+
+// --- route-change detection ---
+
+// routeChangeOut is one trial's detection record.
+type routeChangeOut struct {
+	decodePkts int   // packets to decode the original path
+	fpBefore   int   // inconsistencies before the change (false positives)
+	detectAt   []int // packets after the change until threshold i was hit (-1: never)
+}
+
+var routeThresholds = []int{1, 2, 4, 8}
+
+func routeChangeScenario() Scenario {
+	const (
+		k       = 5
+		block   = 8
+		maxPkts = 100_000
+	)
+	return Scenario{
+		Name:     "route-change",
+		Figure:   "new",
+		Desc:     "packets to detect a mid-flow reroute via decoder inconsistency bursts (§7)",
+		Topology: "fat tree (K=8)",
+		Workload: "uniform packet IDs, path flips mid-stream",
+		Queries:  "path 2×(b=8), d=5",
+		Stack:    stackFullSink,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			g, err := topology.FatTree(8)
+			if err != nil {
+				return nil, err
+			}
+			base := hash.Seed(s.Seed).Derive(0x7C0A7E)
+			var trials []Trial
+			for t := 0; t < s.Trials; t++ {
+				t := t
+				master := base.Derive(uint64(t))
+				trials = append(trials, Trial{
+					Name: fmt.Sprintf("reroute-%d", t),
+					Run: func() (any, error) {
+						return runRouteChangeTrial(g, master, k, block, maxPkts, s.ShardCount())
+					},
+				})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			fpTotal := 0
+			var decodeSum float64
+			for _, out := range outs {
+				o := out.(routeChangeOut)
+				fpTotal += o.fpBefore
+				decodeSum += float64(o.decodePkts)
+			}
+			t := experiments.Table{
+				Title: fmt.Sprintf(
+					"Route change: packets after reroute until detection, by threshold (original path decoded after %s pkts mean)",
+					experiments.F(decodeSum/float64(len(outs)))),
+				Columns: []string{"threshold", "mean", "median", "p99", "detected", "FP before change"},
+			}
+			for ti, thr := range routeThresholds {
+				var lat []int
+				for _, out := range outs {
+					if d := out.(routeChangeOut).detectAt[ti]; d >= 0 {
+						lat = append(lat, d)
+					}
+				}
+				st := experiments.EnginePathStats(lat, len(outs))
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%d", thr),
+					experiments.F(st.Mean), experiments.F(st.Median), experiments.F(st.P99),
+					fmt.Sprintf("%d/%d", st.Decoded, st.Trials),
+					fmt.Sprintf("%d", fpTotal),
+				})
+			}
+			return []experiments.Table{t}, nil
+		},
+	}
+}
+
+// runRouteChangeTrial decodes a path, flips the flow onto a different
+// equal-cost path, and measures how many packets the decoder needs before
+// its inconsistency counter crosses each detection threshold.
+func runRouteChangeTrial(g *topology.Graph, master hash.Seed, k, block, maxPkts, shards int) (routeChangeOut, error) {
+	out := routeChangeOut{detectAt: make([]int, len(routeThresholds))}
+	for i := range out.detectAt {
+		out.detectAt[i] = -1
+	}
+	pathA, pathB, err := equalCostPathPair(g, k, uint64(master))
+	if err != nil {
+		return out, err
+	}
+	cfg, err := core.DefaultPathConfig(8, 2, 5)
+	if err != nil {
+		return out, err
+	}
+	q, err := core.NewPathQuery("path", cfg, 1, master, g.SwitchIDUniverse())
+	if err != nil {
+		return out, err
+	}
+	eng, err := core.Compile([]core.Query{q}, cfg.TotalBits(), master.Derive(1))
+	if err != nil {
+		return out, err
+	}
+	sink, err := pipeline.NewSink(eng, pipeline.Config{Shards: shards, Base: master.Derive(2)})
+	if err != nil {
+		return out, err
+	}
+	defer sink.Close()
+	const flow = core.FlowKey(1)
+	stream := hash.NewRNG(uint64(master.Derive(3)))
+	pkts := make([]core.PacketDigest, block)
+	vals := make([]core.HopValues, block)
+	var wireBuf []byte
+	var rx []core.PacketDigest
+	encodeAndShip := func(path []uint64) error {
+		for j := range pkts {
+			pkts[j] = core.PacketDigest{Flow: flow, PktID: stream.Uint64(), PathLen: k}
+		}
+		for hop := 1; hop <= k; hop++ {
+			for j := range vals {
+				vals[j].SwitchID = path[hop-1]
+			}
+			eng.EncodeHopBatch(hop, pkts, vals)
+		}
+		wireBuf, rx, err = shipBlocks(sink, pkts, wireBuf, rx)
+		return err
+	}
+
+	// Phase 1: the flow runs on path A until decoded.
+	n := 0
+	for n < maxPkts {
+		if err := encodeAndShip(pathA); err != nil {
+			return out, err
+		}
+		n += block
+		sink.Barrier()
+		if dec := sink.Recording(flow).PathDecoder(q, flow); dec != nil && dec.Done() {
+			break
+		}
+	}
+	out.decodePkts = n
+	out.fpBefore = sink.PathInconsistencies(q, flow)
+
+	// Phase 2: the route flips to path B; count packets until the
+	// inconsistency counter crosses each threshold.
+	n = 0
+	for n < maxPkts {
+		if err := encodeAndShip(pathB); err != nil {
+			return out, err
+		}
+		n += block
+		sink.Barrier()
+		inc := sink.PathInconsistencies(q, flow) - out.fpBefore
+		done := true
+		for i, thr := range routeThresholds {
+			if out.detectAt[i] < 0 {
+				if inc >= thr {
+					out.detectAt[i] = n
+				} else {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return out, sink.Close()
+}
+
+// equalCostPathPair returns two distinct equal-length switch paths of k
+// switches between one switch pair — the before/after routes of an ECMP
+// reroute. It scans flow hashes until the path changes.
+func equalCostPathPair(g *topology.Graph, k int, seed uint64) ([]uint64, []uint64, error) {
+	pairs := g.SwitchPairsAtDistance(k-1, 4, seed)
+	for _, pair := range pairs {
+		a := g.SwitchPath(pair[0], pair[1], seed)
+		if len(a) != k {
+			continue
+		}
+		for h := uint64(1); h <= 64; h++ {
+			b := g.SwitchPath(pair[0], pair[1], seed+h*0x9E37)
+			if len(b) != k {
+				continue
+			}
+			if !equalU64(a, b) {
+				return a, b, nil
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("scenario: no equal-cost path pair of %d switches found", k)
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- ECMP imbalance localization ---
+
+type ecmpOut struct {
+	localized    bool
+	decodedFlows int
+	inflationEst float64
+}
+
+func ecmpImbalanceScenario() Scenario {
+	const (
+		k        = 5
+		nFlows   = 12
+		pktsFlow = 600
+		hotBoost = 8
+	)
+	return Scenario{
+		Name:     "ecmp-imbalance",
+		Figure:   "new",
+		Desc:     "localize a slow core switch from per-hop latency quantiles across ECMP-spread flows",
+		Topology: "fat tree (K=8)",
+		Workload: "synthetic ECMP flow fan-out, lognormal hop latencies",
+		Queries:  "path 2×(b=4) + latency 8b in 16 bits",
+		Stack:    stackFullSink,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			g, err := topology.FatTree(8)
+			if err != nil {
+				return nil, err
+			}
+			base := hash.Seed(s.Seed).Derive(0xECB)
+			var trials []Trial
+			for t := 0; t < s.Trials; t++ {
+				master := base.Derive(uint64(t))
+				trials = append(trials, Trial{
+					Name: fmt.Sprintf("localize-%d", t),
+					Run: func() (any, error) {
+						return runEcmpTrial(g, master, k, nFlows, pktsFlow, hotBoost, s.ShardCount())
+					},
+				})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			localized, decoded := 0, 0
+			var inflSum float64
+			var inflN int
+			for _, o := range outs {
+				e := o.(ecmpOut)
+				if e.localized {
+					localized++
+				}
+				decoded += e.decodedFlows
+				if !math.IsNaN(e.inflationEst) {
+					inflSum += e.inflationEst
+					inflN++
+				}
+			}
+			infl := math.NaN()
+			if inflN > 0 {
+				infl = inflSum / float64(inflN)
+			}
+			t := experiments.Table{
+				Title:   fmt.Sprintf("ECMP imbalance: hot-switch localization over %d flows/trial (true inflation %dx)", nFlows, hotBoost),
+				Columns: []string{"trials", "localized", "accuracy%", "decoded flows/trial", "est. inflation"},
+				Rows: [][]string{{
+					fmt.Sprintf("%d", len(outs)),
+					fmt.Sprintf("%d", localized),
+					experiments.F(float64(localized) / float64(len(outs)) * 100),
+					experiments.F(float64(decoded) / float64(len(outs))),
+					experiments.F(infl),
+				}},
+			}
+			return []experiments.Table{t}, nil
+		},
+	}
+}
+
+// runEcmpTrial spreads flows across a fat tree's equal-cost paths, plants
+// one slow core switch, drives every packet through the production stack,
+// and localizes the hot switch from decoded paths + per-hop latency
+// medians.
+func runEcmpTrial(g *topology.Graph, master hash.Seed, k, nFlows, pktsFlow, hotBoost, shards int) (ecmpOut, error) {
+	var out ecmpOut
+	pairs := g.SwitchPairsAtDistance(k-1, 2, uint64(master))
+	if len(pairs) == 0 {
+		return out, fmt.Errorf("scenario: fat tree lacks %d-switch paths", k)
+	}
+	pair := pairs[0]
+	paths := make([][]uint64, nFlows)
+	for f := range paths {
+		p := g.SwitchPath(pair[0], pair[1], uint64(master.Derive(uint64(100+f))))
+		if len(p) != k {
+			return out, fmt.Errorf("scenario: ECMP path of %d switches, want %d", len(p), k)
+		}
+		paths[f] = p
+	}
+	hot := paths[0][k/2] // a core-layer switch on flow 0's path
+
+	cfg, err := core.DefaultPathConfig(4, 2, 5)
+	if err != nil {
+		return out, err
+	}
+	pathQ, err := core.NewPathQuery("path", cfg, 1, master, g.SwitchIDUniverse())
+	if err != nil {
+		return out, err
+	}
+	latQ, err := core.NewLatencyQuery("lat", 8, 0.04, 15.0/16, master)
+	if err != nil {
+		return out, err
+	}
+	eng, err := core.Compile([]core.Query{pathQ, latQ}, 16, master.Derive(1))
+	if err != nil {
+		return out, err
+	}
+	sink, err := pipeline.NewSink(eng, pipeline.Config{Shards: shards, Base: master.Derive(2)})
+	if err != nil {
+		return out, err
+	}
+	defer sink.Close()
+
+	rng := hash.NewRNG(uint64(master.Derive(3)))
+	pkts := make([]core.PacketDigest, pktsFlow)
+	vals := make([]core.HopValues, pktsFlow)
+	var wireBuf []byte
+	var rx []core.PacketDigest
+	for f := 0; f < nFlows; f++ {
+		flow := core.FlowKey(uint64(f) + 1)
+		for j := range pkts {
+			pkts[j] = core.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: k}
+		}
+		for hop := 1; hop <= k; hop++ {
+			sw := paths[f][hop-1]
+			for j := range vals {
+				lat := math.Exp(math.Log(8000) + 0.25*rng.NormFloat64())
+				if sw == hot {
+					lat *= float64(hotBoost)
+				}
+				vals[j] = core.HopValues{SwitchID: sw, LatencyNs: uint64(lat)}
+			}
+			eng.EncodeHopBatch(hop, pkts, vals)
+		}
+		if wireBuf, rx, err = shipBlocks(sink, pkts, wireBuf, rx); err != nil {
+			return out, err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return out, err
+	}
+
+	// Localization: attribute each decoded (flow, hop) latency median to
+	// its decoded switch ID, then rank switches by their mean estimate.
+	scores := map[uint64][]float64{}
+	for f := 0; f < nFlows; f++ {
+		flow := core.FlowKey(uint64(f) + 1)
+		ids, done := sink.Path(pathQ, flow)
+		if !done {
+			continue
+		}
+		out.decodedFlows++
+		for hop := 1; hop <= k; hop++ {
+			est, err := sink.LatencyQuantile(latQ, flow, hop, 0.5)
+			if err != nil {
+				continue
+			}
+			scores[ids[hop-1]] = append(scores[ids[hop-1]], est)
+		}
+	}
+	var best uint64
+	bestScore := math.Inf(-1)
+	var others []float64
+	swIDs := make([]uint64, 0, len(scores))
+	for sw := range scores {
+		swIDs = append(swIDs, sw)
+	}
+	sort.Slice(swIDs, func(i, j int) bool { return swIDs[i] < swIDs[j] })
+	for _, sw := range swIDs {
+		ests := scores[sw]
+		var sum float64
+		for _, e := range ests {
+			sum += e
+		}
+		mean := sum / float64(len(ests))
+		if mean > bestScore {
+			bestScore, best = mean, sw
+		}
+		if sw != hot {
+			others = append(others, mean)
+		}
+	}
+	out.localized = best == hot && out.decodedFlows > 0
+	if len(others) > 0 && len(scores[hot]) > 0 {
+		out.inflationEst = bestScore / sketch.ExactQuantile(others, 0.5)
+	} else {
+		out.inflationEst = math.NaN()
+	}
+	return out, nil
+}
+
+// --- multi-tenant mixed workload ---
+
+type tenantMetrics struct {
+	flows   int
+	slowP95 float64
+	medErr  float64
+	tailErr float64
+}
+
+func multiTenantScenario() Scenario {
+	tenants := []experiments.Tenant{
+		{Name: "hadoop", Dist: nil, Load: 0.25, MinFlows: 100},
+		{Name: "websearch", Dist: nil, Load: 0.25, MinFlows: 100},
+	}
+	const k = 5
+	return Scenario{
+		Name:      "multi-tenant",
+		Figure:    "new",
+		Desc:      "per-tenant slowdown and latency-telemetry accuracy under mixed Hadoop+WebSearch load",
+		Topology:  leafSpineTopo,
+		Workload:  "hadoop + websearch tenants, merged Poisson arrivals",
+		Transport: transportPINTd,
+		Queries:   "latency 8b per tenant",
+		Stack:     stackFullSink,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			nTrials := s.Trials
+			if nTrials > 4 {
+				nTrials = 4 // each trial is a full loaded simulation
+			}
+			base := hash.Seed(s.Seed).Derive(0x377)
+			var trials []Trial
+			for t := 0; t < nTrials; t++ {
+				master := base.Derive(uint64(t))
+				trials = append(trials, Trial{
+					Name: fmt.Sprintf("mixed-load-%d", t),
+					Run: func() (any, error) {
+						return runMultiTenantTrial(s, master, tenants, k)
+					},
+				})
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			t := experiments.Table{
+				Title:   "Multi-tenant: per-tenant flows, p95 slowdown, latency-estimate error (mean over trials)",
+				Columns: []string{"tenant", "flows/trial", "p95 slowdown", "medLatErr%", "tailLatErr%"},
+			}
+			for ti, tn := range tenants {
+				var m tenantMetrics
+				for _, out := range outs {
+					o := out.([]tenantMetrics)[ti]
+					m.flows += o.flows
+					m.slowP95 += o.slowP95
+					m.medErr += o.medErr
+					m.tailErr += o.tailErr
+				}
+				n := float64(len(outs))
+				t.Rows = append(t.Rows, []string{
+					tn.Name,
+					experiments.F(float64(m.flows) / n),
+					experiments.F(m.slowP95 / n),
+					experiments.F(m.medErr / n),
+					experiments.F(m.tailErr / n),
+				})
+			}
+			return []experiments.Table{t}, nil
+		},
+	}
+}
+
+// runMultiTenantTrial shares one leaf-spine fabric between a Hadoop and a
+// WebSearch tenant, harvests per-tenant per-hop latency streams from the
+// simulation, and measures each tenant's transport fairness (p95
+// slowdown) plus the accuracy of PINT latency telemetry estimated over
+// its own traffic through the production stack.
+func runMultiTenantTrial(s experiments.Scale, master hash.Seed, tenants []experiments.Tenant, k int) ([]tenantMetrics, error) {
+	ts := s
+	ts.Seed = uint64(master)
+	spec := make([]experiments.Tenant, len(tenants))
+	for i, tn := range tenants {
+		spec[i] = tn
+		switch tn.Name {
+		case "hadoop":
+			spec[i].Dist = workload.Hadoop()
+		case "websearch":
+			spec[i].Dist = workload.WebSearch()
+		default:
+			return nil, fmt.Errorf("scenario: unknown tenant %q", tn.Name)
+		}
+	}
+	// Per-tenant per-hop latency streams; the tenant index travels in the
+	// flow ID's high byte (see experiments.tenantFlows).
+	streams := make([][][]float64, len(spec))
+	for ti := range streams {
+		streams[ti] = make([][]float64, k)
+	}
+	cfg := experiments.LoadRunConfig{Scale: ts, Kind: experiments.KindHPCCPINT, Tenants: spec}
+	res, err := experiments.RunLoadWithHopHook(cfg, func(pkt *netsim.Packet, hop int, latNs int64) {
+		ti := int(pkt.FlowID>>56) - 1
+		if ti < 0 || ti >= len(streams) || hop < 1 || hop > k {
+			return
+		}
+		streams[ti][hop-1] = append(streams[ti][hop-1], float64(latNs))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]tenantMetrics, len(spec))
+	_, slowByTenant := res.SlowdownsByTenant(len(spec))
+	for ti := range spec {
+		out[ti].flows = len(slowByTenant[ti])
+		out[ti].slowP95 = sketch.ExactQuantile(slowByTenant[ti], 0.95)
+		med, tail, err := estimateHopQuantileErr(streams[ti], master.Derive(uint64(0x100+ti)), s.ShardCount())
+		if err != nil {
+			return nil, err
+		}
+		out[ti].medErr, out[ti].tailErr = med, tail
+	}
+	return out, nil
+}
+
+// estimateHopQuantileErr drives one tenant's hop-latency streams through
+// the production telemetry stack — an 8-bit latency query, batch encode,
+// wire round trip, sharded sink — and returns the mean relative error of
+// the median and p99 estimates across hops.
+func estimateHopQuantileErr(streams [][]float64, master hash.Seed, shards int) (float64, float64, error) {
+	const z = 500
+	k := len(streams)
+	for h := range streams {
+		if len(streams[h]) < 50 {
+			return 0, 0, fmt.Errorf("scenario: hop %d collected only %d latencies", h+1, len(streams[h]))
+		}
+	}
+	latQ, err := core.NewLatencyQuery("lat", 8, 0.04, 1, master)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng, err := core.Compile([]core.Query{latQ}, 8, master.Derive(1))
+	if err != nil {
+		return 0, 0, err
+	}
+	sink, err := pipeline.NewSink(eng, pipeline.Config{Shards: shards, Base: master.Derive(2)})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sink.Close()
+	rng := hash.NewRNG(uint64(master.Derive(3)))
+	const flow = core.FlowKey(1)
+	pkts := make([]core.PacketDigest, z)
+	vals := make([]core.HopValues, z)
+	for j := range pkts {
+		pkts[j] = core.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: k}
+	}
+	for hop := 1; hop <= k; hop++ {
+		st := streams[hop-1]
+		for j := range vals {
+			vals[j].LatencyNs = uint64(st[j%len(st)])
+		}
+		eng.EncodeHopBatch(hop, pkts, vals)
+	}
+	if _, _, err = shipBlocks(sink, pkts, nil, nil); err != nil {
+		return 0, 0, err
+	}
+	if err := sink.Close(); err != nil {
+		return 0, 0, err
+	}
+	var medSum, tailSum float64
+	var n int
+	for hop := 1; hop <= k; hop++ {
+		truthMed := sketch.ExactQuantile(streams[hop-1], 0.5)
+		truthTail := sketch.ExactQuantile(streams[hop-1], 0.99)
+		estMed, err1 := sink.LatencyQuantile(latQ, flow, hop, 0.5)
+		estTail, err2 := sink.LatencyQuantile(latQ, flow, hop, 0.99)
+		if err1 != nil || err2 != nil || truthMed <= 0 || truthTail <= 0 {
+			continue
+		}
+		medSum += math.Abs(estMed-truthMed) / truthMed * 100
+		tailSum += math.Abs(estTail-truthTail) / truthTail * 100
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN(), nil
+	}
+	return medSum / float64(n), tailSum / float64(n), nil
+}

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the scenario golden files")
+
+func marshalResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestSerialVsParallelGolden is the registry's determinism contract:
+// every registered scenario, at quick scale, produces byte-identical JSON
+// under -parallel 1 and -parallel 8, and matches the committed golden
+// file (refresh with `go test ./internal/scenario -run Golden -update`).
+func TestSerialVsParallelGolden(t *testing.T) {
+	serial, err := RunNames([]string{"all"}, Options{Scale: experiments.Quick(), Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunNames([]string{"all"}, Options{Scale: experiments.Quick(), Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		name := serial[i].Scenario
+		sb := marshalResult(t, serial[i])
+		pb := marshalResult(t, parallel[i])
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("%s: serial and parallel runs differ:\nserial:   %s\nparallel: %s", name, sb, pb)
+			continue
+		}
+		golden := filepath.Join("testdata", name+".golden.json")
+		if *updateGolden {
+			if err := os.WriteFile(golden, sb, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("%s: missing golden file (run with -update): %v", name, err)
+			continue
+		}
+		if !bytes.Equal(sb, want) {
+			t.Errorf("%s: output differs from %s\ngot:  %s\nwant: %s", name, golden, sb, want)
+		}
+	}
+}
+
+// TestShardsDoNotChangeAnswers runs the recording-stack scenarios with
+// different sink shard counts and demands byte-identical JSON — the
+// pipeline determinism property surfaced at the scenario level.
+func TestShardsDoNotChangeAnswers(t *testing.T) {
+	for _, name := range []string{"pathtrace", "route-change", "ecmp-imbalance"} {
+		var ref []byte
+		for _, shards := range []int{1, 3} {
+			s := experiments.Quick()
+			s.Shards = shards
+			res, err := RunByName(name, Options{Scale: s, Parallel: 2})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			b := marshalResult(t, res)
+			if ref == nil {
+				ref = b
+			} else if !bytes.Equal(ref, b) {
+				t.Fatalf("%s: shards=1 vs shards=%d outputs differ:\n%s\nvs\n%s", name, shards, ref, b)
+			}
+		}
+	}
+}

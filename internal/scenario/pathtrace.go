@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// PathTraceSpec parameterizes an engine-driven path-tracing scenario:
+// packets-to-decode for one path of the chosen topology, driven through
+// the full production stack (Compile, EncodeHopBatch, wire round trip,
+// sharded sink). cmd/pinttrace builds one of these from its flags; the
+// registry's "pathtrace" entry is the default instance.
+type PathTraceSpec struct {
+	Topo      string // kentucky, uscarrier, fattree
+	PathLen   int    // switches on the traced path
+	Bits      int    // digest bits per hash instance
+	Instances int    // independent hash instances
+	D         int    // assumed path length (layering parameter)
+	MaxPkts   int    // per-trial packet cap
+	Baselines bool   // also run the PPM and AMS2 baselines
+}
+
+// buildGraph resolves the spec's topology.
+func (p PathTraceSpec) buildGraph() (*topology.Graph, error) {
+	switch p.Topo {
+	case "kentucky":
+		return topology.KentuckyDatalinkLike()
+	case "uscarrier":
+		return topology.USCarrierLike()
+	case "fattree":
+		return topology.FatTree(8)
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology %q", p.Topo)
+	}
+}
+
+// PathTrace builds the scenario: one trial per decode episode, seeds
+// fanned out exactly like the serial experiments.EnginePathTrials, plus
+// (optionally) one trial per traceback baseline. Scale.Trials sets the
+// episode count, Scale.Seed the seed, Scale.Shards the sink worker count.
+func PathTrace(spec PathTraceSpec) Scenario {
+	return Scenario{
+		Name:     "pathtrace",
+		Figure:   "new",
+		Desc:     "packets-to-decode for one path through the full engine→wire→sink stack",
+		Topology: spec.Topo,
+		Workload: "uniform packet IDs",
+		Queries:  fmt.Sprintf("path %dx(b=%d), d=%d", spec.Instances, spec.Bits, spec.D),
+		Stack:    stackFullSink,
+		Plan: func(s experiments.Scale) ([]Trial, error) {
+			g, err := spec.buildGraph()
+			if err != nil {
+				return nil, err
+			}
+			// A path visiting PathLen switches connects a pair at BFS
+			// distance PathLen-1.
+			pairs := g.SwitchPairsAtDistance(spec.PathLen-1, 1, s.Seed)
+			if len(pairs) == 0 {
+				return nil, fmt.Errorf("scenario: no %d-switch path in %s", spec.PathLen, g.Name)
+			}
+			nodePath := g.Path(pairs[0][0], pairs[0][1], s.Seed)
+			var values []uint64
+			for _, n := range nodePath {
+				values = append(values, g.Nodes[n].SwitchID)
+			}
+			universe := g.SwitchIDUniverse()
+			cfg, err := core.DefaultPathConfig(spec.Bits, spec.Instances, spec.D)
+			if err != nil {
+				return nil, err
+			}
+			maxPkts := spec.MaxPkts
+			if maxPkts <= 0 {
+				maxPkts = 2_000_000
+			}
+			var trials []Trial
+			for _, ts := range experiments.EnginePathTrialSeeds(s.Seed, s.Trials) {
+				ts := ts
+				trials = append(trials, Trial{
+					Name: fmt.Sprintf("episode-%d", uint64(ts.Flow)),
+					Run: func() (any, error) {
+						n, ok, err := experiments.EnginePathTrial(cfg, values, universe, ts, maxPkts, s.ShardCount())
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							n = -1 // undecoded within the cap
+						}
+						return n, nil
+					},
+				})
+			}
+			if spec.Baselines {
+				trials = append(trials, Trial{Name: "baseline-ppm", Run: func() (any, error) {
+					return telemetry.RunPPMTrials(values, s.Trials, s.Seed+1, maxPkts)
+				}})
+				for _, m := range []int{5, 6} {
+					m := m
+					trials = append(trials, Trial{
+						Name: fmt.Sprintf("baseline-ams2-m%d", m),
+						Run: func() (any, error) {
+							return telemetry.RunAMS2Trials(values, universe, m, s.Trials, s.Seed+uint64(m), maxPkts)
+						},
+					})
+				}
+			}
+			return trials, nil
+		},
+		Reduce: func(s experiments.Scale, outs []any) ([]experiments.Table, error) {
+			var counts []int
+			for _, out := range outs[:s.Trials] {
+				if n := out.(int); n >= 0 {
+					counts = append(counts, n)
+				}
+			}
+			st := experiments.EnginePathStats(counts, s.Trials)
+			t := experiments.Table{
+				Title: fmt.Sprintf("Path trace (%s, %d hops): packets to decode",
+					spec.Topo, spec.PathLen),
+				Columns: []string{"scheme", "mean", "median", "p99", "decoded", "bits/pkt"},
+			}
+			cfg, _ := core.DefaultPathConfig(spec.Bits, spec.Instances, spec.D)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("PINT %dx(b=%d)", spec.Instances, spec.Bits),
+				experiments.F(st.Mean), experiments.F(st.Median), experiments.F(st.P99),
+				fmt.Sprintf("%d/%d", st.Decoded, st.Trials),
+				fmt.Sprintf("%d", cfg.TotalBits()),
+			})
+			if spec.Baselines {
+				names := []string{"PPM", "AMS2 (m=5)", "AMS2 (m=6)"}
+				for i, out := range outs[s.Trials:] {
+					bst := out.(telemetry.TracebackStats)
+					t.Rows = append(t.Rows, []string{
+						names[i],
+						experiments.F(bst.Mean), experiments.F(bst.Median), experiments.F(bst.P99),
+						"-",
+						"16",
+					})
+				}
+			}
+			return []experiments.Table{t}, nil
+		},
+	}
+}
+
+func init() {
+	// The registry's default instance mirrors the old Fig 10(c) sweet
+	// spot: a 5-hop fat-tree path at the 2×(b=8) budget.
+	Register(PathTrace(PathTraceSpec{
+		Topo: "fattree", PathLen: 5, Bits: 8, Instances: 2, D: 5, Baselines: false,
+	}))
+}

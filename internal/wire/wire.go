@@ -90,6 +90,20 @@ func Unmarshal(data []byte) ([]core.PacketDigest, error) {
 	return AppendUnmarshal(nil, data)
 }
 
+// Roundtrip encodes batch and decodes it straight back — the
+// switch→collector transfer every recording hot path exercises per block.
+// dst and buf may be nil or recycled buffers (they are truncated before
+// use); the decoded batch and the grown scratch buffer are returned for
+// reuse so steady-state round trips allocate nothing.
+func Roundtrip(dst []core.PacketDigest, buf []byte, batch []core.PacketDigest) ([]core.PacketDigest, []byte, error) {
+	buf, err := AppendMarshal(buf[:0], batch)
+	if err != nil {
+		return dst, buf, err
+	}
+	dst, err = AppendUnmarshal(dst[:0], buf)
+	return dst, buf, err
+}
+
 // AppendUnmarshal appends the decoded packets to dst (pass a reused
 // buffer's dst[:0] to avoid allocation on the replay hot path) and returns
 // the extended slice. On error dst is returned unextended.

@@ -3,6 +3,7 @@
 package pint_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -238,5 +239,44 @@ func TestPublicBatchPipeline(t *testing.T) {
 		if want[i] != truth[i] || got[i] != truth[i] {
 			t.Fatalf("hop %d: serial %d sharded %d want %d", i+1, want[i], got[i], truth[i])
 		}
+	}
+}
+
+func TestPublicScenarioAPI(t *testing.T) {
+	names := pint.Scenarios()
+	if len(names) < 16 {
+		t.Fatalf("scenario registry exposes only %d entries", len(names))
+	}
+	if _, ok := pint.LookupScenario("fig5"); !ok {
+		t.Fatal("fig5 not exposed")
+	}
+	s := pint.QuickScale()
+	s.Trials = 2
+	res, err := pint.RunScenarios([]string{"pathtrace"}, pint.ScenarioOptions{Scale: s, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Tables) == 0 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	// A user-defined scenario runs through the same engine.
+	custom := pint.Scenario{
+		Name:   "user-defined",
+		Figure: "new",
+		Desc:   "public API smoke",
+		Plan: func(sc pint.Scale) ([]pint.ScenarioTrial, error) {
+			return []pint.ScenarioTrial{{Name: "one", Run: func() (any, error) { return 41 + 1, nil }}}, nil
+		},
+		Reduce: func(sc pint.Scale, outs []any) ([]pint.Table, error) {
+			return []pint.Table{{Title: "custom", Columns: []string{"v"},
+				Rows: [][]string{{fmt.Sprintf("%d", outs[0].(int))}}}}, nil
+		},
+	}
+	got, err := pint.RunScenario(&custom, pint.ScenarioOptions{Scale: pint.QuickScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tables[0].Rows[0][0] != "42" {
+		t.Fatalf("custom scenario produced %q", got.Tables[0].Rows[0][0])
 	}
 }

@@ -22,9 +22,12 @@ func TestSmokeBinariesAndExamples(t *testing.T) {
 		marker string
 	}{
 		{"pintplan", []string{"./cmd/pintplan", "-budget", "16"}, "pipeline:"},
-		{"pintfig-quick", []string{"./cmd/pintfig", "-scale", "quick", "-fig", "5"}, "Fig 5"},
+		{"pintfig-list", []string{"./cmd/pintfig", "-list"}, "Scenario catalog"},
+		{"pintfig-quick", []string{"./cmd/pintfig", "-scale", "quick", "-run", "fig5"}, "Fig 5"},
+		{"pintfig-parallel-json", []string{"./cmd/pintfig", "-scale", "quick",
+			"-run", "route-change,pathtrace", "-parallel", "4", "-json"}, "\"scenario\": \"route-change\""},
 		{"pinttrace", []string{"./cmd/pinttrace", "-topo", "fattree", "-len", "5",
-			"-trials", "20", "-baselines=false"}, "PINT"},
+			"-trials", "20", "-parallel", "2", "-baselines=false"}, "PINT"},
 		{"example-quickstart", []string{"./examples/quickstart"}, "path"},
 		{"example-pathtracing", []string{"./examples/pathtracing"}, ""},
 		{"example-latency", []string{"./examples/latency"}, ""},
