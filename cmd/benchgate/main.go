@@ -1,0 +1,158 @@
+// Command benchgate is the CI bench-regression gate: it compares two
+// `go test -bench` output files (a committed baseline and a fresh run),
+// reduces each benchmark's samples to its median ns/op, and fails — exit
+// code 1 — when the geometric-mean slowdown across the benchmarks both
+// files share exceeds a threshold.
+//
+// Usage:
+//
+//	benchgate -old bench_baseline.txt -new bench_pr.txt            15% geomean gate
+//	benchgate -old base.txt -new pr.txt -threshold-pct 10          tighter
+//	benchgate ... -max-single-pct 25                               per-bench bound
+//
+// Two bounds guard two failure shapes: the geomean threshold catches a
+// broad hot-path slowdown even when each benchmark moves modestly, and
+// the (looser) per-benchmark threshold catches one benchmark tanking —
+// which a geomean over many healthy benchmarks would dilute.
+//
+// Medians (not means) absorb scheduler noise in -count=N runs, and the
+// geomean across benchmarks keeps one noisy microbenchmark from failing
+// the job on its own while still catching a broad hot-path regression.
+// CPU-count suffixes ("-8") are stripped from benchmark names so a
+// baseline recorded on one machine class still keys against another;
+// the absolute numbers only gate against their own machine's baseline,
+// so refresh the baseline (see .github/workflows/ci.yml) whenever the
+// runner class changes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkHotPath_BatchEncodeExtract-8   3936970   304.5 ns/op   0 B/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parse reads a bench output file into name → ns/op samples.
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || v <= 0 {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines in %s", path)
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	oldPath := flag.String("old", "bench_baseline.txt", "baseline bench output")
+	newPath := flag.String("new", "", "fresh bench output to gate")
+	thresholdPct := flag.Float64("threshold-pct", 15, "fail when the geomean slowdown exceeds this percentage")
+	maxSinglePct := flag.Float64("max-single-pct", 30, "fail when any single benchmark slows down more than this percentage (0 disables)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	oldB, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newB, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline and fresh runs share no benchmarks")
+		os.Exit(2)
+	}
+
+	var logSum float64
+	worstRatio, worstName := 0.0, ""
+	fmt.Printf("%-58s %14s %14s %8s\n", "benchmark (median ns/op)", "old", "new", "delta")
+	for _, name := range names {
+		o, n := median(oldB[name]), median(newB[name])
+		ratio := n / o
+		logSum += math.Log(ratio)
+		if ratio > worstRatio {
+			worstRatio, worstName = ratio, name
+		}
+		fmt.Printf("%-58s %14.1f %14.1f %+7.1f%%\n",
+			strings.TrimPrefix(name, "Benchmark"), o, n, (ratio-1)*100)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Printf("\ngeomean over %d shared benchmarks: %+.1f%% (worst: %s %+.1f%%)\n",
+		len(names), (geomean-1)*100, strings.TrimPrefix(worstName, "Benchmark"), (worstRatio-1)*100)
+
+	// A large across-the-board speedup means the baseline came from a
+	// slower machine class: the gate still catches catastrophic
+	// regressions, but its thresholds are effectively loosened by the
+	// machine gap. Say so, loudly, so the baseline gets refreshed.
+	if geomean < 1/1.3 {
+		fmt.Printf("WARNING: everything is %+.0f%% faster than baseline — the baseline looks like\n"+
+			"another machine class; refresh bench_baseline.txt on this runner to restore\n"+
+			"the gate's full sensitivity\n", (geomean-1)*100)
+	}
+	failed := false
+	if limit := 1 + *thresholdPct/100; geomean > limit {
+		fmt.Printf("FAIL: geomean slowdown %+.1f%% exceeds the %.0f%% gate\n", (geomean-1)*100, *thresholdPct)
+		failed = true
+	}
+	if limit := 1 + *maxSinglePct/100; *maxSinglePct > 0 && worstRatio > limit {
+		fmt.Printf("FAIL: %s slowed down %+.1f%%, above the %.0f%% single-benchmark gate\n",
+			strings.TrimPrefix(worstName, "Benchmark"), (worstRatio-1)*100, *maxSinglePct)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: within the %.0f%% geomean / %.0f%% single-benchmark gates\n", *thresholdPct, *maxSinglePct)
+}

@@ -1,0 +1,132 @@
+// Command pintd is the PINT collector daemon: it listens for exporter
+// sessions (simulated switches, cmd/pintload) streaming framed
+// internal/wire digest batches over TCP, ingests them into a sharded
+// recording sink, and serves snapshot queries and counters over
+// HTTP/JSON.
+//
+// Usage:
+//
+//	pintd                                    listen on 127.0.0.1:9777 (HTTP :9778)
+//	pintd -listen :9777 -http :9778          explicit addresses
+//	pintd -shards 8 -seed 3                  8 sink workers, seed-3 testbench plan
+//	pintd -grace 10s                         SIGTERM drain grace period
+//
+// The daemon compiles the canonical testbench plan (collector.NewTestbench)
+// from -seed and -k; exporters must be compiled identically — the session
+// handshake's plan hash enforces it. On SIGTERM/SIGINT the daemon stops
+// accepting, gives open sessions -grace to finish, flushes and barriers
+// the sink so every ingested packet is counted, prints final stats, and
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9777", "TCP address for exporter sessions")
+	httpAddr := flag.String("http", "127.0.0.1:9778", "HTTP address for /healthz, /stats, /snapshot ('' disables)")
+	shards := flag.Int("shards", 1, "sink worker count (answers are bit-identical for any value)")
+	seed := flag.Uint64("seed", 1, "testbench plan seed (exporters must match)")
+	k := flag.Int("k", 5, "testbench flow hop count (exporters must match)")
+	batchSize := flag.Int("batch-size", 256, "sink per-shard dispatch batch (packets)")
+	queueDepth := flag.Int("queue-depth", 4, "sink per-shard queue depth (batches); smaller = earlier backpressure")
+	maxFrame := flag.Int("max-frame", 0, "frame payload cap in bytes (0 = 1 MiB default)")
+	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
+	verbose := flag.Bool("v", false, "log per-session events")
+	flag.Parse()
+
+	log.SetFlags(0)
+	tb, err := collector.NewTestbench(*seed, *k)
+	if err != nil {
+		log.Fatalf("pintd: %v", err)
+	}
+	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{
+		Shards:     *shards,
+		BatchSize:  *batchSize,
+		QueueDepth: *queueDepth,
+		Base:       tb.Base,
+	})
+	if err != nil {
+		log.Fatalf("pintd: %v", err)
+	}
+	cfg := collector.Config{
+		Engine:          tb.Engine,
+		Sink:            sink,
+		Queries:         tb.Queries(),
+		MaxFramePayload: *maxFrame,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := collector.New(cfg)
+	if err != nil {
+		log.Fatalf("pintd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("pintd: %v", err)
+	}
+	fmt.Printf("pintd: listening on %s (plan 0x%016x, shards %d, k %d)\n",
+		ln.Addr(), srv.PlanHash(), *shards, *k)
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("pintd: http: %v", err)
+		}
+		fmt.Printf("pintd: http on %s\n", hln.Addr())
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("pintd: http: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("pintd: %v: draining (grace %v)\n", sig, *grace)
+	case err := <-serveErr:
+		log.Fatalf("pintd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Printf("pintd: grace expired, open sessions force-closed (%v)\n", err)
+	}
+	if err := <-serveErr; err != nil {
+		log.Fatalf("pintd: serve: %v", err)
+	}
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	st := srv.Stats()
+	snap := sink.Snapshot()
+	flows := snap.TrackedFlows()
+	if err := sink.Close(); err != nil {
+		log.Fatalf("pintd: sink: %v", err)
+	}
+	fmt.Printf("pintd: drained: %d packets in %d frames from %d sessions (%d conn errors), %d flows tracked\n",
+		st.Packets, st.Frames, st.Sessions, st.ConnErrors, flows)
+}

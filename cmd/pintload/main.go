@@ -1,0 +1,54 @@
+// Command pintload is the collector's load generator: it simulates N
+// switches, each encoding its flows' digests through the engine's batch
+// encoder (Engine.EncodeHopBatch over every hop of a deterministic
+// fat-tree path) and streaming them as checksummed frames over its own
+// real TCP connection to a running pintd.
+//
+// Usage:
+//
+//	pintload -addr 127.0.0.1:9777                      default deployment (4×8×1000)
+//	pintload -addr :9777 -exporters 16 -flows 64       16 switches, 64 flows each
+//	pintload -addr :9777 -pkts 5000 -batch 512         5000 pkts/flow, 512/frame
+//	pintload -addr :9777 -seed 3 -k 7                  must match pintd's -seed/-k
+//
+// It reports wall clock, pkts/s, and wire bytes/pkt when every exporter
+// has finished. The plan seed and hop count must match the daemon's —
+// the session handshake refuses mismatched exporters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/collector"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9777", "pintd exporter-session address")
+	exporters := flag.Int("exporters", 4, "simulated switches (one TCP connection each)")
+	flows := flag.Int("flows", 8, "flows per exporter")
+	pkts := flag.Int("pkts", 1000, "packets per flow")
+	batch := flag.Int("batch", 256, "packets per frame")
+	seed := flag.Uint64("seed", 1, "testbench plan seed (must match pintd)")
+	k := flag.Int("k", 5, "flow hop count (must match pintd)")
+	flag.Parse()
+
+	log.SetFlags(0)
+	tb, err := collector.NewTestbench(*seed, *k)
+	if err != nil {
+		log.Fatalf("pintload: %v", err)
+	}
+	fmt.Printf("pintload: %d exporters x %d flows x %d packets -> %s (plan 0x%016x)\n",
+		*exporters, *flows, *pkts, *addr, tb.Engine.PlanHash())
+	start := time.Now()
+	packets, bytes, err := tb.StreamDeployment(*addr, *exporters, *flows, *pkts, *batch)
+	if err != nil {
+		log.Fatalf("pintload: %v", err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("pintload: sent %d packets (%d wire bytes) in %v\n", packets, bytes, elapsed.Round(time.Millisecond))
+	fmt.Printf("pintload: %.0f pkts/s, %.2f bytes/pkt on the wire\n",
+		float64(packets)/elapsed.Seconds(), float64(bytes)/float64(packets))
+}

@@ -9,5 +9,8 @@
 // parallelism. See README.md for the tour: the quick start, the package
 // map, the compiled batch/sharded pipeline that runs the per-packet hot
 // path, the streaming collector (bounded flow state, digest wire format,
-// snapshot queries), and the scenario catalog.
+// snapshot queries), the networked collector daemon
+// (internal/collector, run by cmd/pintd with cmd/pintload as its load
+// generator — framed TCP ingest from many exporters, handshake-guarded
+// plans, HTTP/JSON snapshots, graceful drain), and the scenario catalog.
 package repro

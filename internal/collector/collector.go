@@ -1,0 +1,370 @@
+// Package collector is the networked face of the reproduction's
+// Recording Module: a TCP daemon that accepts many concurrent exporter
+// connections — simulated switches, or cmd/pintload — each streaming
+// length-prefixed, checksummed frames of internal/wire digest batches
+// into one pipeline.ShardedSink.
+//
+// The deployment model follows the paper (§2, §5): switches emit tiny
+// per-packet digests; a central collector ingests every stream and
+// answers queries. This package adds the parts the in-process pipeline
+// could not express:
+//
+//   - a session handshake (wire.Hello) carrying the exporter's ID and its
+//     engine's PlanHash, so a switch compiled under a different execution
+//     plan is refused at connect time instead of silently corrupting
+//     every flow it touches;
+//   - per-connection decode isolation: a corrupt or oversized frame
+//     (checksum mismatch, bound violation, malformed batch) tears down
+//     only that connection, after ingesting nothing from the bad frame —
+//     the sink never sees a byte that did not checksum;
+//   - backpressure: connections ingest under one mutex into the sink,
+//     whose bounded worker queues block the ingesting reader when the
+//     workers fall behind; the reader stops draining its socket and TCP
+//     flow control pushes the pressure back to the exporter;
+//   - graceful drain: Shutdown stops accepting, gives in-flight sessions
+//     a grace period to finish, then flushes and barriers the sink so
+//     every ingested packet is queryable before the process exits.
+//
+// Snapshot queries are served over HTTP by Handler (see http.go): the
+// same Sink.Snapshot()/Merged path the in-process harness uses, so a
+// loopback deployment answers bit-identically to a direct sink.
+package collector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Config shapes a collector Server.
+type Config struct {
+	// Engine is the compiled execution plan the collector expects every
+	// exporter to share; its PlanHash gates the session handshake.
+	Engine *core.Engine
+	// Sink receives every decoded digest batch. The server serializes
+	// ingestion across connections (the sink's single-ingester contract),
+	// and Shutdown flushes and barriers it; the caller still owns Close.
+	Sink *pipeline.Sink
+	// Queries lists the engine's queries for the HTTP snapshot endpoints.
+	Queries []core.Query
+	// MaxFramePayload caps a frame's payload bytes (default
+	// wire.DefaultMaxFramePayload). Larger frames kill the connection.
+	MaxFramePayload int
+	// HandshakeTimeout bounds how long a new connection may take to
+	// present its Hello (default 10s), shedding dead or non-protocol
+	// connections.
+	HandshakeTimeout time.Duration
+	// Logf, when non-nil, receives one line per session event (open,
+	// close, error). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time view of the server's counters.
+type Stats struct {
+	Sessions   uint64 `json:"sessions"`
+	Active     int64  `json:"active"`
+	Rejected   uint64 `json:"rejected"`
+	Frames     uint64 `json:"frames"`
+	Packets    uint64 `json:"packets"`
+	Bytes      uint64 `json:"bytes"`
+	ConnErrors uint64 `json:"conn_errors"`
+}
+
+// Server is the collector daemon. Create with New, run with Serve (or
+// ListenAndServe), stop with Shutdown.
+type Server struct {
+	cfg      Config
+	planHash uint64
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+	// drained closes once the first Shutdown caller has flushed and
+	// barriered the sink; later callers wait on it so every Shutdown
+	// return means "the sink is queryable".
+	drained chan struct{}
+
+	// ingestMu serializes sink ingestion across connection handlers: the
+	// sink has a single-ingester contract, and the paper's sink is
+	// likewise one tap point.
+	ingestMu sync.Mutex
+
+	sessions   atomic.Uint64
+	active     atomic.Int64
+	rejected   atomic.Uint64
+	frames     atomic.Uint64
+	packets    atomic.Uint64
+	bytes      atomic.Uint64
+	connErrors atomic.Uint64
+}
+
+// New builds a Server over an engine and its sink.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("collector: nil engine")
+	}
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("collector: nil sink")
+	}
+	if cfg.MaxFramePayload <= 0 {
+		cfg.MaxFramePayload = wire.DefaultMaxFramePayload
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	return &Server{
+		cfg:      cfg,
+		planHash: cfg.Engine.PlanHash(),
+		conns:    map[net.Conn]struct{}{},
+		drained:  make(chan struct{}),
+	}, nil
+}
+
+// PlanHash returns the hash the server demands in every Hello.
+func (s *Server) PlanHash() uint64 { return s.planHash }
+
+// Stats returns the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Sessions:   s.sessions.Load(),
+		Active:     s.active.Load(),
+		Rejected:   s.rejected.Load(),
+		Frames:     s.frames.Load(),
+		Packets:    s.packets.Load(),
+		Bytes:      s.bytes.Load(),
+		ConnErrors: s.connErrors.Load(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts exporter sessions on ln until Shutdown (which returns
+// nil here) or a listener error. One Serve per Server.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("collector: server already shut down")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("collector: Serve called twice")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosing() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the listener address (for port-0 listeners), or nil
+// before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) isClosing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+	s.wg.Done()
+}
+
+// handleConn runs one exporter session: handshake, ack, then a frame →
+// decode → ingest loop until EOF, error, or shutdown.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.dropConn(conn)
+
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	hello, err := wire.ReadHello(conn)
+	if err != nil {
+		s.rejected.Add(1)
+		s.logf("collector: %s: handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	ack := wire.AckOK
+	switch {
+	case s.isClosing():
+		ack = wire.AckRejected
+	case hello.PlanHash != s.planHash:
+		ack = wire.AckPlanMismatch
+	}
+	if _, err := conn.Write([]byte{ack}); err != nil {
+		// The session was not refused — the transport died under the
+		// ack write. Count it as a connection error, not a rejection.
+		s.connErrors.Add(1)
+		s.logf("collector: %s: exporter %d (%s): writing ack: %v",
+			conn.RemoteAddr(), hello.Exporter, hello.Name, err)
+		return
+	}
+	if ack != wire.AckOK {
+		s.rejected.Add(1)
+		s.logf("collector: %s: exporter %d (%s) refused: ack=%d",
+			conn.RemoteAddr(), hello.Exporter, hello.Name, ack)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	s.sessions.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.logf("collector: %s: exporter %d (%s) session open", conn.RemoteAddr(), hello.Exporter, hello.Name)
+
+	fr := wire.NewFrameReader(conn, s.cfg.MaxFramePayload)
+	var rx []core.PacketDigest
+	for {
+		payload, err := fr.Next()
+		if err != nil {
+			switch {
+			case err == io.EOF:
+				s.logf("collector: exporter %d (%s) closed cleanly", hello.Exporter, hello.Name)
+			case s.isClosing() && isDeadlineErr(err):
+				s.logf("collector: exporter %d (%s) drained at shutdown", hello.Exporter, hello.Name)
+			default:
+				s.connErrors.Add(1)
+				s.logf("collector: exporter %d (%s) dropped: %v", hello.Exporter, hello.Name, err)
+			}
+			return
+		}
+		// Decode before touching the sink: a malformed batch inside a
+		// valid frame still poisons nothing.
+		rx, err = wire.AppendUnmarshal(rx[:0], payload)
+		if err != nil {
+			s.connErrors.Add(1)
+			s.logf("collector: exporter %d (%s) dropped: %v", hello.Exporter, hello.Name, err)
+			return
+		}
+		s.frames.Add(1)
+		s.bytes.Add(uint64(wire.FrameHeaderLen + len(payload)))
+		s.packets.Add(uint64(len(rx)))
+		s.ingestMu.Lock()
+		s.cfg.Sink.Ingest(rx)
+		s.ingestMu.Unlock()
+	}
+}
+
+func isDeadlineErr(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout() || errors.Is(err, os.ErrDeadlineExceeded) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// Shutdown drains the server: it stops accepting sessions, waits for the
+// open ones to finish (exporters closing their connections) until ctx
+// expires, force-closes whatever remains, and finally flushes and
+// barriers the sink so every ingested packet is queryable. The sink is
+// left open — the caller queries it and owns its Close. Shutdown is
+// idempotent; concurrent calls share the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace expired: unblock every reader. Sessions mid-frame lose
+		// that frame; everything already decoded is in the sink.
+		for _, c := range conns {
+			c.SetReadDeadline(time.Now())
+		}
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			for _, c := range conns {
+				c.Close()
+			}
+			<-done
+		}
+		err = ctx.Err()
+	}
+	if already {
+		// Another caller owns the final flush; wait for it (or our own
+		// deadline) so returning still means the sink is queryable.
+		select {
+		case <-s.drained:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+		return err
+	}
+	// All handlers are gone; this goroutine is the only ingester.
+	s.ingestMu.Lock()
+	s.cfg.Sink.Flush()
+	s.cfg.Sink.Barrier()
+	s.ingestMu.Unlock()
+	close(s.drained)
+	return err
+}

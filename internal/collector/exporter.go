@@ -1,0 +1,110 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Exporter is the switch side of a collector session: it dials the
+// daemon, performs the wire.Hello handshake, and streams digest batches
+// as checksummed frames. It is the transmit path cmd/pintload, the
+// collector-scale scenario, and any embedded switch agent share.
+//
+// An Exporter is not safe for concurrent use; give each sending
+// goroutine its own (each simulated switch owns one connection).
+type Exporter struct {
+	conn    net.Conn
+	scratch []byte // marshal + frame scratch, reused across Send calls
+	packets uint64
+	bytes   uint64
+}
+
+// HelloFor builds the session handshake for an exporter compiled under
+// eng's execution plan.
+func HelloFor(eng *core.Engine, exporterID uint64, name string) wire.Hello {
+	return wire.Hello{Exporter: exporterID, PlanHash: eng.PlanHash(), Name: name}
+}
+
+// Dial connects to a collector at addr and performs the handshake.
+func Dial(addr string, hello wire.Hello) (*Exporter, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewExporter(conn, hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// handshakeTimeout bounds the exporter-side handshake, mirroring the
+// server's Config.HandshakeTimeout: dialing something that is not a
+// collector (the HTTP port, say) must error, not hang waiting for an
+// ack that will never come.
+const handshakeTimeout = 10 * time.Second
+
+// NewExporter performs the handshake over an existing connection and
+// takes ownership of it (Close closes it).
+func NewExporter(conn net.Conn, hello wire.Hello) (*Exporter, error) {
+	buf, err := wire.AppendHello(nil, hello)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		return nil, fmt.Errorf("collector: sending handshake: %w", err)
+	}
+	var ack [1]byte
+	if _, err := conn.Read(ack[:]); err != nil {
+		return nil, fmt.Errorf("collector: reading handshake ack: %w", err)
+	}
+	if err := wire.AckError(ack[0]); err != nil {
+		return nil, err
+	}
+	conn.SetDeadline(time.Time{})
+	return &Exporter{conn: conn, scratch: buf[:0]}, nil
+}
+
+// Send marshals one digest batch and writes it as a single frame. Empty
+// batches are a no-op. When the collector's sink workers fall behind,
+// the write blocks — TCP flow control carrying the sink's backpressure
+// to the switch.
+func (e *Exporter) Send(batch []core.PacketDigest) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	payload, err := wire.AppendMarshal(e.scratch[:0], batch)
+	if err != nil {
+		return err
+	}
+	// Frame it in the same buffer, after the payload: the header+payload
+	// copy starts at len(payload), so the regions cannot overlap.
+	framed, err := wire.AppendFrame(payload, payload)
+	if err != nil {
+		return err
+	}
+	frame := framed[len(payload):]
+	if _, err := e.conn.Write(frame); err != nil {
+		return fmt.Errorf("collector: sending frame: %w", err)
+	}
+	e.scratch = framed[:0]
+	e.packets += uint64(len(batch))
+	e.bytes += uint64(len(frame))
+	return nil
+}
+
+// Packets returns the packets sent so far.
+func (e *Exporter) Packets() uint64 { return e.packets }
+
+// Bytes returns the wire bytes sent so far (frame headers included).
+func (e *Exporter) Bytes() uint64 { return e.bytes }
+
+// Close ends the session; the collector sees a clean EOF at a frame
+// boundary.
+func (e *Exporter) Close() error { return e.conn.Close() }

@@ -1,0 +1,175 @@
+package collector
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// This file serves snapshot queries over HTTP/JSON. The answer encoding
+// is factored into Answers so the loopback conformance path (the
+// collector-scale scenario) can compute the identical structure against
+// an in-process sink and demand bit-identical JSON.
+
+// HopAnswer is one (flow, hop)'s dynamic per-flow summary.
+type HopAnswer struct {
+	Hop     int     `json:"hop"`
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P99     float64 `json:"p99"`
+}
+
+// QueryAnswer is one query's answer for one flow. Which fields are
+// populated depends on the query kind.
+type QueryAnswer struct {
+	Query string `json:"query"`
+	Kind  string `json:"kind"`
+	// Path queries: the decoded per-hop switch IDs, whether decoding
+	// finished, and the route-change inconsistency counter.
+	Path            []uint64 `json:"path,omitempty"`
+	Done            bool     `json:"done,omitempty"`
+	Inconsistencies int      `json:"inconsistencies,omitempty"`
+	// Latency and frequent-value queries: per-hop summaries (hops with no
+	// samples are omitted).
+	Hops []HopAnswer `json:"hops,omitempty"`
+	// Frequent-value queries: per-hop heavy-hitter values above θ=0.1,
+	// sorted, aligned with Hops.
+	Heavy [][]uint64 `json:"heavy,omitempty"`
+	// Per-packet queries (util, count): the recovered series.
+	Series []float64 `json:"series,omitempty"`
+}
+
+// FlowAnswers is every query's answer for one flow.
+type FlowAnswers struct {
+	Flow    uint64        `json:"flow"`
+	Answers []QueryAnswer `json:"answers"`
+}
+
+// maxAnswerHops bounds the per-hop scan: paths in the decoder domain
+// never exceed wire.MaxPathLen hops.
+const maxAnswerHops = wire.MaxPathLen
+
+// Answers evaluates every query for every listed flow against one
+// quiescent Recording (a merged snapshot). Queries run in a fixed order
+// — flows as given, queries as given, hops ascending — so two Recordings
+// holding the same state produce byte-identical JSON (sketch queries
+// advance RNG state, making answer order part of the contract).
+func Answers(rec *core.Recording, queries []core.Query, flows []core.FlowKey) []FlowAnswers {
+	out := make([]FlowAnswers, 0, len(flows))
+	for _, flow := range flows {
+		fa := FlowAnswers{Flow: uint64(flow), Answers: []QueryAnswer{}}
+		for _, q := range queries {
+			a := QueryAnswer{Query: q.Name(), Kind: q.Agg().String()}
+			switch q := q.(type) {
+			case *core.PathQuery:
+				a.Path, a.Done = rec.Path(q, flow)
+				a.Inconsistencies = rec.PathInconsistencies(q, flow)
+			case *core.LatencyQuery:
+				for hop := 1; hop <= maxAnswerHops; hop++ {
+					n := rec.LatencySamples(q, flow, hop)
+					if n == 0 {
+						continue
+					}
+					p50, err1 := rec.LatencyQuantile(q, flow, hop, 0.5)
+					p99, err2 := rec.LatencyQuantile(q, flow, hop, 0.99)
+					if err1 != nil || err2 != nil {
+						continue
+					}
+					a.Hops = append(a.Hops, HopAnswer{Hop: hop, Samples: n, P50: p50, P99: p99})
+				}
+			case *core.FreqQuery:
+				for hop := 1; hop <= maxAnswerHops; hop++ {
+					n := rec.FreqSamples(q, flow, hop)
+					if n == 0 {
+						continue
+					}
+					a.Hops = append(a.Hops, HopAnswer{Hop: hop, Samples: n})
+					var vals []uint64
+					for _, hh := range rec.FrequentValues(q, flow, hop, 0.1) {
+						vals = append(vals, hh.Value)
+					}
+					sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+					a.Heavy = append(a.Heavy, vals)
+				}
+			case *core.UtilQuery:
+				a.Series = rec.UtilSeries(q, flow)
+			case *core.CountQuery:
+				a.Series = rec.CountSeries(q, flow)
+			}
+			fa.Answers = append(fa.Answers, a)
+		}
+		out = append(out, fa)
+	}
+	return out
+}
+
+// SnapshotAnswers folds a sink snapshot into one merged Recording and
+// answers every query for every tracked flow (or just the listed flows).
+func SnapshotAnswers(snap *pipeline.Snapshot, queries []core.Query, flows []core.FlowKey) ([]FlowAnswers, error) {
+	merged, err := snap.Merged()
+	if err != nil {
+		return nil, err
+	}
+	if flows == nil {
+		flows = merged.Flows()
+	}
+	return Answers(merged, queries, flows), nil
+}
+
+// Handler serves the collector's observability surface:
+//
+//	GET /healthz         {"ok":true,"plan_hash":"0x…"}
+//	GET /stats           server counters + per-shard sink counters
+//	GET /snapshot        all flows' query answers from a fresh snapshot
+//	GET /snapshot?flow=N one flow (repeatable)
+//
+// Snapshots run concurrently with ingestion (the sink's copy-on-read
+// contract), so querying a live collector never pauses exporters.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"ok":        true,
+			"plan_hash": fmt.Sprintf("0x%016x", s.planHash),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		total, perShard := s.cfg.Sink.Stats()
+		writeJSON(w, map[string]any{
+			"server":     s.Stats(),
+			"sink":       total,
+			"sink_shard": perShard,
+		})
+	})
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var flows []core.FlowKey
+		for _, raw := range r.URL.Query()["flow"] {
+			v, err := strconv.ParseUint(raw, 0, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad flow %q: %v", raw, err), http.StatusBadRequest)
+				return
+			}
+			flows = append(flows, core.FlowKey(v))
+		}
+		answers, err := SnapshotAnswers(s.cfg.Sink.Snapshot(), s.cfg.Queries, flows)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"flows": answers})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

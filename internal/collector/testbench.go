@@ -1,0 +1,152 @@
+package collector
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+	"repro/internal/topology"
+)
+
+// Testbench is the canonical loopback deployment plan: the query set,
+// compiled engine, and deterministic traffic model that cmd/pintd,
+// cmd/pintload, and the collector-scale scenario share. Daemon and load
+// generator each construct it independently from the same (seed, k) and
+// arrive at the same engine — the handshake's PlanHash check then proves
+// it on the wire, exactly how a switch fleet and its collector coordinate
+// implicitly from shared configuration (§4.1).
+type Testbench struct {
+	// K is the hop count of every generated flow.
+	K int
+	// Seed is the master knob; everything derives from it.
+	Seed uint64
+	// PathQ and LatQ are the two queries of the plan: path tracing at
+	// 2×4 bits and 8-bit latency, sharing a 16-bit budget.
+	PathQ *core.PathQuery
+	LatQ  *core.LatencyQuery
+	// Engine is the compiled plan.
+	Engine *core.Engine
+	// Base seeds the sink's recordings (pipeline.Config.Base).
+	Base hash.Seed
+	// universe is the fat-tree switch-ID space the flows walk.
+	universe []uint64
+}
+
+// NewTestbench builds the testbench at a seed. k is the flow hop count
+// (default 5 when < 1).
+func NewTestbench(seed uint64, k int) (*Testbench, error) {
+	if k < 1 {
+		k = 5
+	}
+	g, err := topology.FatTree(8)
+	if err != nil {
+		return nil, err
+	}
+	master := hash.Seed(seed).Derive(0xC011EC7)
+	cfg, err := core.DefaultPathConfig(4, 2, 5)
+	if err != nil {
+		return nil, err
+	}
+	pathQ, err := core.NewPathQuery("path", cfg, 1, master, g.SwitchIDUniverse())
+	if err != nil {
+		return nil, err
+	}
+	latQ, err := core.NewLatencyQuery("lat", 8, 0.04, 15.0/16, master)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.Compile([]core.Query{pathQ, latQ}, 16, master.Derive(1))
+	if err != nil {
+		return nil, err
+	}
+	return &Testbench{
+		K:        k,
+		Seed:     seed,
+		PathQ:    pathQ,
+		LatQ:     latQ,
+		Engine:   eng,
+		Base:     master.Derive(2),
+		universe: g.SwitchIDUniverse(),
+	}, nil
+}
+
+// Queries returns the plan's queries in answer order.
+func (tb *Testbench) Queries() []core.Query {
+	return []core.Query{tb.PathQ, tb.LatQ}
+}
+
+// FlowKeyFor names exporter exp's flow f: the exporter ID rides in the
+// high 32 bits, so every exporter owns a disjoint flow space.
+func (tb *Testbench) FlowKeyFor(exp uint64, f int) core.FlowKey {
+	return core.FlowKey(exp<<32 | (uint64(f) + 1))
+}
+
+// flowPath derives exporter exp flow f's k-switch path from the fat-tree
+// universe — a pure function of the testbench seed.
+func (tb *Testbench) flowPath(exp uint64, f int, path []uint64) []uint64 {
+	rng := hash.NewRNG(uint64(hash.Seed(tb.Seed).Derive(0x9A7).Hash2(exp, uint64(f))))
+	path = path[:0]
+	for hop := 0; hop < tb.K; hop++ {
+		path = append(path, tb.universe[rng.Intn(len(tb.universe))])
+	}
+	return path
+}
+
+// FlowBatch generates flow (exp, f)'s complete digest stream: n packets
+// walked through every hop of the flow's path via the engine's batch
+// encoder, with lognormal hop latencies. The result is a pure function
+// of (testbench seed, exp, f, n), so a loopback exporter and an
+// in-process reference produce bit-identical digests. pkts and vals are
+// reusable scratch (pass nil to allocate).
+func (tb *Testbench) FlowBatch(exp uint64, f, n int, pkts []core.PacketDigest, vals []core.HopValues) []core.PacketDigest {
+	if cap(pkts) < n {
+		pkts = make([]core.PacketDigest, n)
+	}
+	if cap(vals) < n {
+		vals = make([]core.HopValues, n)
+	}
+	pkts, vals = pkts[:n], vals[:n]
+	flow := tb.FlowKeyFor(exp, f)
+	rng := hash.NewRNG(uint64(hash.Seed(tb.Seed).Derive(0x7AF).Hash2(exp, uint64(f))))
+	for j := range pkts {
+		pkts[j] = core.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: tb.K}
+	}
+	path := tb.flowPath(exp, f, nil)
+	for hop := 1; hop <= tb.K; hop++ {
+		sw := path[hop-1]
+		for j := range vals {
+			lat := math.Exp(math.Log(8000) + 0.25*rng.NormFloat64())
+			vals[j] = core.HopValues{SwitchID: sw, LatencyNs: uint64(lat)}
+		}
+		tb.Engine.EncodeHopBatch(hop, pkts, vals)
+	}
+	return pkts
+}
+
+// Flows enumerates every flow key of a deployment of nExporters
+// exporters with flowsPer flows each, in (exporter, flow) order — the
+// order the conformance comparison queries them in.
+func (tb *Testbench) Flows(nExporters, flowsPer int) []core.FlowKey {
+	out := make([]core.FlowKey, 0, nExporters*flowsPer)
+	for exp := 0; exp < nExporters; exp++ {
+		for f := 0; f < flowsPer; f++ {
+			out = append(out, tb.FlowKeyFor(uint64(exp)+1, f))
+		}
+	}
+	return out
+}
+
+// Validate sanity-checks the deployment shape shared by pintload's flags
+// and the scenario.
+func ValidateShape(nExporters, flowsPer, pktsPer int) error {
+	switch {
+	case nExporters < 1 || nExporters > 1<<16:
+		return fmt.Errorf("collector: exporter count %d out of [1,%d]", nExporters, 1<<16)
+	case flowsPer < 1 || flowsPer > 1<<20:
+		return fmt.Errorf("collector: flows/exporter %d out of [1,%d]", flowsPer, 1<<20)
+	case pktsPer < 1 || pktsPer > 1<<24:
+		return fmt.Errorf("collector: packets/flow %d out of [1,%d]", pktsPer, 1<<24)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -51,8 +52,9 @@ func (p ExecutionPlan) String() string {
 // an identical Engine, so the query-selection hash yields the same query
 // set for a packet everywhere — the implicit coordination of §4.1.
 type Engine struct {
-	g    hash.Global
-	plan ExecutionPlan
+	g      hash.Global
+	master hash.Seed
+	plan   ExecutionPlan
 	// cum[i] is the upper boundary of set i's probability interval.
 	cum []float64
 	// progs[i] is set i lowered to a flat encode/record program.
@@ -160,7 +162,7 @@ func Compile(queries []Query, globalBits int, master hash.Seed) (*Engine, error)
 				queries[i].Name(), r)
 		}
 	}
-	e := &Engine{g: hash.NewGlobal(master.Derive(0xE14)), plan: plan}
+	e := &Engine{g: hash.NewGlobal(master.Derive(0xE14)), master: master, plan: plan}
 	cum := 0.0
 	for _, s := range plan.Sets {
 		cum += s.Prob
@@ -176,6 +178,28 @@ func Compile(queries []Query, globalBits int, master hash.Seed) (*Engine, error)
 
 // Plan exposes the compiled plan.
 func (e *Engine) Plan() ExecutionPlan { return e.plan }
+
+// PlanHash fingerprints the compiled engine: the master seed plus the
+// full plan structure (budget, set probabilities, and each set's query
+// names, bits, aggregation types, and digest offsets). Two engines with
+// equal hashes built from the same query constructors decode each other's
+// digests bit-identically, so the collector handshake uses this hash to
+// refuse exporters compiled under a different plan. It does not cover
+// query-internal parameters the constructors derive from their own seeds;
+// deployments vary those through the master seed, which is covered.
+func (e *Engine) PlanHash() uint64 {
+	const tag = hash.Seed(0x50494E54504C4EAD)
+	h := tag.Hash2(uint64(e.master), uint64(e.plan.GlobalBits))
+	for _, s := range e.plan.Sets {
+		h = tag.Hash2(h, math.Float64bits(s.Prob))
+		for i, q := range s.Queries {
+			h = tag.Hash2(h, uint64(s.Offsets[i]))
+			h = tag.Hash2(h, tag.HashString(q.Name()))
+			h = tag.Hash3(h, uint64(q.Bits()), uint64(q.Agg()))
+		}
+	}
+	return h
+}
 
 // SetFor returns the query set a packet serves, or nil when the packet's
 // selection point falls in unassigned probability mass (possible when

@@ -421,6 +421,36 @@ func TestPathQueryTwoInstances(t *testing.T) {
 	t.Fatal("2x8 path not decoded")
 }
 
+// TestPlanHash pins the collector handshake guard: the hash is stable
+// across identical compilations and moves when the master seed, budget,
+// or query set changes.
+func TestPlanHash(t *testing.T) {
+	uni := testUniverse(10, 100)
+	build := func(bits int, freq float64, seed hash.Seed) *Engine {
+		t.Helper()
+		path := mustPath(t, "path", 8, 1, 1, uni)
+		lat := mustLat(t, "lat", 8, freq)
+		e, err := Compile([]Query{path, lat}, bits, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	base := build(16, 15.0/16, 42)
+	if got := build(16, 15.0/16, 42).PlanHash(); got != base.PlanHash() {
+		t.Fatalf("identical compilations hash %#x vs %#x", got, base.PlanHash())
+	}
+	for name, e := range map[string]*Engine{
+		"seed":   build(16, 15.0/16, 43),
+		"budget": build(17, 15.0/16, 42),
+		"freq":   build(16, 7.0/8, 42),
+	} {
+		if e.PlanHash() == base.PlanHash() {
+			t.Fatalf("%s change left the plan hash at %#x", name, base.PlanHash())
+		}
+	}
+}
+
 func TestFlowKeyOf(t *testing.T) {
 	a := FlowKeyOf(1, "10.0.0.1:1234->10.0.0.2:80")
 	b := FlowKeyOf(1, "10.0.0.1:1234->10.0.0.2:80")

@@ -277,6 +277,18 @@ func (r *Recording) Evict(flow FlowKey) {
 // TrackedFlows returns the number of flows with live state.
 func (r *Recording) TrackedFlows() int { return len(r.flowSeq) }
 
+// Flows returns every flow with live state in sorted key order, so
+// iterating a Recording's flows (reports, snapshot endpoints) is
+// deterministic.
+func (r *Recording) Flows() []FlowKey {
+	out := make([]FlowKey, 0, len(r.flowSeq))
+	for f := range r.flowSeq {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // HasFlow reports whether a flow currently has live state — e.g. inside
 // an eviction callback, where the flow is still queryable.
 func (r *Recording) HasFlow(flow FlowKey) bool {

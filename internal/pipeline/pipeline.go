@@ -71,6 +71,13 @@ type Config struct {
 	// not retain rec and must not call Sink methods (the worker it would
 	// wait on is the one running it).
 	OnEvict func(ev Eviction, rec *core.Recording)
+	// OnStall, when non-nil, runs on the ingester goroutine each time a
+	// dispatch finds its shard's queue full and is about to block — the
+	// sink's backpressure signal. A networked collector uses it to
+	// observe (and let TCP flow control propagate) ingest pressure to
+	// slow exporters. The callback must be fast and must not call Sink
+	// methods.
+	OnStall func(shard int)
 }
 
 // Sink is the sharded Recording Module. Ingest/Record feed it from one
@@ -93,6 +100,7 @@ type Sink struct {
 }
 
 type shard struct {
+	idx  int
 	ch   chan []core.PacketDigest
 	free chan []core.PacketDigest
 	snap chan chan *core.Recording
@@ -102,6 +110,12 @@ type shard struct {
 	pol  EvictionPolicy
 	now  uint64
 	vict []Eviction
+	// packets/batches/stalls are the shard's ingest counters, written on
+	// the ingester goroutine at dispatch time and read from any goroutine
+	// via Sink.Stats, hence atomic.
+	packets atomic.Uint64
+	batches atomic.Uint64
+	stalls  atomic.Uint64
 	// err holds the shard's first recording error; written by the worker,
 	// read concurrently by Sink.Err, hence atomic.
 	err atomic.Pointer[error]
@@ -150,6 +164,7 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 		}
 		rec.MaxFlows = cfg.MaxFlows
 		sh := &shard{
+			idx:  i,
 			ch:   make(chan []core.PacketDigest, cfg.QueueDepth),
 			free: make(chan []core.PacketDigest, cfg.QueueDepth+1),
 			snap: make(chan chan *core.Recording),
@@ -198,19 +213,31 @@ func (s *Sink) ingestOne(pkt core.PacketDigest) {
 	sh := s.shardOf(pkt.Flow)
 	sh.buf = append(sh.buf, pkt)
 	if len(sh.buf) == cap(sh.buf) {
-		sh.dispatch()
+		sh.dispatch(s.cfg.OnStall)
 	}
 }
 
 // dispatch hands the filled buffer to the worker and replaces it with a
 // recycled one (workers return drained buffers on sh.free), so the
-// steady-state ingest path allocates nothing.
-func (sh *shard) dispatch() {
+// steady-state ingest path allocates nothing. A full queue counts as one
+// stall (and fires onStall) before blocking — the ingester-side
+// backpressure signal.
+func (sh *shard) dispatch(onStall func(int)) {
 	if len(sh.buf) == 0 {
 		return
 	}
 	size := cap(sh.buf)
-	sh.ch <- sh.buf
+	sh.packets.Add(uint64(len(sh.buf)))
+	sh.batches.Add(1)
+	select {
+	case sh.ch <- sh.buf:
+	default:
+		sh.stalls.Add(1)
+		if onStall != nil {
+			onStall(sh.idx)
+		}
+		sh.ch <- sh.buf
+	}
 	select {
 	case b := <-sh.free:
 		sh.buf = b[:0]
@@ -223,7 +250,7 @@ func (sh *shard) dispatch() {
 // waiting for the workers to drain.
 func (s *Sink) Flush() {
 	for _, sh := range s.shards {
-		sh.dispatch()
+		sh.dispatch(s.cfg.OnStall)
 	}
 }
 
@@ -241,7 +268,7 @@ func (s *Sink) Barrier() {
 		return
 	}
 	for _, sh := range s.shards {
-		sh.dispatch()
+		sh.dispatch(s.cfg.OnStall)
 	}
 	// Fan out first so the shards drain concurrently.
 	for _, sh := range s.shards {
@@ -367,6 +394,42 @@ func (s *Sink) Snapshot() *Snapshot {
 	return &Snapshot{recs: recs}
 }
 
+// ShardStats is one shard's ingest counters.
+type ShardStats struct {
+	// Packets and Batches count what the ingester dispatched to the
+	// shard's worker (buffered-but-undispatched packets are not counted
+	// until a full buffer, Flush, Barrier, or Close dispatches them).
+	Packets uint64 `json:"packets"`
+	Batches uint64 `json:"batches"`
+	// Stalls counts dispatches that found the worker queue full and had
+	// to block — nonzero means the workers are the bottleneck and
+	// backpressure reached the ingester.
+	Stalls uint64 `json:"stalls"`
+	// Queued is the queue length in batches at the time of the call.
+	Queued int `json:"queued"`
+}
+
+// Stats returns per-shard ingest counters plus their totals. It is safe
+// from any goroutine at any time (the counters are atomics and the queue
+// length is a point-in-time read), which is what a collector daemon's
+// status endpoint needs while ingestion runs.
+func (s *Sink) Stats() (total ShardStats, perShard []ShardStats) {
+	perShard = make([]ShardStats, len(s.shards))
+	for i, sh := range s.shards {
+		perShard[i] = ShardStats{
+			Packets: sh.packets.Load(),
+			Batches: sh.batches.Load(),
+			Stalls:  sh.stalls.Load(),
+			Queued:  len(sh.ch),
+		}
+		total.Packets += perShard[i].Packets
+		total.Batches += perShard[i].Batches
+		total.Stalls += perShard[i].Stalls
+		total.Queued += perShard[i].Queued
+	}
+	return total, perShard
+}
+
 // Err returns the first recording error any shard has hit so far, or nil.
 // A long-running collector that never Closes should check it alongside
 // Snapshot: after a shard fails, that shard stops recording (its answers
@@ -390,7 +453,7 @@ func (s *Sink) Close() error {
 	}
 	s.closed = true
 	for _, sh := range s.shards {
-		sh.dispatch()
+		sh.dispatch(s.cfg.OnStall)
 	}
 	for _, sh := range s.shards {
 		close(sh.ch)

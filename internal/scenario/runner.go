@@ -46,7 +46,7 @@ func Run(sc *Scenario, opts Options) (*Result, error) {
 func RunByName(name string, opts Options) (*Result, error) {
 	sc, ok := Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+		return nil, unknownNameError(name)
 	}
 	return Run(sc, opts)
 }
@@ -147,7 +147,7 @@ func RunNames(names []string, opts Options) ([]*Result, error) {
 		}
 		sc, ok := Lookup(name)
 		if !ok {
-			return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+			return nil, unknownNameError(name)
 		}
 		scs = append(scs, sc)
 	}

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Suggest returns up to three registered scenario names close to a
+// mistyped query: substring matches first, then small-edit-distance
+// neighbors (≤ 1/3 of the query length, minimum 2). It backs the CLI's
+// "did you mean" hint.
+func Suggest(name string) []string {
+	query := strings.ToLower(name)
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	for _, reg := range Names() {
+		lower := strings.ToLower(reg)
+		switch {
+		case strings.Contains(lower, query) || strings.Contains(query, lower):
+			cands = append(cands, cand{reg, 0})
+		default:
+			max := len(query) / 3
+			if max < 2 {
+				max = 2
+			}
+			if d := editDistance(query, lower); d <= max {
+				cands = append(cands, cand{reg, d})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	out := make([]string, 0, 3)
+	for _, c := range cands {
+		if len(out) == 3 {
+			break
+		}
+		out = append(out, c.name)
+	}
+	return out
+}
+
+// unknownNameError builds the registry's miss message, with near-miss
+// suggestions when any exist.
+func unknownNameError(name string) error {
+	if sugg := Suggest(name); len(sugg) > 0 {
+		return fmt.Errorf("scenario: unknown scenario %q — did you mean %s? (-list shows the catalog)",
+			name, strings.Join(sugg, ", "))
+	}
+	return fmt.Errorf("scenario: unknown scenario %q (-list shows the catalog)", name)
+}
+
+// editDistance is the Levenshtein distance over bytes (scenario names
+// are ASCII), two-row dynamic program.
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestSuggestNearMisses(t *testing.T) {
+	cases := []struct {
+		query string
+		want  string // must appear among the suggestions
+	}{
+		{"fig10x", "fig10a"},
+		{"colector-scale", "collector-scale"},
+		{"route-chang", "route-change"},
+		{"pathtrac", "pathtrace"},
+		{"FIG9", "fig9"},
+	}
+	for _, tc := range cases {
+		got := Suggest(tc.query)
+		found := false
+		for _, s := range got {
+			if s == tc.want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Suggest(%q) = %v, want it to include %q", tc.query, got, tc.want)
+		}
+		if len(got) > 3 {
+			t.Errorf("Suggest(%q) returned %d names, cap is 3", tc.query, len(got))
+		}
+	}
+	if got := Suggest("zzzzqqqq"); len(got) != 0 {
+		t.Errorf("Suggest(garbage) = %v, want none", got)
+	}
+}
+
+func TestUnknownScenarioErrorSuggests(t *testing.T) {
+	_, err := RunNames([]string{"colector-scale"}, Options{Scale: experiments.Quick()})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "did you mean") ||
+		!strings.Contains(err.Error(), "collector-scale") {
+		t.Fatalf("miss error lacks suggestions: %v", err)
+	}
+	_, err = RunByName("fig10x", Options{Scale: experiments.Quick()})
+	if err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("RunByName miss lacks suggestions: %v", err)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"fig9", "fig9", 0},
+		{"fig10a", "fig10c", 1},
+	} {
+		if got := editDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

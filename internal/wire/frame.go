@@ -1,0 +1,291 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the stream layer of the wire format: how marshaled digest
+// batches travel over a byte stream (a TCP connection from an exporting
+// switch to the collector daemon) rather than sitting in one buffer.
+//
+// # Frame layout
+//
+// A frame wraps one payload (normally one Marshal()ed digest batch):
+//
+//	length uint32 LE  payload length in bytes, 1..maxPayload
+//	crc    uint32 LE  CRC-32C (Castagnoli) of the payload
+//	payload [length]byte
+//
+// The fixed-width header lets a reader issue exact-size reads, and the
+// checksum turns any stream corruption into a connection-level error
+// before a single corrupt digest reaches the sink. Decoding is strict and
+// bounded: a length of zero, a length above the reader's payload cap, or
+// a checksum mismatch is an error, and nothing larger than the cap is
+// ever allocated, so a hostile header cannot balloon collector memory.
+//
+// # Session handshake
+//
+// A connection opens with one Hello record from the exporter:
+//
+//	magic    [4]byte  'P' 'I' 'N' 'T'
+//	version  byte     HandshakeVersion
+//	exporter uint64 LE  exporter (switch) ID
+//	planHash uint64 LE  Engine.PlanHash() of the exporter's compiled plan
+//	nameLen  byte     0..MaxExporterName
+//	name     [nameLen]byte  printable ASCII label
+//
+// and the collector answers with a single ack byte (AckOK or a reject
+// code). The plan hash is the implicit-coordination guard of §4.1 made
+// explicit on the wire: digests are meaningless under a different
+// execution plan, so a mismatched exporter is refused at session setup
+// instead of silently polluting every query it touches.
+
+// FrameHeaderLen is the fixed frame header size: length + crc.
+const FrameHeaderLen = 8
+
+// DefaultMaxFramePayload bounds frame payloads unless the reader/writer
+// chooses its own cap. A digest record is ~4-6 bytes, so 1 MiB holds
+// ~200k packets — far beyond any sane batch.
+const DefaultMaxFramePayload = 1 << 20
+
+// crcTable is the Castagnoli table shared by all frame writers/readers.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends one frame wrapping payload to dst and returns the
+// extended slice. The payload must be non-empty and at most
+// DefaultMaxFramePayload bytes (writers and readers share the default cap
+// unless both ends agree on another).
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return dst, fmt.Errorf("wire: empty frame payload")
+	}
+	if len(payload) > DefaultMaxFramePayload {
+		return dst, fmt.Errorf("wire: frame payload %d bytes above cap %d",
+			len(payload), DefaultMaxFramePayload)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...), nil
+}
+
+// DecodeFrame decodes the first frame of data, returning its payload
+// (aliasing data) and the bytes after the frame. ErrShortFrame means data
+// holds a valid prefix of a frame and more bytes are needed; any other
+// error is fatal for the stream.
+func DecodeFrame(data []byte, maxPayload int) (payload, rest []byte, err error) {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFramePayload
+	}
+	if len(data) < FrameHeaderLen {
+		return nil, data, ErrShortFrame
+	}
+	n := binary.LittleEndian.Uint32(data)
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if n == 0 {
+		return nil, data, fmt.Errorf("wire: zero-length frame")
+	}
+	if uint64(n) > uint64(maxPayload) {
+		return nil, data, fmt.Errorf("wire: frame payload %d bytes above cap %d", n, maxPayload)
+	}
+	if uint64(len(data)-FrameHeaderLen) < uint64(n) {
+		return nil, data, ErrShortFrame
+	}
+	payload = data[FrameHeaderLen : FrameHeaderLen+int(n)]
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return nil, data, fmt.Errorf("wire: frame checksum %#08x, want %#08x", got, sum)
+	}
+	return payload, data[FrameHeaderLen+int(n):], nil
+}
+
+// ErrShortFrame reports that a buffer ends before the frame does: a
+// stream reader should read more bytes, a bounded decoder should treat it
+// as truncation.
+var ErrShortFrame = fmt.Errorf("wire: truncated frame")
+
+// FrameReader reads a stream of frames. The payload returned by Next is
+// valid until the following Next call (the buffer is reused), which is
+// exactly the lifetime the collector's decode-then-ingest loop needs.
+type FrameReader struct {
+	r      *bufio.Reader
+	header [FrameHeaderLen]byte
+	buf    []byte
+	max    int
+}
+
+// NewFrameReader wraps r. maxPayload <= 0 means DefaultMaxFramePayload.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = DefaultMaxFramePayload
+	}
+	return &FrameReader{r: bufio.NewReader(r), max: maxPayload}
+}
+
+// Next reads one frame and returns its payload. io.EOF means the stream
+// ended cleanly at a frame boundary; io.ErrUnexpectedEOF means it ended
+// mid-frame; checksum and bound violations are their own errors. After
+// any error the reader is spent.
+func (fr *FrameReader) Next() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: stream ended inside a frame header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(fr.header[:])
+	sum := binary.LittleEndian.Uint32(fr.header[4:])
+	if n == 0 {
+		return nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if uint64(n) > uint64(fr.max) {
+		return nil, fmt.Errorf("wire: frame payload %d bytes above cap %d", n, fr.max)
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		// Keep the real cause (deadline, reset, …) unwrappable — the
+		// collector's shutdown path distinguishes deadline unblocking
+		// from genuine stream corruption. Only a bare EOF becomes
+		// unexpected-EOF: the stream ended mid-frame.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: reading a %d-byte frame payload: %w", n, err)
+	}
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return nil, fmt.Errorf("wire: frame checksum %#08x, want %#08x", got, sum)
+	}
+	return payload, nil
+}
+
+// HandshakeVersion is the current session-handshake version byte.
+const HandshakeVersion = 1
+
+// MaxExporterName bounds the Hello name field.
+const MaxExporterName = 64
+
+// helloFixedLen is the byte length of a Hello before the variable name:
+// magic (4) + version (1) + exporter (8) + planHash (8) + nameLen (1).
+const helloFixedLen = 22
+
+var helloMagic = [4]byte{'P', 'I', 'N', 'T'}
+
+// Hello is the session handshake an exporter sends when its connection
+// opens.
+type Hello struct {
+	// Exporter identifies the sending switch/agent.
+	Exporter uint64
+	// PlanHash is core.Engine.PlanHash() of the exporter's compiled plan;
+	// the collector refuses sessions whose hash differs from its own.
+	PlanHash uint64
+	// Name is an optional printable-ASCII label (metrics, logs).
+	Name string
+}
+
+func validExporterName(name string) error {
+	if len(name) > MaxExporterName {
+		return fmt.Errorf("wire: exporter name %d bytes above cap %d", len(name), MaxExporterName)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] > 0x7e {
+			return fmt.Errorf("wire: exporter name byte %d (%#02x) outside printable ASCII", i, name[i])
+		}
+	}
+	return nil
+}
+
+// AppendHello appends the handshake encoding of h to dst.
+func AppendHello(dst []byte, h Hello) ([]byte, error) {
+	if err := validExporterName(h.Name); err != nil {
+		return dst, err
+	}
+	dst = append(dst, helloMagic[:]...)
+	dst = append(dst, HandshakeVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Exporter)
+	dst = binary.LittleEndian.AppendUint64(dst, h.PlanHash)
+	dst = append(dst, byte(len(h.Name)))
+	return append(dst, h.Name...), nil
+}
+
+// DecodeHello decodes a Hello from the front of data and returns the
+// bytes consumed. ErrShortFrame means data is a valid prefix and more
+// bytes are needed; other errors are fatal.
+func DecodeHello(data []byte) (Hello, int, error) {
+	var h Hello
+	if len(data) < helloFixedLen {
+		return h, 0, ErrShortFrame
+	}
+	if [4]byte(data[:4]) != helloMagic {
+		return h, 0, fmt.Errorf("wire: bad handshake magic %q", data[:4])
+	}
+	if data[4] != HandshakeVersion {
+		return h, 0, fmt.Errorf("wire: unsupported handshake version %d (have %d)", data[4], HandshakeVersion)
+	}
+	h.Exporter = binary.LittleEndian.Uint64(data[5:])
+	h.PlanHash = binary.LittleEndian.Uint64(data[13:])
+	nameLen := int(data[21])
+	if nameLen > MaxExporterName {
+		return Hello{}, 0, fmt.Errorf("wire: exporter name %d bytes above cap %d", nameLen, MaxExporterName)
+	}
+	if len(data) < helloFixedLen+nameLen {
+		return Hello{}, 0, ErrShortFrame
+	}
+	h.Name = string(data[helloFixedLen : helloFixedLen+nameLen])
+	if err := validExporterName(h.Name); err != nil {
+		return Hello{}, 0, err
+	}
+	return h, helloFixedLen + nameLen, nil
+}
+
+// ReadHello reads one Hello from a stream.
+func ReadHello(r io.Reader) (Hello, error) {
+	var fixed [helloFixedLen]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return Hello{}, fmt.Errorf("wire: reading handshake: %w", err)
+	}
+	// Validate the fixed prefix before trusting its name length: garbage
+	// (wrong magic, bad version, oversized name) must fail here rather
+	// than stall the stream waiting for bytes a bogus length promises.
+	if _, _, err := DecodeHello(fixed[:]); err != nil && err != ErrShortFrame {
+		return Hello{}, err
+	}
+	nameLen := int(fixed[helloFixedLen-1])
+	buf := make([]byte, helloFixedLen+nameLen)
+	copy(buf, fixed[:])
+	if _, err := io.ReadFull(r, buf[helloFixedLen:]); err != nil {
+		return Hello{}, fmt.Errorf("wire: reading handshake name: %w", err)
+	}
+	h, _, err := DecodeHello(buf)
+	return h, err
+}
+
+// Session ack codes: the single byte the collector answers a Hello with.
+const (
+	// AckOK accepts the session; frames follow.
+	AckOK byte = 0
+	// AckPlanMismatch rejects a Hello whose plan hash differs from the
+	// collector's engine.
+	AckPlanMismatch byte = 2
+	// AckRejected rejects a session for any other reason (shutdown in
+	// progress, exporter limit).
+	AckRejected byte = 3
+)
+
+// AckError maps a non-OK ack code to a descriptive error.
+func AckError(code byte) error {
+	switch code {
+	case AckOK:
+		return nil
+	case AckPlanMismatch:
+		return fmt.Errorf("wire: collector rejected session: execution-plan hash mismatch")
+	case AckRejected:
+		return fmt.Errorf("wire: collector rejected session")
+	default:
+		return fmt.Errorf("wire: collector answered unknown ack code %d", code)
+	}
+}

@@ -1,0 +1,72 @@
+package pint
+
+import (
+	"repro/internal/collector"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// The networked collector API (internal/collector): the sharded sink
+// behind real sockets. A Collector accepts many concurrent exporter
+// connections, each streaming length-prefixed CRC-32C-framed digest
+// batches (internal/wire's stream layer) that open with a versioned
+// handshake carrying the exporter ID and its engine's PlanHash — a
+// mismatched execution plan is refused at session setup. Decoded batches
+// ingest into a ShardedSink with per-connection backpressure (bounded
+// worker queues block the reader; TCP flow control does the rest), and
+// Shutdown drains gracefully. Collector.Handler serves /healthz, /stats,
+// and /snapshot over HTTP/JSON.
+//
+//	sink, _ := pint.NewShardedSink(engine, pint.ShardConfig{Shards: 8, Base: seed})
+//	srv, _ := pint.NewCollector(pint.CollectorConfig{Engine: engine, Sink: sink, Queries: queries})
+//	go srv.ListenAndServe("0.0.0.0:9777")
+//
+//	// switch side
+//	ex, _ := pint.DialCollector("collector:9777", pint.HelloFor(engine, switchID, "tor-3-2"))
+//	ex.Send(pkts)
+//
+// cmd/pintd wraps Collector as a daemon; cmd/pintload is the matching
+// load generator.
+
+// Collector is the TCP collector daemon.
+type Collector = collector.Server
+
+// CollectorConfig shapes a Collector.
+type CollectorConfig = collector.Config
+
+// CollectorStats is a point-in-time view of a Collector's counters.
+type CollectorStats = collector.Stats
+
+// NewCollector builds a collector over an engine and its sharded sink.
+func NewCollector(cfg CollectorConfig) (*Collector, error) { return collector.New(cfg) }
+
+// Exporter is the switch side of a collector session.
+type Exporter = collector.Exporter
+
+// DialCollector connects to a collector and performs the session
+// handshake.
+func DialCollector(addr string, hello Hello) (*Exporter, error) { return collector.Dial(addr, hello) }
+
+// Hello is the session handshake an exporter opens with.
+type Hello = wire.Hello
+
+// HelloFor builds the handshake for an exporter compiled under eng's
+// execution plan.
+func HelloFor(eng *Engine, exporterID uint64, name string) Hello {
+	return collector.HelloFor(eng, exporterID, name)
+}
+
+// FlowAnswers is the JSON-stable per-flow query answer set the
+// collector's snapshot endpoint serves (and Answers computes).
+type FlowAnswers = collector.FlowAnswers
+
+// Answers evaluates every query for every listed flow against a
+// quiescent Recording (e.g. a merged snapshot), in a fixed order so
+// equal states produce byte-identical JSON.
+func Answers(rec *Recording, queries []Query, flows []FlowKey) []FlowAnswers {
+	return collector.Answers(rec, queries, flows)
+}
+
+// ShardStats is one sink shard's ingest counters (see ShardedSink.Stats,
+// whose stall counts surface the backpressure OnStall observes).
+type ShardStats = pipeline.ShardStats

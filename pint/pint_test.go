@@ -3,9 +3,12 @@
 package pint_test
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"net"
 	"testing"
+	"time"
 
 	"repro/pint"
 )
@@ -278,5 +281,92 @@ func TestPublicScenarioAPI(t *testing.T) {
 	}
 	if got.Tables[0].Rows[0][0] != "42" {
 		t.Fatalf("custom scenario produced %q", got.Tables[0].Rows[0][0])
+	}
+}
+
+// TestPublicCollectorAPI runs a miniature networked deployment entirely
+// through the facade: compile, encode a flow, stream it to a Collector
+// over loopback TCP, drain, and read the answers back.
+func TestPublicCollectorAPI(t *testing.T) {
+	uni := universe(64)
+	truth := uni[:6]
+	cfg, err := pint.DefaultPathConfig(8, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pint.NewPathQuery("path", cfg, 1, 3, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pint.Compile([]pint.Query{q}, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := pint.FlowKeyOf(3, "flow-collector")
+	rng := pint.NewRNG(4)
+	pkts := make([]pint.PacketDigest, 600)
+	vals := make([]pint.HopValues, len(pkts))
+	for i := range pkts {
+		pkts[i] = pint.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: len(truth)}
+	}
+	for hop := 1; hop <= len(truth); hop++ {
+		for i := range vals {
+			vals[i].SwitchID = truth[hop-1]
+		}
+		engine.EncodeHopBatch(hop, pkts, vals)
+	}
+
+	sink, err := pint.NewShardedSink(engine, pint.ShardConfig{Shards: 2, Base: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	srv, err := pint.NewCollector(pint.CollectorConfig{
+		Engine: engine, Sink: sink, Queries: []pint.Query{q},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ex, err := pint.DialCollector(ln.Addr().String(), pint.HelloFor(engine, 1, "public-api"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Send(pkts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().Packets; got != uint64(len(pkts)) {
+		t.Fatalf("collector ingested %d packets, want %d", got, len(pkts))
+	}
+
+	merged, err := sink.Snapshot().Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := pint.Answers(merged, []pint.Query{q}, []pint.FlowKey{flow})
+	if len(answers) != 1 || !answers[0].Answers[0].Done {
+		t.Fatalf("flow did not decode over the wire: %+v", answers)
+	}
+	for i, id := range answers[0].Answers[0].Path {
+		if id != truth[i] {
+			t.Fatalf("hop %d decoded %#x, want %#x", i+1, id, truth[i])
+		}
 	}
 }

@@ -1,9 +1,14 @@
 package repro
 
 import (
+	"bufio"
 	"context"
+	"errors"
+	"fmt"
 	"os/exec"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -50,5 +55,106 @@ func TestSmokeBinariesAndExamples(t *testing.T) {
 				t.Fatalf("go run %s output lacks %q:\n%s", strings.Join(tc.args, " "), tc.marker, out)
 			}
 		})
+	}
+}
+
+// TestSmokePintfigUnknownScenario pins the CLI contract for a mistyped
+// scenario name: non-zero exit and a near-miss suggestion.
+func TestSmokePintfigUnknownScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the go tool; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "go", "run", "./cmd/pintfig", "-run", "colector-scale").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown scenario exited 0:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() == 0 {
+		t.Fatalf("want a non-zero exit code, got %v:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "did you mean") || !strings.Contains(string(out), "collector-scale") {
+		t.Fatalf("miss output lacks a suggestion:\n%s", out)
+	}
+}
+
+// TestSmokePintdSigtermDrain runs the real daemon binaries end to end:
+// build pintd and pintload, stream a deployment over loopback TCP, send
+// the daemon SIGTERM, and demand a clean drain — exit code 0 and a final
+// packet count matching exactly what pintload sent.
+func TestSmokePintdSigtermDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the go tool; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	bin := t.TempDir()
+	for _, cmd := range []string{"pintd", "pintload"} {
+		out, err := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	const (
+		exporters = 3
+		flows     = 4
+		pkts      = 500
+	)
+	daemon := exec.CommandContext(ctx, filepath.Join(bin, "pintd"),
+		"-listen", "127.0.0.1:0", "-http", "", "-shards", "4")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = daemon.Stdout
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// The daemon prints its ephemeral address on the first line.
+	scanner := bufio.NewScanner(stdout)
+	var addr string
+	var lines []string
+	for scanner.Scan() {
+		line := scanner.Text()
+		lines = append(lines, line)
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			addr, _, _ = strings.Cut(rest, " ")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("pintd never announced its address:\n%s", strings.Join(lines, "\n"))
+	}
+
+	load, err := exec.CommandContext(ctx, filepath.Join(bin, "pintload"),
+		"-addr", addr,
+		"-exporters", fmt.Sprint(exporters), "-flows", fmt.Sprint(flows), "-pkts", fmt.Sprint(pkts),
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pintload: %v\n%s", err, load)
+	}
+	want := fmt.Sprintf("sent %d packets", exporters*flows*pkts)
+	if !strings.Contains(string(load), want) || !strings.Contains(string(load), "pkts/s") {
+		t.Fatalf("pintload report lacks %q:\n%s", want, load)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for scanner.Scan() {
+		lines = append(lines, scanner.Text())
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("pintd exited non-zero after SIGTERM: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	out := strings.Join(lines, "\n")
+	drained := fmt.Sprintf("drained: %d packets", exporters*flows*pkts)
+	tracked := fmt.Sprintf("%d flows tracked", exporters*flows)
+	if !strings.Contains(out, drained) || !strings.Contains(out, tracked) || !strings.Contains(out, "0 conn errors") {
+		t.Fatalf("pintd drain report lacks %q / %q:\n%s", drained, tracked, out)
 	}
 }
