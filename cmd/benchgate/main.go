@@ -9,6 +9,12 @@
 //	benchgate -old bench_baseline.txt -new bench_pr.txt            15% geomean gate
 //	benchgate -old base.txt -new pr.txt -threshold-pct 10          tighter
 //	benchgate ... -max-single-pct 25                               per-bench bound
+//	benchgate ... -out bench_delta.txt                             also write the report to a file
+//
+// The full delta table and verdict are printed on success as well as on
+// failure, and -out duplicates them into a file regardless of exit code —
+// so a CI run's uploaded artifact is populated on every run, not only
+// when the gate trips.
 //
 // Two bounds guard two failure shapes: the geomean threshold catches a
 // broad hot-path slowdown even when each benchmark moves modestly, and
@@ -29,6 +35,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
@@ -87,10 +94,21 @@ func main() {
 	newPath := flag.String("new", "", "fresh bench output to gate")
 	thresholdPct := flag.Float64("threshold-pct", 15, "fail when the geomean slowdown exceeds this percentage")
 	maxSinglePct := flag.Float64("max-single-pct", 30, "fail when any single benchmark slows down more than this percentage (0 disables)")
+	outPath := flag.String("out", "", "also append the report (table + verdict) to this file, pass or fail")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
 		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
 	}
 	oldB, err := parse(*oldPath)
 	if err != nil {
@@ -117,7 +135,7 @@ func main() {
 
 	var logSum float64
 	worstRatio, worstName := 0.0, ""
-	fmt.Printf("%-58s %14s %14s %8s\n", "benchmark (median ns/op)", "old", "new", "delta")
+	fmt.Fprintf(w, "%-58s %14s %14s %8s\n", "benchmark (median ns/op)", "old", "new", "delta")
 	for _, name := range names {
 		o, n := median(oldB[name]), median(newB[name])
 		ratio := n / o
@@ -125,11 +143,11 @@ func main() {
 		if ratio > worstRatio {
 			worstRatio, worstName = ratio, name
 		}
-		fmt.Printf("%-58s %14.1f %14.1f %+7.1f%%\n",
+		fmt.Fprintf(w, "%-58s %14.1f %14.1f %+7.1f%%\n",
 			strings.TrimPrefix(name, "Benchmark"), o, n, (ratio-1)*100)
 	}
 	geomean := math.Exp(logSum / float64(len(names)))
-	fmt.Printf("\ngeomean over %d shared benchmarks: %+.1f%% (worst: %s %+.1f%%)\n",
+	fmt.Fprintf(w, "\ngeomean over %d shared benchmarks: %+.1f%% (worst: %s %+.1f%%)\n",
 		len(names), (geomean-1)*100, strings.TrimPrefix(worstName, "Benchmark"), (worstRatio-1)*100)
 
 	// A large across-the-board speedup means the baseline came from a
@@ -137,22 +155,22 @@ func main() {
 	// regressions, but its thresholds are effectively loosened by the
 	// machine gap. Say so, loudly, so the baseline gets refreshed.
 	if geomean < 1/1.3 {
-		fmt.Printf("WARNING: everything is %+.0f%% faster than baseline — the baseline looks like\n"+
+		fmt.Fprintf(w, "WARNING: everything is %+.0f%% faster than baseline — the baseline looks like\n"+
 			"another machine class; refresh bench_baseline.txt on this runner to restore\n"+
 			"the gate's full sensitivity\n", (geomean-1)*100)
 	}
 	failed := false
 	if limit := 1 + *thresholdPct/100; geomean > limit {
-		fmt.Printf("FAIL: geomean slowdown %+.1f%% exceeds the %.0f%% gate\n", (geomean-1)*100, *thresholdPct)
+		fmt.Fprintf(w, "FAIL: geomean slowdown %+.1f%% exceeds the %.0f%% gate\n", (geomean-1)*100, *thresholdPct)
 		failed = true
 	}
 	if limit := 1 + *maxSinglePct/100; *maxSinglePct > 0 && worstRatio > limit {
-		fmt.Printf("FAIL: %s slowed down %+.1f%%, above the %.0f%% single-benchmark gate\n",
+		fmt.Fprintf(w, "FAIL: %s slowed down %+.1f%%, above the %.0f%% single-benchmark gate\n",
 			strings.TrimPrefix(worstName, "Benchmark"), (worstRatio-1)*100, *maxSinglePct)
 		failed = true
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("PASS: within the %.0f%% geomean / %.0f%% single-benchmark gates\n", *thresholdPct, *maxSinglePct)
+	fmt.Fprintf(w, "PASS: within the %.0f%% geomean / %.0f%% single-benchmark gates\n", *thresholdPct, *maxSinglePct)
 }

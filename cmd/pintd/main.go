@@ -44,6 +44,7 @@ func main() {
 	batchSize := flag.Int("batch-size", 256, "sink per-shard dispatch batch (packets)")
 	queueDepth := flag.Int("queue-depth", 4, "sink per-shard queue depth (batches); smaller = earlier backpressure")
 	maxFrame := flag.Int("max-frame", 0, "frame payload cap in bytes (0 = 1 MiB default)")
+	epoch := flag.Uint64("epoch", 0, "cluster partitioning epoch (fleet members and exporters must match; 0 = standalone)")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
 	verbose := flag.Bool("v", false, "log per-session events")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 		Sink:            sink,
 		Queries:         tb.Queries(),
 		MaxFramePayload: *maxFrame,
+		Epoch:           *epoch,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -80,8 +82,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("pintd: %v", err)
 	}
-	fmt.Printf("pintd: listening on %s (plan 0x%016x, shards %d, k %d)\n",
-		ln.Addr(), srv.PlanHash(), *shards, *k)
+	fmt.Printf("pintd: listening on %s (plan 0x%016x, shards %d, k %d, epoch %d)\n",
+		ln.Addr(), srv.PlanHash(), *shards, *k, *epoch)
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {
@@ -90,7 +92,7 @@ func main() {
 			log.Fatalf("pintd: http: %v", err)
 		}
 		fmt.Printf("pintd: http on %s\n", hln.Addr())
-		httpSrv = &http.Server{Handler: srv.Handler()}
+		httpSrv = srv.HTTPServer(nil)
 		go func() {
 			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
 				log.Fatalf("pintd: http: %v", err)

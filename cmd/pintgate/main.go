@@ -1,0 +1,94 @@
+// Command pintgate is the federated collector fleet's query frontend: it
+// fans /snapshot, /stats, and /healthz out to every fleet member
+// (cmd/pintd daemons), folds the per-member answers into the same
+// fixed-order JSON a single daemon emits, and degrades explicitly when a
+// member is down — the response carries an X-Pint-Partial header plus a
+// per-node error list naming exactly which members are missing.
+//
+// Usage:
+//
+//	pintgate -nodes 127.0.0.1:9778,127.0.0.1:9878        front two pintd HTTP endpoints
+//	pintgate -http 127.0.0.1:9700                        explicit listen address
+//	pintgate -timeout 5s                                 per-node fan-out bound
+//
+// The fleet members hold disjoint flow sets (exporters route each flow to
+// its consistent-hash home; see cmd/pintload -addr a,b,c and the README's
+// federated-deployment section), so the /snapshot merge is a k-way merge
+// by flow key — byte-identical to one collector that ingested everything.
+// On SIGTERM/SIGINT the gate stops serving and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/federation"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:9700", "HTTP address for the merged /healthz, /stats, /snapshot")
+	nodes := flag.String("nodes", "", "comma-separated fleet member HTTP endpoints (host:port or http://host:port)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-node fan-out request bound")
+	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
+	flag.Parse()
+
+	log.SetFlags(0)
+	var urls []string
+	for _, n := range strings.Split(*nodes, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !strings.HasPrefix(n, "http://") && !strings.HasPrefix(n, "https://") {
+			n = "http://" + n
+		}
+		urls = append(urls, n)
+	}
+	fe, err := federation.NewFrontend(urls)
+	if err != nil {
+		log.Fatalf("pintgate: %v (pass the fleet's HTTP endpoints via -nodes)", err)
+	}
+	fe.Timeout = *timeout
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("pintgate: %v", err)
+	}
+	srv := collector.HardenedHTTPServer(fe.Handler())
+	fmt.Printf("pintgate: serving on %s, fronting %d nodes\n", ln.Addr(), len(urls))
+	for i, u := range urls {
+		fmt.Printf("pintgate: node %d: %s\n", i, u)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("pintgate: %v: draining (grace %v)\n", sig, *grace)
+	case err := <-serveErr:
+		log.Fatalf("pintgate: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		log.Fatalf("pintgate: serve: %v", err)
+	}
+	fmt.Println("pintgate: drained")
+}

@@ -2,7 +2,7 @@
 // switches, each encoding its flows' digests through the engine's batch
 // encoder (Engine.EncodeHopBatch over every hop of a deterministic
 // fat-tree path) and streaming them as checksummed frames over its own
-// real TCP connection to a running pintd.
+// real TCP connection(s) to a running pintd — or to a whole fleet.
 //
 // Usage:
 //
@@ -10,9 +10,20 @@
 //	pintload -addr :9777 -exporters 16 -flows 64       16 switches, 64 flows each
 //	pintload -addr :9777 -pkts 5000 -batch 512         5000 pkts/flow, 512/frame
 //	pintload -addr :9777 -seed 3 -k 7                  must match pintd's -seed/-k
+//	pintload -addr 127.0.0.1:9777,127.0.0.1:9877 -epoch 7
+//	                                                   federated: route each flow to its
+//	                                                   consistent-hash home; all daemons
+//	                                                   must run the same -epoch
+//
+// With a comma-separated -addr list every simulated switch opens one
+// session per fleet member and routes each flow to its home collector by
+// consistent hash over the address list — so all of a flow's digests land
+// on one node and per-flow decode state never splits. Every component of
+// one deployment must pass the identical list (order included) and the
+// same -epoch; a daemon on a different epoch refuses the session.
 //
 // It reports wall clock, pkts/s, and wire bytes/pkt when every exporter
-// has finished. The plan seed and hop count must match the daemon's —
+// has finished. The plan seed and hop count must match the daemons' —
 // the session handshake refuses mismatched exporters.
 package main
 
@@ -20,19 +31,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/federation"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9777", "pintd exporter-session address")
-	exporters := flag.Int("exporters", 4, "simulated switches (one TCP connection each)")
+	addr := flag.String("addr", "127.0.0.1:9777", "pintd exporter-session address, or a comma-separated fleet list")
+	exporters := flag.Int("exporters", 4, "simulated switches (one TCP connection each, per fleet member)")
 	flows := flag.Int("flows", 8, "flows per exporter")
 	pkts := flag.Int("pkts", 1000, "packets per flow")
 	batch := flag.Int("batch", 256, "packets per frame")
 	seed := flag.Uint64("seed", 1, "testbench plan seed (must match pintd)")
 	k := flag.Int("k", 5, "flow hop count (must match pintd)")
+	epoch := flag.Uint64("epoch", 0, "cluster partitioning epoch (must match every pintd; 0 = standalone)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -40,10 +54,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("pintload: %v", err)
 	}
-	fmt.Printf("pintload: %d exporters x %d flows x %d packets -> %s (plan 0x%016x)\n",
-		*exporters, *flows, *pkts, *addr, tb.Engine.PlanHash())
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	part, err := federation.NewPartitioner(addrs)
+	if err != nil {
+		log.Fatalf("pintload: %v", err)
+	}
+	fmt.Printf("pintload: %d exporters x %d flows x %d packets -> %s (plan 0x%016x, epoch %d)\n",
+		*exporters, *flows, *pkts, strings.Join(addrs, " + "), tb.Engine.PlanHash(), *epoch)
 	start := time.Now()
-	packets, bytes, err := tb.StreamDeployment(*addr, *exporters, *flows, *pkts, *batch)
+	packets, bytes, err := tb.StreamFleetDeployment(addrs, part.Home, *epoch, *exporters, *flows, *pkts, *batch)
 	if err != nil {
 		log.Fatalf("pintload: %v", err)
 	}

@@ -12,5 +12,10 @@
 // snapshot queries), the networked collector daemon
 // (internal/collector, run by cmd/pintd with cmd/pintload as its load
 // generator — framed TCP ingest from many exporters, handshake-guarded
-// plans, HTTP/JSON snapshots, graceful drain), and the scenario catalog.
+// plans, HTTP/JSON snapshots, graceful drain), the federated collector
+// tier (internal/federation, fronted by cmd/pintgate — a fleet of
+// daemons behind a consistent-hash flow partitioner with epoch-fenced
+// sessions and a merging query frontend whose answers stay byte-identical
+// to a single collector, degrading to explicit partial results when
+// members die), and the scenario catalog.
 package repro

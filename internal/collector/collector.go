@@ -57,6 +57,12 @@ type Config struct {
 	Sink *pipeline.Sink
 	// Queries lists the engine's queries for the HTTP snapshot endpoints.
 	Queries []core.Query
+	// Epoch is the cluster partitioning epoch this collector belongs to
+	// (0 for a standalone daemon). Sessions whose Hello carries a
+	// different epoch are refused with wire.AckEpochMismatch: an exporter
+	// routing flows under a stale fleet map must not ingest here, or a
+	// repartitioned flow's digests would split across two homes.
+	Epoch uint64
 	// MaxFramePayload caps a frame's payload bytes (default
 	// wire.DefaultMaxFramePayload). Larger frames kill the connection.
 	MaxFramePayload int
@@ -78,6 +84,18 @@ type Stats struct {
 	Packets    uint64 `json:"packets"`
 	Bytes      uint64 `json:"bytes"`
 	ConnErrors uint64 `json:"conn_errors"`
+}
+
+// Accumulate folds another server's counters into s — the query
+// frontend's rule for presenting fleet-wide totals.
+func (s *Stats) Accumulate(o Stats) {
+	s.Sessions += o.Sessions
+	s.Active += o.Active
+	s.Rejected += o.Rejected
+	s.Frames += o.Frames
+	s.Packets += o.Packets
+	s.Bytes += o.Bytes
+	s.ConnErrors += o.ConnErrors
 }
 
 // Server is the collector daemon. Create with New, run with Serve (or
@@ -244,6 +262,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		ack = wire.AckRejected
 	case hello.PlanHash != s.planHash:
 		ack = wire.AckPlanMismatch
+	case hello.Epoch != s.cfg.Epoch:
+		ack = wire.AckEpochMismatch
 	}
 	if _, err := conn.Write([]byte{ack}); err != nil {
 		// The session was not refused — the transport died under the
@@ -263,6 +283,17 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.sessions.Add(1)
 	s.active.Add(1)
 	defer s.active.Add(-1)
+	// Flush the sink when the session ends (LIFO: before active is
+	// decremented), so a reader that observes zero active sessions and a
+	// stable ingest count knows every ingested packet has been dispatched
+	// to the workers — which is exactly what Snapshot then includes. This
+	// is what lets a query frontend poll /stats and then trust /snapshot
+	// to be complete without draining the daemon.
+	defer func() {
+		s.ingestMu.Lock()
+		s.cfg.Sink.Flush()
+		s.ingestMu.Unlock()
+	}()
 	s.logf("collector: %s: exporter %d (%s) session open", conn.RemoteAddr(), hello.Exporter, hello.Name)
 
 	fr := wire.NewFrameReader(conn, s.cfg.MaxFramePayload)

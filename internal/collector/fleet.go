@@ -1,0 +1,197 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// This file is the exporter side of a federated collector fleet: one
+// logical switch session fanned out over N collector daemons, each digest
+// routed to its flow's home collector so per-flow decode state never
+// splits across nodes. The routing function is injected (the fleet
+// partitioner lives in internal/federation, which builds on this
+// package), keeping the dependency arrow pointing one way.
+
+// FleetExporter streams digest batches to a fleet of collectors, routing
+// every packet to its flow's home node. It owns one Exporter session per
+// fleet member, all opened with the same Hello (exporter ID, plan hash,
+// and — critically — cluster epoch; a member on a different epoch refuses
+// the whole fleet session). Like Exporter it is single-goroutine.
+type FleetExporter struct {
+	exps  []*Exporter
+	route func(core.FlowKey) int
+	bufs  [][]core.PacketDigest
+	batch int
+}
+
+// DialFleet opens one exporter session per fleet member address. route
+// maps a flow key to an index into addrs (the fleet partitioner); batch
+// is the per-member frame size in packets (values < 1 mean 256). Any
+// member refusing the handshake fails the whole dial — a fleet where some
+// members reject the epoch would silently drop those members' flows.
+func DialFleet(addrs []string, hello wire.Hello, route func(core.FlowKey) int, batch int) (*FleetExporter, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("collector: empty fleet address list")
+	}
+	if route == nil {
+		return nil, fmt.Errorf("collector: nil fleet route function")
+	}
+	if batch < 1 {
+		batch = 256
+	}
+	f := &FleetExporter{
+		exps:  make([]*Exporter, len(addrs)),
+		route: route,
+		bufs:  make([][]core.PacketDigest, len(addrs)),
+		batch: batch,
+	}
+	for i, addr := range addrs {
+		ex, err := Dial(addr, hello)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("collector: fleet member %d (%s): %w", i, addr, err)
+		}
+		f.exps[i] = ex
+		f.bufs[i] = make([]core.PacketDigest, 0, batch)
+	}
+	return f, nil
+}
+
+// Members returns the fleet size.
+func (f *FleetExporter) Members() int { return len(f.exps) }
+
+// Send routes every packet of batch to its flow's home member, framing
+// and transmitting each member's buffer whenever it fills. Packet order
+// is preserved per flow (a flow has exactly one home and one TCP stream),
+// which is all the recording tier's determinism needs.
+func (f *FleetExporter) Send(batch []core.PacketDigest) error {
+	for i := range batch {
+		n := f.route(batch[i].Flow)
+		if n < 0 || n >= len(f.exps) {
+			return fmt.Errorf("collector: route sent flow %v to member %d of %d", batch[i].Flow, n, len(f.exps))
+		}
+		f.bufs[n] = append(f.bufs[n], batch[i])
+		if len(f.bufs[n]) >= f.batch {
+			if err := f.exps[n].Send(f.bufs[n]); err != nil {
+				return err
+			}
+			f.bufs[n] = f.bufs[n][:0]
+		}
+	}
+	return nil
+}
+
+// Flush transmits every member's partial buffer.
+func (f *FleetExporter) Flush() error {
+	for n := range f.bufs {
+		if len(f.bufs[n]) == 0 || f.exps[n] == nil {
+			continue
+		}
+		if err := f.exps[n].Send(f.bufs[n]); err != nil {
+			return err
+		}
+		f.bufs[n] = f.bufs[n][:0]
+	}
+	return nil
+}
+
+// Packets sums the packets sent across all member sessions.
+func (f *FleetExporter) Packets() uint64 {
+	var n uint64
+	for _, ex := range f.exps {
+		if ex != nil {
+			n += ex.Packets()
+		}
+	}
+	return n
+}
+
+// Bytes sums the wire bytes sent across all member sessions.
+func (f *FleetExporter) Bytes() uint64 {
+	var n uint64
+	for _, ex := range f.exps {
+		if ex != nil {
+			n += ex.Bytes()
+		}
+	}
+	return n
+}
+
+// Close flushes the buffers and ends every member session, returning the
+// first error.
+func (f *FleetExporter) Close() error {
+	err := f.Flush()
+	for _, ex := range f.exps {
+		if ex == nil {
+			continue
+		}
+		if cerr := ex.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// StreamFleetDeployment is the fleet mode of StreamDeployment: the same
+// (nExporters × flowsPer × pktsPer) testbench deployment, but every
+// simulated switch opens one session per fleet member and routes each
+// flow to route(flow)'s collector under the given cluster epoch. With one
+// address and a constant route it degenerates to StreamDeployment.
+// cmd/pintload in -addr a,b,c form is this function plus flags.
+func (tb *Testbench) StreamFleetDeployment(addrs []string, route func(core.FlowKey) int, epoch uint64,
+	nExporters, flowsPer, pktsPer, batch int) (packets, bytes uint64, err error) {
+	if err := ValidateShape(nExporters, flowsPer, pktsPer); err != nil {
+		return 0, 0, err
+	}
+	if batch < 1 || batch > pktsPer {
+		batch = pktsPer
+	}
+	var wg sync.WaitGroup
+	expErrs := make([]error, nExporters)
+	var statMu sync.Mutex
+	for e := 0; e < nExporters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			expErrs[e] = func() error {
+				exp := uint64(e) + 1
+				hello := HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp))
+				hello.Epoch = epoch
+				fe, err := DialFleet(addrs, hello, route, batch)
+				if err != nil {
+					return err
+				}
+				var pkts []core.PacketDigest
+				vals := make([]core.HopValues, pktsPer)
+				for f := 0; f < flowsPer; f++ {
+					pkts = tb.FlowBatch(exp, f, pktsPer, pkts, vals)
+					if err := fe.Send(pkts); err != nil {
+						fe.Close()
+						return err
+					}
+				}
+				// Flush before reading the counters so the tail buffers
+				// are part of the reported totals.
+				if err := fe.Flush(); err != nil {
+					fe.Close()
+					return err
+				}
+				statMu.Lock()
+				packets += fe.Packets()
+				bytes += fe.Bytes()
+				statMu.Unlock()
+				return fe.Close()
+			}()
+		}(e)
+	}
+	wg.Wait()
+	for e, err := range expErrs {
+		if err != nil {
+			return packets, bytes, fmt.Errorf("collector: exporter %d: %w", e+1, err)
+		}
+	}
+	return packets, bytes, nil
+}

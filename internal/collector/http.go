@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pipeline"
@@ -47,7 +48,12 @@ type QueryAnswer struct {
 
 // FlowAnswers is every query's answer for one flow.
 type FlowAnswers struct {
-	Flow    uint64        `json:"flow"`
+	Flow uint64 `json:"flow"`
+	// Tracked reports whether the answering Recording holds live state
+	// for the flow. A federated query frontend uses it to pick the home
+	// collector's answer when an explicitly requested flow fans out to
+	// every fleet member (non-home members answer with empty state).
+	Tracked bool          `json:"tracked,omitempty"`
 	Answers []QueryAnswer `json:"answers"`
 }
 
@@ -63,7 +69,7 @@ const maxAnswerHops = wire.MaxPathLen
 func Answers(rec *core.Recording, queries []core.Query, flows []core.FlowKey) []FlowAnswers {
 	out := make([]FlowAnswers, 0, len(flows))
 	for _, flow := range flows {
-		fa := FlowAnswers{Flow: uint64(flow), Answers: []QueryAnswer{}}
+		fa := FlowAnswers{Flow: uint64(flow), Tracked: rec.HasFlow(flow), Answers: []QueryAnswer{}}
 		for _, q := range queries {
 			a := QueryAnswer{Query: q.Name(), Kind: q.Agg().String()}
 			switch q := q.(type) {
@@ -134,20 +140,29 @@ func SnapshotAnswers(snap *pipeline.Snapshot, queries []core.Query, flows []core
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{
+		WriteJSON(w, map[string]any{
 			"ok":        true,
 			"plan_hash": fmt.Sprintf("0x%016x", s.planHash),
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		total, perShard := s.cfg.Sink.Stats()
-		writeJSON(w, map[string]any{
+		WriteJSON(w, map[string]any{
 			"server":     s.Stats(),
 			"sink":       total,
 			"sink_shard": perShard,
 		})
 	})
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		// A draining daemon answers 503 instead of racing its own sink
+		// teardown (or hanging a caller on a server that is half gone);
+		// the query frontend folds the refusal into its partial-result
+		// answer and keeps serving the surviving fleet members.
+		if s.isClosing() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "collector: draining", http.StatusServiceUnavailable)
+			return
+		}
 		var flows []core.FlowKey
 		for _, raw := range r.URL.Query()["flow"] {
 			v, err := strconv.ParseUint(raw, 0, 64)
@@ -162,12 +177,45 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeJSON(w, map[string]any{"flows": answers})
+		WriteJSON(w, map[string]any{"flows": answers})
 	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// MaxRequestBody bounds request bodies on the collector's (and the query
+// frontend's) HTTP servers. Every endpoint is a GET; a megabyte is
+// already generous for a body nobody reads.
+const MaxRequestBody = 1 << 20
+
+// HTTPServer wraps h (defaulting to s.Handler()) in an http.Server with
+// the production guards a long-lived daemon needs: a header-read timeout
+// so an idle half-open connect cannot pin a goroutine forever, an idle
+// timeout to shed silent keep-alives, a header cap, and a request-body
+// bound. cmd/pintd, cmd/pintgate, and the federation testbench all serve
+// through it so the hardening is exercised everywhere.
+func (s *Server) HTTPServer(h http.Handler) *http.Server {
+	if h == nil {
+		h = s.Handler()
+	}
+	return HardenedHTTPServer(h)
+}
+
+// HardenedHTTPServer applies the collector tier's HTTP guards to any
+// handler (the query frontend shares them without owning a Server).
+func HardenedHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           http.MaxBytesHandler(h, MaxRequestBody),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
+}
+
+// WriteJSON writes v as indented JSON — the one encoder shape every
+// collector-tier endpoint shares, so a query frontend that re-emits a
+// merged structure stays byte-identical to a single daemon emitting it.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

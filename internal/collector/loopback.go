@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -98,60 +97,14 @@ func (tb *Testbench) RunLoopback(shards, nExporters, flowsPer, pktsPer, batch in
 }
 
 // StreamDeployment streams the full (nExporters × flowsPer × pktsPer)
-// testbench deployment to a collector at addr: one concurrent connection
-// per exporter, each flow's digests framed in chunks of batch packets.
-// It returns the packet and wire-byte totals once every exporter has
-// sent everything and closed. cmd/pintload is this function plus flags.
+// testbench deployment to a single collector at addr: one concurrent
+// connection per exporter, digests framed in chunks of batch packets. It
+// is the one-member special case of StreamFleetDeployment (see fleet.go)
+// under epoch 0, and returns the packet and wire-byte totals once every
+// exporter has sent everything and closed.
 func (tb *Testbench) StreamDeployment(addr string, nExporters, flowsPer, pktsPer, batch int) (packets, bytes uint64, err error) {
-	if err := ValidateShape(nExporters, flowsPer, pktsPer); err != nil {
-		return 0, 0, err
-	}
-	if batch < 1 || batch > pktsPer {
-		batch = pktsPer
-	}
-	var wg sync.WaitGroup
-	expErrs := make([]error, nExporters)
-	var statMu sync.Mutex
-	for e := 0; e < nExporters; e++ {
-		wg.Add(1)
-		go func(e int) {
-			defer wg.Done()
-			expErrs[e] = func() error {
-				exp := uint64(e) + 1
-				ex, err := Dial(addr, HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp)))
-				if err != nil {
-					return err
-				}
-				var pkts []core.PacketDigest
-				vals := make([]core.HopValues, pktsPer)
-				for f := 0; f < flowsPer; f++ {
-					pkts = tb.FlowBatch(exp, f, pktsPer, pkts, vals)
-					for off := 0; off < len(pkts); off += batch {
-						end := off + batch
-						if end > len(pkts) {
-							end = len(pkts)
-						}
-						if err := ex.Send(pkts[off:end]); err != nil {
-							ex.Close()
-							return err
-						}
-					}
-				}
-				statMu.Lock()
-				packets += ex.Packets()
-				bytes += ex.Bytes()
-				statMu.Unlock()
-				return ex.Close()
-			}()
-		}(e)
-	}
-	wg.Wait()
-	for e, err := range expErrs {
-		if err != nil {
-			return packets, bytes, fmt.Errorf("collector: exporter %d: %w", e+1, err)
-		}
-	}
-	return packets, bytes, nil
+	return tb.StreamFleetDeployment([]string{addr}, func(core.FlowKey) int { return 0 }, 0,
+		nExporters, flowsPer, pktsPer, batch)
 }
 
 // RunInProcess runs the identical deployment without a socket in sight:

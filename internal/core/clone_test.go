@@ -145,6 +145,64 @@ func TestRecordingMergeAdoptsDisjointFlows(t *testing.T) {
 	}
 }
 
+// TestRecordingMergeManyWay folds K recordings holding disjoint flow
+// slices into one — the shape a federated query frontend produces when it
+// folds per-collector snapshots — including empty members, and demands
+// answers identical to a single recording that saw everything. A single
+// overlapping flow anywhere in the chain must abort the fold.
+func TestRecordingMergeManyWay(t *testing.T) {
+	eng, path, lat, util, freq, cnt := combinedTestPlan(t, 53)
+	const (
+		nFlows  = 9
+		k       = 6
+		members = 4 // flows spread over 3; member 3 stays empty
+	)
+	pkts := cloneWorkload(t, eng, 103, nFlows, 4096, k)
+	mk := func() *Recording {
+		rec, err := NewRecordingSeeded(eng, 24, 0xF7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	whole := mk()
+	if err := whole.RecordBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*Recording, members)
+	for i := range parts {
+		parts[i] = mk()
+	}
+	for i := range pkts {
+		dst := parts[uint64(pkts[i].Flow)%3]
+		if err := dst.RecordBatch(pkts[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := parts[0]
+	for _, part := range parts[1:] {
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := merged.TrackedFlows(), whole.TrackedFlows(); got != want {
+		t.Fatalf("merged tracks %d flows, want %d", got, want)
+	}
+	for f := 1; f <= nFlows; f++ {
+		assertSameAnswers(t, whole, merged, FlowKey(f), k, path, lat, util, freq, cnt)
+	}
+
+	// One overlapping flow anywhere aborts: a recording holding a flow the
+	// fold already adopted is a partitioning violation, not mergeable data.
+	dup := mk()
+	if err := dup.RecordBatch(pkts[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(dup); err == nil {
+		t.Fatal("merge accepted a single-flow overlap after a clean many-way fold")
+	}
+}
+
 // TestRecordingMergeRejectsOverlapAndForeignEngine pins Merge's error
 // cases: duplicated flows and mismatched engines.
 func TestRecordingMergeRejectsOverlapAndForeignEngine(t *testing.T) {

@@ -1,0 +1,271 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Member is one fleet node: a collector daemon, its sharded sink, and
+// its two loopback listeners (exporter TCP + query HTTP).
+type Member struct {
+	Name string
+	Sink *pipeline.Sink
+	Srv  *collector.Server
+
+	tcpLn    net.Listener
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	serveErr chan error
+	stopped  bool
+}
+
+// TCPAddr returns the member's exporter-session address.
+func (m *Member) TCPAddr() string { return m.tcpLn.Addr().String() }
+
+// HTTPURL returns the member's query endpoint base URL.
+func (m *Member) HTTPURL() string { return "http://" + m.httpLn.Addr().String() }
+
+// Fleet is an in-process federated deployment over one Testbench plan:
+// n collector daemons on loopback listeners, every member compiled under
+// the same engine and seeded with the same recording base, so the fleet
+// as a whole answers byte-identically to one collector that ingested the
+// same flows. It is the test and scenario harness; production runs the
+// same shape as n cmd/pintd processes plus cmd/pintgate.
+type Fleet struct {
+	TB      *collector.Testbench
+	Epoch   uint64
+	Members []*Member
+
+	part *Partitioner
+}
+
+// StartFleet stands up n collector daemons over tb's plan, each with a
+// sink of the given shard count, all fenced to epoch. Every member gets
+// an ephemeral loopback TCP listener (exporter sessions) and an HTTP
+// listener (queries) served through the hardened server.
+func StartFleet(tb *collector.Testbench, n, shards int, epoch uint64) (*Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("federation: fleet size %d below 1", n)
+	}
+	f := &Fleet{TB: tb, Epoch: epoch}
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := startMember(tb, fmt.Sprintf("node-%d", i), shards, epoch)
+		if err != nil {
+			f.Shutdown(context.Background())
+			return nil, err
+		}
+		f.Members = append(f.Members, m)
+		names = append(names, m.Name)
+	}
+	// Partition over the stable member names, not the ephemeral listener
+	// addresses: the flow→home map must be a pure function of the fleet
+	// configuration (so goldens, replays, and every exporter agree), and a
+	// member keeps its flows across a restart that changes its port.
+	part, err := NewPartitioner(names)
+	if err != nil {
+		f.Shutdown(context.Background())
+		return nil, err
+	}
+	f.part = part
+	return f, nil
+}
+
+func startMember(tb *collector.Testbench, name string, shards int, epoch uint64) (*Member, error) {
+	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{Shards: shards, Base: tb.Base})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := collector.New(collector.Config{
+		Engine:  tb.Engine,
+		Sink:    sink,
+		Queries: tb.Queries(),
+		Epoch:   epoch,
+	})
+	if err != nil {
+		sink.Close()
+		return nil, err
+	}
+	tcpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sink.Close()
+		return nil, err
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tcpLn.Close()
+		sink.Close()
+		return nil, err
+	}
+	m := &Member{
+		Name:     name,
+		Sink:     sink,
+		Srv:      srv,
+		tcpLn:    tcpLn,
+		httpLn:   httpLn,
+		httpSrv:  srv.HTTPServer(nil),
+		serveErr: make(chan error, 1),
+	}
+	go func() { m.serveErr <- srv.Serve(tcpLn) }()
+	go m.httpSrv.Serve(httpLn)
+	return m, nil
+}
+
+// TCPAddrs lists every member's exporter-session address in member order
+// — the list exporters partition over.
+func (f *Fleet) TCPAddrs() []string {
+	out := make([]string, len(f.Members))
+	for i, m := range f.Members {
+		out[i] = m.TCPAddr()
+	}
+	return out
+}
+
+// HTTPURLs lists every member's query base URL in member order — the
+// list the query frontend fans out over.
+func (f *Fleet) HTTPURLs() []string {
+	out := make([]string, len(f.Members))
+	for i, m := range f.Members {
+		out[i] = m.HTTPURL()
+	}
+	return out
+}
+
+// Partitioner returns the fleet's flow→member map — built over the
+// stable member names (node-0, node-1, …), never the ephemeral listener
+// addresses, so the map is a pure function of the fleet shape. Home
+// indices align with Members, TCPAddrs, and HTTPURLs.
+func (f *Fleet) Partitioner() *Partitioner { return f.part }
+
+// Stream pushes the (nExporters × flowsPer × pktsPer) testbench
+// deployment into the fleet over real TCP, each flow routed to its home
+// member under the fleet's epoch.
+func (f *Fleet) Stream(nExporters, flowsPer, pktsPer, batch int) (packets, bytes uint64, err error) {
+	return f.TB.StreamFleetDeployment(f.TCPAddrs(), f.part.Home, f.Epoch, nExporters, flowsPer, pktsPer, batch)
+}
+
+// WaitIngested blocks until the fleet's members have collectively
+// ingested want packets with no active sessions — at which point every
+// ingested packet is dispatched (collectors flush at session end) and
+// visible to snapshots — or until the deadline.
+func (f *Fleet) WaitIngested(want uint64, deadline time.Duration) error {
+	t0 := time.Now()
+	for {
+		var packets uint64
+		var active int64
+		for _, m := range f.Members {
+			st := m.Srv.Stats()
+			packets += st.Packets
+			active += st.Active
+		}
+		if packets == want && active == 0 {
+			return nil
+		}
+		if packets > want {
+			return fmt.Errorf("federation: fleet ingested %d packets, want %d", packets, want)
+		}
+		if time.Since(t0) > deadline {
+			return fmt.Errorf("federation: fleet ingested %d/%d packets (%d active) at deadline", packets, want, active)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// MergedAnswers folds the fleet's state into one answer set exactly like
+// one collector would: each member's sink snapshot collapses via
+// Snapshot.Merged, the per-member Recordings fold into one with
+// core.Recording.Merge (members hold disjoint flows — the partitioner's
+// invariant — so the merge is pure adoption), and the fixed-order answer
+// encoder runs once over the union. flows nil means every tracked flow in
+// sorted key order, mirroring the daemon's /snapshot.
+func (f *Fleet) MergedAnswers(flows []core.FlowKey) ([]collector.FlowAnswers, error) {
+	merged, err := f.MergedRecording()
+	if err != nil {
+		return nil, err
+	}
+	if flows == nil {
+		flows = merged.Flows()
+	}
+	return collector.Answers(merged, f.TB.Queries(), flows), nil
+}
+
+// MergedRecording snapshots every member and folds the per-member
+// Recordings into one via core.Recording.Merge.
+func (f *Fleet) MergedRecording() (*core.Recording, error) {
+	var merged *core.Recording
+	for _, m := range f.Members {
+		rec, err := m.Sink.Snapshot().Merged()
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = rec
+			continue
+		}
+		if err := merged.Merge(rec); err != nil {
+			return nil, fmt.Errorf("federation: folding %s: %w", m.Name, err)
+		}
+	}
+	return merged, nil
+}
+
+// Stats sums the fleet's server and sink counters.
+func (f *Fleet) Stats() (server collector.Stats, sink pipeline.ShardStats) {
+	for _, m := range f.Members {
+		st := m.Srv.Stats()
+		server.Accumulate(st)
+		total, _ := m.Sink.Stats()
+		sink.Accumulate(total)
+	}
+	return server, sink
+}
+
+// StopMember drains one member and closes its listeners — the "kill one
+// node" half of the partial-result contract. The member's HTTP endpoint
+// goes dark (connection refused), which is how the frontend learns.
+func (f *Fleet) StopMember(ctx context.Context, i int) error {
+	m := f.Members[i]
+	if m.stopped {
+		return nil
+	}
+	m.stopped = true
+	err := m.Srv.Shutdown(ctx)
+	m.httpSrv.Close()
+	<-m.serveErr
+	m.Sink.Close()
+	return err
+}
+
+// Shutdown drains every member (exporter sessions get ctx's grace), then
+// closes HTTP servers and sinks. Safe on a partially started fleet and
+// after StopMember.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	var first error
+	for _, m := range f.Members {
+		if m.stopped {
+			continue
+		}
+		if err := m.Srv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, m := range f.Members {
+		if m.stopped {
+			continue
+		}
+		m.stopped = true
+		m.httpSrv.Close()
+		<-m.serveErr
+		if err := m.Sink.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,387 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/collector"
+	"repro/internal/pipeline"
+)
+
+// Frontend is the fleet's single query endpoint: it fans /snapshot,
+// /stats, and /healthz out to every member, folds the per-member answers
+// into the same fixed-order JSON a single collector emits, and degrades
+// explicitly when a member is down — the response carries the
+// PartialHeader plus a per-node error list naming exactly which members
+// are missing from the merge, instead of failing the whole query or
+// silently presenting a subset as the truth.
+//
+// The /snapshot merge is the HTTP twin of Fleet.MergedAnswers: members
+// hold disjoint flows (the partitioner's invariant) and list them in
+// sorted key order, so folding is a k-way merge by flow key — the wire
+// image of core.Recording.Merge's pure adoption — and the merged body is
+// byte-identical to the single-collector body whenever the fleet is
+// healthy.
+type Frontend struct {
+	// Nodes are the members' query base URLs ("http://host:port"), in
+	// fleet order.
+	Nodes []string
+	// Client issues the fan-out requests (default: a fresh client with
+	// Timeout as its overall bound).
+	Client *http.Client
+	// Timeout bounds each fan-out request (default 10s).
+	Timeout time.Duration
+}
+
+// PartialHeader marks a response merged from a degraded fleet: its value
+// is the number of members that failed, and the body's "errors" list
+// names them. Absent on a healthy merge.
+const PartialHeader = "X-Pint-Partial"
+
+// maxNodeResponse caps one member's fan-out response body (64 MiB —
+// far beyond any sane snapshot; a member exceeding it is reported with
+// an explicit over-cap error rather than a truncated-JSON parse error).
+const maxNodeResponse = collector.MaxRequestBody * 64
+
+// NewFrontend builds a frontend over the fleet's query URLs.
+func NewFrontend(nodes []string) (*Frontend, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("federation: frontend needs at least one node URL")
+	}
+	return &Frontend{Nodes: append([]string(nil), nodes...)}, nil
+}
+
+// NodeError is one fleet member's failure in a fan-out, as reported in
+// the response body's "errors" list. Status carries the member's HTTP
+// status when the failure was an HTTP-level refusal (0 for transport
+// errors and unparseable bodies).
+type NodeError struct {
+	Node   string `json:"node"`
+	Error  string `json:"error"`
+	Status int    `json:"status,omitempty"`
+}
+
+// fetch GETs path (plus rawQuery) from every node concurrently and
+// returns the bodies, position-aligned with Nodes; failures (transport
+// errors and non-200 statuses) land in the error list instead.
+func (g *Frontend) fetch(path, rawQuery string) (bodies [][]byte, errs []NodeError) {
+	client := g.Client
+	if client == nil {
+		timeout := g.Timeout
+		if timeout <= 0 {
+			timeout = 10 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	bodies = make([][]byte, len(g.Nodes))
+	nodeErrs := make([]*NodeError, len(g.Nodes))
+	var wg sync.WaitGroup
+	for i, node := range g.Nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			url := node + path
+			if rawQuery != "" {
+				url += "?" + rawQuery
+			}
+			resp, err := client.Get(url)
+			if err != nil {
+				nodeErrs[i] = &NodeError{Node: node, Error: err.Error()}
+				return
+			}
+			defer resp.Body.Close()
+			// Read one byte past the cap so truncation is detected and
+			// named, instead of handing a cut-off document to the JSON
+			// decoder and misreporting the node as corrupt.
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxNodeResponse+1))
+			if err != nil {
+				nodeErrs[i] = &NodeError{Node: node, Error: err.Error()}
+				return
+			}
+			if len(body) > maxNodeResponse {
+				nodeErrs[i] = &NodeError{
+					Node:  node,
+					Error: fmt.Sprintf("response exceeds the %d-byte fan-out cap", maxNodeResponse),
+				}
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				nodeErrs[i] = &NodeError{
+					Node:   node,
+					Error:  fmt.Sprintf("status %s: %s", resp.Status, firstLine(body)),
+					Status: resp.StatusCode,
+				}
+				return
+			}
+			bodies[i] = body
+		}(i, node)
+	}
+	wg.Wait()
+	for _, ne := range nodeErrs {
+		if ne != nil {
+			errs = append(errs, *ne)
+		}
+	}
+	return bodies, errs
+}
+
+// unanimousStatus reports the HTTP status every member answered with,
+// when every member failed at the HTTP level with the same status — the
+// shape of a client error (bad ?flow=) or a fleet-wide drain, which must
+// propagate as that status rather than masquerade as a fleet outage.
+func unanimousStatus(nNodes int, errs []NodeError) (int, bool) {
+	if len(errs) != nNodes || nNodes == 0 {
+		return 0, false
+	}
+	status := errs[0].Status
+	if status == 0 {
+		return 0, false
+	}
+	for _, e := range errs[1:] {
+		if e.Status != status {
+			return 0, false
+		}
+	}
+	return status, true
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// markPartial stamps the degraded-fleet signal on a response.
+func markPartial(w http.ResponseWriter, errs []NodeError) {
+	if len(errs) > 0 {
+		w.Header().Set(PartialHeader, fmt.Sprintf("%d", len(errs)))
+	}
+}
+
+// Handler serves the merged observability surface:
+//
+//	GET /healthz         fleet-wide health: ok iff every member is ok
+//	GET /stats           per-node counters plus fleet totals
+//	GET /snapshot        all members' flows, merged in flow-key order
+//	GET /snapshot?flow=N the home member's answer for one flow
+//
+// Serve it through collector.HardenedHTTPServer (cmd/pintgate does).
+func (g *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.serveHealthz)
+	mux.HandleFunc("GET /stats", g.serveStats)
+	mux.HandleFunc("GET /snapshot", g.serveSnapshot)
+	return mux
+}
+
+// nodeHealth is one member's /healthz as the frontend re-presents it.
+type nodeHealth struct {
+	Node     string `json:"node"`
+	OK       bool   `json:"ok"`
+	PlanHash string `json:"plan_hash,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (g *Frontend) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	bodies, errs := g.fetch("/healthz", "")
+	down := map[string]string{}
+	for _, e := range errs {
+		down[e.Node] = e.Error
+	}
+	nodes := make([]nodeHealth, len(g.Nodes))
+	ok := true
+	planHashes := map[string]bool{}
+	for i, node := range g.Nodes {
+		nodes[i] = nodeHealth{Node: node}
+		if msg, dead := down[node]; dead {
+			nodes[i].Error = msg
+			ok = false
+			continue
+		}
+		var h struct {
+			OK       bool   `json:"ok"`
+			PlanHash string `json:"plan_hash"`
+		}
+		if err := json.Unmarshal(bodies[i], &h); err != nil {
+			nodes[i].Error = fmt.Sprintf("bad health body: %v", err)
+			errs = append(errs, NodeError{Node: node, Error: nodes[i].Error})
+			ok = false
+			continue
+		}
+		nodes[i].OK = h.OK
+		nodes[i].PlanHash = h.PlanHash
+		if !h.OK {
+			ok = false
+		}
+		planHashes[h.PlanHash] = true
+	}
+	// A fleet whose members disagree on the execution plan cannot answer
+	// coherently even when every member is individually healthy.
+	if len(planHashes) > 1 {
+		ok = false
+	}
+	markPartial(w, errs)
+	collector.WriteJSON(w, map[string]any{
+		"ok":             ok,
+		"plan_divergent": len(planHashes) > 1,
+		"nodes":          nodes,
+	})
+}
+
+// nodeStats is one member's /stats as the frontend re-presents it.
+type nodeStats struct {
+	Node   string               `json:"node"`
+	Server *collector.Stats     `json:"server,omitempty"`
+	Sink   *pipeline.ShardStats `json:"sink,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+func (g *Frontend) serveStats(w http.ResponseWriter, r *http.Request) {
+	bodies, errs := g.fetch("/stats", "")
+	down := map[string]string{}
+	for _, e := range errs {
+		down[e.Node] = e.Error
+	}
+	nodes := make([]nodeStats, len(g.Nodes))
+	var serverTotal collector.Stats
+	var sinkTotal pipeline.ShardStats
+	for i, node := range g.Nodes {
+		nodes[i] = nodeStats{Node: node}
+		if msg, dead := down[node]; dead {
+			nodes[i].Error = msg
+			continue
+		}
+		var st struct {
+			Server collector.Stats     `json:"server"`
+			Sink   pipeline.ShardStats `json:"sink"`
+		}
+		if err := json.Unmarshal(bodies[i], &st); err != nil {
+			nodes[i].Error = fmt.Sprintf("bad stats body: %v", err)
+			errs = append(errs, NodeError{Node: node, Error: nodes[i].Error})
+			continue
+		}
+		nodes[i].Server, nodes[i].Sink = &st.Server, &st.Sink
+		serverTotal.Accumulate(st.Server)
+		sinkTotal.Accumulate(st.Sink)
+	}
+	markPartial(w, errs)
+	collector.WriteJSON(w, map[string]any{
+		"nodes": nodes,
+		"total": map[string]any{"server": serverTotal, "sink": sinkTotal},
+	})
+}
+
+func (g *Frontend) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	bodies, errs := g.fetch("/snapshot", r.URL.RawQuery)
+	// Every member refusing with one status is that status, not a
+	// degraded fleet: a bad ?flow= is the client's 400 and a fleet-wide
+	// drain is the members' 503 — exactly what a single collector would
+	// answer. Mixed failures fall through to the partial-result merge.
+	if status, ok := unanimousStatus(len(g.Nodes), errs); ok {
+		// A fleet-wide drain keeps the single collector's retry hint.
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, errs[0].Error, status)
+		return
+	}
+	explicit := len(r.URL.Query()["flow"]) > 0
+	perNode := make([][]collector.FlowAnswers, 0, len(g.Nodes))
+	for i, node := range g.Nodes {
+		if bodies[i] == nil {
+			continue
+		}
+		var snap struct {
+			Flows []collector.FlowAnswers `json:"flows"`
+		}
+		if err := json.Unmarshal(bodies[i], &snap); err != nil {
+			errs = append(errs, NodeError{Node: node, Error: fmt.Sprintf("bad snapshot body: %v", err)})
+			continue
+		}
+		perNode = append(perNode, snap.Flows)
+	}
+	var merged []collector.FlowAnswers
+	if explicit {
+		merged = mergeExplicit(perNode)
+	} else {
+		merged = mergeDisjoint(perNode)
+	}
+	markPartial(w, errs)
+	if len(errs) > 0 {
+		collector.WriteJSON(w, map[string]any{"errors": errs, "flows": merged})
+		return
+	}
+	// Healthy path: the body is byte-identical to a single collector's.
+	collector.WriteJSON(w, map[string]any{"flows": merged})
+}
+
+// mergeDisjoint k-way-merges per-node flow lists by ascending flow key.
+// Each node lists only the flows it tracks (disjoint under the
+// partitioner) in sorted order, so this reproduces exactly the flow order
+// a single collector's merged Recording would list. A flow appearing on
+// two nodes (a partitioning violation — some exporter routed under a
+// different map) keeps the first node's answer deterministically.
+func mergeDisjoint(perNode [][]collector.FlowAnswers) []collector.FlowAnswers {
+	total := 0
+	for _, fl := range perNode {
+		total += len(fl)
+	}
+	merged := make([]collector.FlowAnswers, 0, total)
+	idx := make([]int, len(perNode))
+	for {
+		best := -1
+		for n, fl := range perNode {
+			if idx[n] >= len(fl) {
+				continue
+			}
+			if best == -1 || fl[idx[n]].Flow < perNode[best][idx[best]].Flow {
+				best = n
+			}
+		}
+		if best == -1 {
+			return merged
+		}
+		fa := perNode[best][idx[best]]
+		idx[best]++
+		if len(merged) > 0 && merged[len(merged)-1].Flow == fa.Flow {
+			continue
+		}
+		merged = append(merged, fa)
+	}
+}
+
+// mergeExplicit folds answers for an explicit ?flow= list: every node
+// answers every requested flow (non-home nodes with empty state), so per
+// flow the home node's answer — the one marked tracked — wins; if no node
+// tracks the flow, all answers are identically empty and the first is
+// kept. Request order is preserved, matching the single-collector body.
+func mergeExplicit(perNode [][]collector.FlowAnswers) []collector.FlowAnswers {
+	if len(perNode) == 0 {
+		return nil
+	}
+	n := len(perNode[0])
+	merged := make([]collector.FlowAnswers, 0, n)
+	for i := 0; i < n; i++ {
+		pick := perNode[0][i]
+		for _, fl := range perNode[1:] {
+			if i < len(fl) && fl[i].Tracked && !pick.Tracked {
+				pick = fl[i]
+			}
+		}
+		merged = append(merged, pick)
+	}
+	return merged
+}
+
+// SortNodeErrors orders an error list by node for stable presentation.
+func SortNodeErrors(errs []NodeError) {
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Node < errs[j].Node })
+}

@@ -1,0 +1,278 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/collector"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// get runs one request through the frontend handler.
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// envelope renders answers exactly the way a single daemon's /snapshot
+// does — the byte-identity reference.
+func envelope(t *testing.T, answers []collector.FlowAnswers) []byte {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	collector.WriteJSON(rec, map[string]any{"flows": answers})
+	return rec.Body.Bytes()
+}
+
+// inProcessAnswers replays the deployment into one in-process sink and
+// answers the listed flows (nil: all, sorted) — the single-collector
+// reference for any flow filter.
+func inProcessAnswers(t *testing.T, tb *collector.Testbench, shards, nExporters, flowsPer, pktsPer int,
+	flows []core.FlowKey) []collector.FlowAnswers {
+	t.Helper()
+	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{Shards: shards, Base: tb.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	var pkts []core.PacketDigest
+	vals := make([]core.HopValues, pktsPer)
+	for e := 0; e < nExporters; e++ {
+		for f := 0; f < flowsPer; f++ {
+			pkts = tb.FlowBatch(uint64(e)+1, f, pktsPer, pkts, vals)
+			sink.Ingest(pkts)
+		}
+	}
+	sink.Barrier()
+	answers, err := collector.SnapshotAnswers(sink.Snapshot(), tb.Queries(), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return answers
+}
+
+// TestFrontendSnapshotByteIdentical is the tentpole contract at the HTTP
+// level: the frontend's merged /snapshot body — full and flow-filtered —
+// is byte-identical to what a single collector serving the whole
+// deployment would emit.
+func TestFrontendSnapshotByteIdentical(t *testing.T) {
+	const (
+		nExporters = 2
+		flowsPer   = 3
+		pktsPer    = 150
+		shards     = 2
+	)
+	fleet, tb := streamFleet(t, 23, 3, shards, nExporters, flowsPer, pktsPer)
+	fe, err := NewFrontend(fleet.HTTPURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fe.Handler()
+
+	rec := get(t, h, "/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get(PartialHeader) != "" {
+		t.Fatalf("healthy fleet answered with %s=%s", PartialHeader, rec.Header().Get(PartialHeader))
+	}
+	want := envelope(t, inProcessAnswers(t, tb, shards, nExporters, flowsPer, pktsPer, nil))
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("merged snapshot body diverges from single-collector body:\ngate: %.400s\nwant: %.400s",
+			rec.Body.Bytes(), want)
+	}
+
+	// Flow-filtered: one tracked flow (whichever member owns it) plus one
+	// unknown flow, in request order.
+	tracked := tb.FlowKeyFor(1, 0)
+	unknown := core.FlowKey(0xDEAD)
+	path := fmt.Sprintf("/snapshot?flow=%d&flow=%d", uint64(tracked), uint64(unknown))
+	rec = get(t, h, path)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("filtered snapshot status %d: %s", rec.Code, rec.Body.String())
+	}
+	want = envelope(t, inProcessAnswers(t, tb, shards, nExporters, flowsPer, pktsPer,
+		[]core.FlowKey{tracked, unknown}))
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("filtered snapshot body diverges:\ngate: %.400s\nwant: %.400s", rec.Body.Bytes(), want)
+	}
+
+	// A malformed filter is the client's fault: every member answers 400
+	// with the same status, so the gate propagates 400 — exactly what a
+	// single collector would do — rather than faking a fleet outage.
+	rec = get(t, h, "/snapshot?flow=banana")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad filter: status %d, want 400 (%s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get(PartialHeader) != "" {
+		t.Fatalf("client error misreported as a degraded fleet: %s", rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "bad flow") {
+		t.Fatalf("propagated 400 lost the member's message: %s", rec.Body.String())
+	}
+}
+
+// TestFrontendPartialResult is the degradation contract: killing one
+// fleet member yields a partial /snapshot naming the dead node while the
+// survivors' flows still merge; /healthz flips to not-ok naming the node.
+func TestFrontendPartialResult(t *testing.T) {
+	const (
+		nExporters = 2
+		flowsPer   = 4
+		pktsPer    = 100
+	)
+	fleet, tb := streamFleet(t, 31, 3, 1, nExporters, flowsPer, pktsPer)
+	fe, err := NewFrontend(fleet.HTTPURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fe.Handler()
+
+	const dead = 1
+	deadURL := fleet.HTTPURLs()[dead]
+	if err := fleet.StopMember(context.Background(), dead); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := get(t, h, "/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial snapshot status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(PartialHeader); got != "1" {
+		t.Fatalf("%s = %q, want 1", PartialHeader, got)
+	}
+	var partial struct {
+		Errors []NodeError             `json:"errors"`
+		Flows  []collector.FlowAnswers `json:"flows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &partial); err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Errors) != 1 || partial.Errors[0].Node != deadURL || partial.Errors[0].Error == "" {
+		t.Fatalf("error list does not name the dead node: %+v", partial.Errors)
+	}
+
+	// The surviving members' flows all merge: exactly the flows whose
+	// home is not the dead member, in sorted order.
+	var want []uint64
+	for _, flow := range tb.Flows(nExporters, flowsPer) {
+		if fleet.Partitioner().Home(flow) != dead {
+			want = append(want, uint64(flow))
+		}
+	}
+	var got []uint64
+	for _, fa := range partial.Flows {
+		got = append(got, fa.Flow)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("survivor merge has %d flows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("survivor flow[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Health names the dead node and flips the fleet verdict.
+	rec = get(t, h, "/healthz")
+	body := rec.Body.String()
+	if !strings.Contains(body, `"ok": false`) || !strings.Contains(body, deadURL) {
+		t.Fatalf("healthz does not surface the dead node:\n%s", body)
+	}
+
+	// Stats still sum the survivors and carry the per-node error.
+	rec = get(t, h, "/stats")
+	if rec.Header().Get(PartialHeader) != "1" {
+		t.Fatalf("stats not marked partial")
+	}
+	var stats struct {
+		Nodes []nodeStats `json:"nodes"`
+		Total struct {
+			Server collector.Stats `json:"server"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total.Server.Packets == 0 {
+		t.Fatal("survivor stats sum to zero packets")
+	}
+	if stats.Nodes[dead].Error == "" {
+		t.Fatalf("dead node's stats entry carries no error: %+v", stats.Nodes[dead])
+	}
+}
+
+// TestFrontendFleetWideDrainPropagates503 pins the unanimous-status
+// rule: when every member is draining (each answering 503), the gate
+// answers the members' 503 with the single collector's Retry-After hint
+// — a fleet-wide drain is not a degraded merge.
+func TestFrontendFleetWideDrainPropagates503(t *testing.T) {
+	fleet, _ := streamFleet(t, 51, 2, 1, 1, 2, 50)
+	for _, m := range fleet.Members {
+		if err := m.Srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fe, err := NewFrontend(fleet.HTTPURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, fe.Handler(), "/snapshot")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fleet-wide drain: status %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("propagated 503 lost the Retry-After hint")
+	}
+	if rec.Header().Get(PartialHeader) != "" {
+		t.Fatal("fleet-wide drain misreported as a degraded merge")
+	}
+}
+
+// TestFrontendStatsAggregation pins the fleet totals: the frontend's
+// /stats total equals the sum of what each member reports.
+func TestFrontendStatsAggregation(t *testing.T) {
+	const (
+		nExporters = 2
+		flowsPer   = 2
+		pktsPer    = 80
+	)
+	fleet, _ := streamFleet(t, 41, 2, 1, nExporters, flowsPer, pktsPer)
+	fe, err := NewFrontend(fleet.HTTPURLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, fe.Handler(), "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var stats struct {
+		Total struct {
+			Server collector.Stats     `json:"server"`
+			Sink   pipeline.ShardStats `json:"sink"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	wantServer, wantSink := fleet.Stats()
+	if stats.Total.Server != wantServer {
+		t.Fatalf("server totals %+v, want %+v", stats.Total.Server, wantServer)
+	}
+	if stats.Total.Sink != wantSink {
+		t.Fatalf("sink totals %+v, want %+v", stats.Total.Sink, wantSink)
+	}
+
+	rec = get(t, fe.Handler(), "/healthz")
+	if !strings.Contains(rec.Body.String(), `"ok": true`) {
+		t.Fatalf("healthy fleet reports unhealthy:\n%s", rec.Body.String())
+	}
+}

@@ -409,6 +409,27 @@ type ShardStats struct {
 	Queued int `json:"queued"`
 }
 
+// Accumulate folds another counter set into s. It is the one aggregation
+// rule the whole collector tier shares: Sink.Stats sums its shards with
+// it, and a federated query frontend sums its fleet members' sink totals
+// with it, so "packets across the deployment" means the same thing at
+// every level.
+func (s *ShardStats) Accumulate(o ShardStats) {
+	s.Packets += o.Packets
+	s.Batches += o.Batches
+	s.Stalls += o.Stalls
+	s.Queued += o.Queued
+}
+
+// SumShardStats folds any number of counter sets into one total.
+func SumShardStats(stats ...ShardStats) ShardStats {
+	var total ShardStats
+	for _, st := range stats {
+		total.Accumulate(st)
+	}
+	return total
+}
+
 // Stats returns per-shard ingest counters plus their totals. It is safe
 // from any goroutine at any time (the counters are atomics and the queue
 // length is a point-in-time read), which is what a collector daemon's
@@ -422,10 +443,7 @@ func (s *Sink) Stats() (total ShardStats, perShard []ShardStats) {
 			Stalls:  sh.stalls.Load(),
 			Queued:  len(sh.ch),
 		}
-		total.Packets += perShard[i].Packets
-		total.Batches += perShard[i].Batches
-		total.Stalls += perShard[i].Stalls
-		total.Queued += perShard[i].Queued
+		total.Accumulate(perShard[i])
 	}
 	return total, perShard
 }

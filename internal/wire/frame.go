@@ -35,6 +35,7 @@ import (
 //	version  byte     HandshakeVersion
 //	exporter uint64 LE  exporter (switch) ID
 //	planHash uint64 LE  Engine.PlanHash() of the exporter's compiled plan
+//	epoch    uint64 LE  cluster partitioning epoch (0 for standalone)
 //	nameLen  byte     0..MaxExporterName
 //	name     [nameLen]byte  printable ASCII label
 //
@@ -42,7 +43,11 @@ import (
 // code). The plan hash is the implicit-coordination guard of §4.1 made
 // explicit on the wire: digests are meaningless under a different
 // execution plan, so a mismatched exporter is refused at session setup
-// instead of silently polluting every query it touches.
+// instead of silently polluting every query it touches. The epoch plays
+// the same role for a federated fleet's flow partitioning: when the
+// fleet membership changes, the operator bumps the epoch everywhere, and
+// an exporter still routing flows under the old partitioning map is
+// refused instead of splitting a flow's digests across two collectors.
 
 // FrameHeaderLen is the fixed frame header size: length + crc.
 const FrameHeaderLen = 8
@@ -164,14 +169,17 @@ func (fr *FrameReader) Next() ([]byte, error) {
 }
 
 // HandshakeVersion is the current session-handshake version byte.
-const HandshakeVersion = 1
+// Version 2 added the cluster-epoch field; version-1 Hellos are refused
+// (every exporter and collector in a deployment ship together).
+const HandshakeVersion = 2
 
 // MaxExporterName bounds the Hello name field.
 const MaxExporterName = 64
 
 // helloFixedLen is the byte length of a Hello before the variable name:
-// magic (4) + version (1) + exporter (8) + planHash (8) + nameLen (1).
-const helloFixedLen = 22
+// magic (4) + version (1) + exporter (8) + planHash (8) + epoch (8) +
+// nameLen (1).
+const helloFixedLen = 30
 
 var helloMagic = [4]byte{'P', 'I', 'N', 'T'}
 
@@ -183,6 +191,11 @@ type Hello struct {
 	// PlanHash is core.Engine.PlanHash() of the exporter's compiled plan;
 	// the collector refuses sessions whose hash differs from its own.
 	PlanHash uint64
+	// Epoch is the cluster partitioning epoch the exporter routes flows
+	// under (0 for a standalone collector). A federated collector refuses
+	// sessions whose epoch differs from its own, so an exporter holding a
+	// stale fleet map cannot split a flow's digests across two homes.
+	Epoch uint64
 	// Name is an optional printable-ASCII label (metrics, logs).
 	Name string
 }
@@ -208,6 +221,7 @@ func AppendHello(dst []byte, h Hello) ([]byte, error) {
 	dst = append(dst, HandshakeVersion)
 	dst = binary.LittleEndian.AppendUint64(dst, h.Exporter)
 	dst = binary.LittleEndian.AppendUint64(dst, h.PlanHash)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Epoch)
 	dst = append(dst, byte(len(h.Name)))
 	return append(dst, h.Name...), nil
 }
@@ -228,7 +242,8 @@ func DecodeHello(data []byte) (Hello, int, error) {
 	}
 	h.Exporter = binary.LittleEndian.Uint64(data[5:])
 	h.PlanHash = binary.LittleEndian.Uint64(data[13:])
-	nameLen := int(data[21])
+	h.Epoch = binary.LittleEndian.Uint64(data[21:])
+	nameLen := int(data[29])
 	if nameLen > MaxExporterName {
 		return Hello{}, 0, fmt.Errorf("wire: exporter name %d bytes above cap %d", nameLen, MaxExporterName)
 	}
@@ -274,6 +289,10 @@ const (
 	// AckRejected rejects a session for any other reason (shutdown in
 	// progress, exporter limit).
 	AckRejected byte = 3
+	// AckEpochMismatch rejects a Hello whose cluster epoch differs from
+	// the collector's — the exporter is partitioning flows under a stale
+	// (or future) fleet map and must reload its configuration.
+	AckEpochMismatch byte = 4
 )
 
 // AckError maps a non-OK ack code to a descriptive error.
@@ -285,6 +304,8 @@ func AckError(code byte) error {
 		return fmt.Errorf("wire: collector rejected session: execution-plan hash mismatch")
 	case AckRejected:
 		return fmt.Errorf("wire: collector rejected session")
+	case AckEpochMismatch:
+		return fmt.Errorf("wire: collector rejected session: cluster-epoch mismatch (stale fleet partitioning)")
 	default:
 		return fmt.Errorf("wire: collector answered unknown ack code %d", code)
 	}

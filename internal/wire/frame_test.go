@@ -141,7 +141,8 @@ func TestHelloRoundtrip(t *testing.T) {
 	cases := []Hello{
 		{},
 		{Exporter: 7, PlanHash: 0xDEADBEEF, Name: "tor-3-2"},
-		{Exporter: ^uint64(0), PlanHash: ^uint64(0), Name: strings.Repeat("x", MaxExporterName)},
+		{Exporter: 9, PlanHash: 0xDEADBEEF, Epoch: 42, Name: "fleet-member"},
+		{Exporter: ^uint64(0), PlanHash: ^uint64(0), Epoch: ^uint64(0), Name: strings.Repeat("x", MaxExporterName)},
 	}
 	for _, h := range cases {
 		data, err := AppendHello(nil, h)
@@ -178,7 +179,7 @@ func TestHelloErrors(t *testing.T) {
 	badVersion := append([]byte(nil), good...)
 	badVersion[4] = 99
 	longName := append([]byte(nil), good...)
-	longName[21] = MaxExporterName + 1
+	longName[helloFixedLen-1] = MaxExporterName + 1
 	unprintable := append([]byte(nil), good...)
 	unprintable[helloFixedLen] = 0x07
 
@@ -205,7 +206,7 @@ func TestHelloErrors(t *testing.T) {
 	if err := AckError(AckOK); err != nil {
 		t.Fatalf("AckOK maps to %v", err)
 	}
-	for _, code := range []byte{AckPlanMismatch, AckRejected, 77} {
+	for _, code := range []byte{AckPlanMismatch, AckRejected, AckEpochMismatch, 77} {
 		if err := AckError(code); err == nil {
 			t.Fatalf("ack code %d maps to nil error", code)
 		}

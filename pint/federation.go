@@ -1,0 +1,67 @@
+package pint
+
+import (
+	"repro/internal/collector"
+	"repro/internal/federation"
+)
+
+// The federated collector API (internal/federation): a fleet of
+// Collectors behind an exporter-side flow partitioner and a merging
+// query frontend, so the recording tier scales by adding machines.
+//
+// Three invariants make a fleet answer exactly like one big collector:
+// every flow routes to exactly one home member (Partitioner), sessions
+// are fenced by a cluster epoch (CollectorConfig.Epoch / Hello.Epoch) so
+// a repartitioned exporter cannot mix fleet maps, and queries merge the
+// members' disjoint flow sets in flow-key order (Frontend — the HTTP
+// image of Recording merging in the sharded sink).
+//
+//	part, _ := pint.NewPartitioner([]string{"tor-a:9777", "tor-b:9777"})
+//	fx, _ := pint.DialCollectorFleet(addrs, hello, part.Route(), 256)
+//	fx.Send(pkts) // each digest routed to its flow's home collector
+//
+//	fe, _ := pint.NewFrontend([]string{"http://tor-a:9778", "http://tor-b:9778"})
+//	http.ListenAndServe(":9700", fe.Handler())
+//
+// cmd/pintd -epoch, cmd/pintload -addr a,b,c, and cmd/pintgate are the
+// same pieces as daemons; the federated-scale scenario pins the fleet's
+// byte-identity to a single collector.
+
+// Partitioner maps flow keys to fleet members by rendezvous hashing —
+// deterministic, balanced, and consistent under membership changes.
+type Partitioner = federation.Partitioner
+
+// NewPartitioner builds the flow→member map over the fleet's stable
+// member names. Every component of one deployment must use the identical
+// list.
+func NewPartitioner(members []string) (*Partitioner, error) {
+	return federation.NewPartitioner(members)
+}
+
+// FleetExporter streams digest batches to a collector fleet, routing
+// every packet to its flow's home member.
+type FleetExporter = collector.FleetExporter
+
+// DialCollectorFleet opens one exporter session per fleet member and
+// routes each flow by route (e.g. Partitioner.Route()).
+func DialCollectorFleet(addrs []string, hello Hello, route func(FlowKey) int, batch int) (*FleetExporter, error) {
+	return collector.DialFleet(addrs, hello, route, batch)
+}
+
+// Frontend is the fleet's merging query endpoint: it fans /snapshot,
+// /stats, and /healthz out to every member and folds the answers into
+// single-collector-shaped JSON, with explicit partial results (the
+// PartialHeader plus a per-node error list) when members are down.
+type Frontend = federation.Frontend
+
+// NodeError names one fleet member's failure in a partial result.
+type NodeError = federation.NodeError
+
+// PartialHeader marks a response merged from a degraded fleet.
+const PartialHeader = federation.PartialHeader
+
+// NewFrontend builds a query frontend over the fleet members' HTTP base
+// URLs.
+func NewFrontend(nodes []string) (*Frontend, error) {
+	return federation.NewFrontend(nodes)
+}

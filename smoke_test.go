@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -31,6 +33,8 @@ func TestSmokeBinariesAndExamples(t *testing.T) {
 		{"pintfig-quick", []string{"./cmd/pintfig", "-scale", "quick", "-run", "fig5"}, "Fig 5"},
 		{"pintfig-parallel-json", []string{"./cmd/pintfig", "-scale", "quick",
 			"-run", "route-change,pathtrace", "-parallel", "4", "-json"}, "\"scenario\": \"route-change\""},
+		{"pintfig-federated", []string{"./cmd/pintfig", "-scale", "quick",
+			"-run", "federated-scale"}, "Federated conformance"},
 		{"pinttrace", []string{"./cmd/pinttrace", "-topo", "fattree", "-len", "5",
 			"-trials", "20", "-parallel", "2", "-baselines=false"}, "PINT"},
 		{"example-quickstart", []string{"./examples/quickstart"}, "path"},
@@ -79,6 +83,192 @@ func TestSmokePintfigUnknownScenario(t *testing.T) {
 	}
 }
 
+// daemonProc wraps a started daemon whose stdout is scraped line by line
+// for announced addresses.
+type daemonProc struct {
+	cmd     *exec.Cmd
+	scanner *bufio.Scanner
+	lines   []string
+}
+
+func startDaemon(t *testing.T, ctx context.Context, bin string, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	return &daemonProc{cmd: cmd, scanner: bufio.NewScanner(stdout)}
+}
+
+// scrape reads stdout until a line contains marker and returns the first
+// space-delimited token after it.
+func (d *daemonProc) scrape(t *testing.T, marker string) string {
+	t.Helper()
+	for d.scanner.Scan() {
+		line := d.scanner.Text()
+		d.lines = append(d.lines, line)
+		if _, rest, ok := strings.Cut(line, marker); ok {
+			token, _, _ := strings.Cut(rest, " ")
+			return strings.TrimSuffix(token, ",")
+		}
+	}
+	t.Fatalf("daemon never printed %q:\n%s", marker, strings.Join(d.lines, "\n"))
+	return ""
+}
+
+// drainOutput reads the rest of stdout (call after signalling).
+func (d *daemonProc) drainOutput() string {
+	for d.scanner.Scan() {
+		d.lines = append(d.lines, d.scanner.Text())
+	}
+	return strings.Join(d.lines, "\n")
+}
+
+// TestSmokeFederatedDrain runs the full federated tier as real binaries:
+// two pintd fleet members under one epoch, pintgate fronting their HTTP
+// endpoints, and pintload routing flows to consistent-hash homes across
+// both daemons. It demands: a complete merged snapshot from the gate, an
+// explicit partial result (header + named node) after one member is
+// SIGTERMed, packet conservation across both drains, and clean exits all
+// around.
+func TestSmokeFederatedDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the go tool; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	bin := t.TempDir()
+	for _, cmd := range []string{"pintd", "pintload", "pintgate"} {
+		out, err := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	const (
+		exporters = 2
+		flows     = 4
+		pkts      = 300
+		epoch     = "9"
+	)
+	total := exporters * flows * pkts
+
+	var daemons [2]*daemonProc
+	var tcpAddrs, httpAddrs [2]string
+	for i := range daemons {
+		daemons[i] = startDaemon(t, ctx, filepath.Join(bin, "pintd"),
+			"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0", "-shards", "2", "-epoch", epoch)
+		tcpAddrs[i] = daemons[i].scrape(t, "listening on ")
+		httpAddrs[i] = daemons[i].scrape(t, "http on ")
+	}
+	gate := startDaemon(t, ctx, filepath.Join(bin, "pintgate"),
+		"-http", "127.0.0.1:0", "-nodes", httpAddrs[0]+","+httpAddrs[1])
+	gateURL := "http://" + gate.scrape(t, "serving on ")
+
+	load, err := exec.CommandContext(ctx, filepath.Join(bin, "pintload"),
+		"-addr", tcpAddrs[0]+","+tcpAddrs[1], "-epoch", epoch,
+		"-exporters", fmt.Sprint(exporters), "-flows", fmt.Sprint(flows), "-pkts", fmt.Sprint(pkts),
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pintload: %v\n%s", err, load)
+	}
+	if want := fmt.Sprintf("sent %d packets", total); !strings.Contains(string(load), want) {
+		t.Fatalf("pintload report lacks %q:\n%s", want, load)
+	}
+
+	// The merged snapshot through the gate: poll until the fleet has
+	// ingested everything (collectors flush at session end), then demand
+	// a complete, non-partial answer covering every flow.
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(gateURL + "/stats")
+		if err != nil {
+			t.Fatalf("gate stats: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), fmt.Sprintf(`"packets": %d`, total)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never ingested %d packets:\n%s", total, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	resp, err := client.Get(gateURL + "/snapshot")
+	if err != nil {
+		t.Fatalf("gate snapshot: %v", err)
+	}
+	snapBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Pint-Partial") != "" {
+		t.Fatalf("healthy fleet answered partial:\n%s", snapBody)
+	}
+	if got := strings.Count(string(snapBody), `"flow":`); got != exporters*flows {
+		t.Fatalf("merged snapshot has %d flows, want %d:\n%.600s", got, exporters*flows, snapBody)
+	}
+
+	// Kill member 1: the gate must degrade explicitly, naming the node.
+	if err := daemons[1].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out1 := daemons[1].drainOutput()
+	if err := daemons[1].cmd.Wait(); err != nil {
+		t.Fatalf("pintd[1] exited non-zero after SIGTERM: %v\n%s", err, out1)
+	}
+	resp, err = client.Get(gateURL + "/snapshot")
+	if err != nil {
+		t.Fatalf("gate snapshot after kill: %v", err)
+	}
+	partialBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Pint-Partial") != "1" {
+		t.Fatalf("dead member not marked partial (header %q):\n%s",
+			resp.Header.Get("X-Pint-Partial"), partialBody)
+	}
+	if !strings.Contains(string(partialBody), httpAddrs[1]) || !strings.Contains(string(partialBody), `"errors"`) {
+		t.Fatalf("partial result does not name the dead node %s:\n%.600s", httpAddrs[1], partialBody)
+	}
+
+	// Drain the rest; packet conservation across the fleet.
+	if err := daemons[0].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out0 := daemons[0].drainOutput()
+	if err := daemons[0].cmd.Wait(); err != nil {
+		t.Fatalf("pintd[0] exited non-zero after SIGTERM: %v\n%s", err, out0)
+	}
+	drained := 0
+	for _, out := range []string{out0, out1} {
+		var n int
+		if _, rest, ok := strings.Cut(out, "drained: "); ok {
+			fmt.Sscanf(rest, "%d packets", &n)
+		}
+		drained += n
+	}
+	if drained != total {
+		t.Fatalf("fleet drained %d packets, want %d\n--- pintd[0]\n%s\n--- pintd[1]\n%s", drained, total, out0, out1)
+	}
+
+	if err := gate.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	gateOut := gate.drainOutput()
+	if err := gate.cmd.Wait(); err != nil {
+		t.Fatalf("pintgate exited non-zero after SIGTERM: %v\n%s", err, gateOut)
+	}
+	if !strings.Contains(gateOut, "pintgate: drained") {
+		t.Fatalf("pintgate drain report missing:\n%s", gateOut)
+	}
+}
+
 // TestSmokePintdSigtermDrain runs the real daemon binaries end to end:
 // build pintd and pintload, stream a deployment over loopback TCP, send
 // the daemon SIGTERM, and demand a clean drain — exit code 0 and a final
@@ -102,33 +292,9 @@ func TestSmokePintdSigtermDrain(t *testing.T) {
 		flows     = 4
 		pkts      = 500
 	)
-	daemon := exec.CommandContext(ctx, filepath.Join(bin, "pintd"),
+	daemon := startDaemon(t, ctx, filepath.Join(bin, "pintd"),
 		"-listen", "127.0.0.1:0", "-http", "", "-shards", "4")
-	stdout, err := daemon.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	daemon.Stderr = daemon.Stdout
-	if err := daemon.Start(); err != nil {
-		t.Fatal(err)
-	}
-	defer daemon.Process.Kill()
-
-	// The daemon prints its ephemeral address on the first line.
-	scanner := bufio.NewScanner(stdout)
-	var addr string
-	var lines []string
-	for scanner.Scan() {
-		line := scanner.Text()
-		lines = append(lines, line)
-		if _, rest, ok := strings.Cut(line, "listening on "); ok {
-			addr, _, _ = strings.Cut(rest, " ")
-			break
-		}
-	}
-	if addr == "" {
-		t.Fatalf("pintd never announced its address:\n%s", strings.Join(lines, "\n"))
-	}
+	addr := daemon.scrape(t, "listening on ")
 
 	load, err := exec.CommandContext(ctx, filepath.Join(bin, "pintload"),
 		"-addr", addr,
@@ -142,16 +308,13 @@ func TestSmokePintdSigtermDrain(t *testing.T) {
 		t.Fatalf("pintload report lacks %q:\n%s", want, load)
 	}
 
-	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := daemon.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	for scanner.Scan() {
-		lines = append(lines, scanner.Text())
+	out := daemon.drainOutput()
+	if err := daemon.cmd.Wait(); err != nil {
+		t.Fatalf("pintd exited non-zero after SIGTERM: %v\n%s", err, out)
 	}
-	if err := daemon.Wait(); err != nil {
-		t.Fatalf("pintd exited non-zero after SIGTERM: %v\n%s", err, strings.Join(lines, "\n"))
-	}
-	out := strings.Join(lines, "\n")
 	drained := fmt.Sprintf("drained: %d packets", exporters*flows*pkts)
 	tracked := fmt.Sprintf("%d flows tracked", exporters*flows)
 	if !strings.Contains(out, drained) || !strings.Contains(out, tracked) || !strings.Contains(out, "0 conn errors") {
