@@ -17,6 +17,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/pipeline"
 	"repro/internal/scenario"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -484,12 +485,18 @@ func BenchmarkSinkIngest(b *testing.B) {
 	for hop := 1; hop <= benchHops; hop++ {
 		eng.EncodeHopBatch(hop, pkts, vals)
 	}
+	// Construction (fresh Recording/Sink per iteration — tens of
+	// thousands of pure setup allocations) runs outside the timer, so
+	// ns/op and allocs/op measure recording, not churn.
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
+			b.StopTimer()
 			rec, err := core.NewRecordingSeeded(eng, 32, 7)
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.StartTimer()
 			if err := rec.RecordBatch(pkts); err != nil {
 				b.Fatal(err)
 			}
@@ -498,12 +505,15 @@ func BenchmarkSinkIngest(b *testing.B) {
 	})
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				b.StopTimer()
 				sink, err := pipeline.NewSink(eng, pipeline.Config{
 					Shards: shards, SketchItems: 32, Base: 7})
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.StartTimer()
 				sink.Ingest(pkts)
 				if err := sink.Close(); err != nil {
 					b.Fatal(err)
@@ -512,6 +522,74 @@ func BenchmarkSinkIngest(b *testing.B) {
 			b.ReportMetric(float64(nPkts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
 		})
 	}
+}
+
+// BenchmarkWireCodec measures the bulk wire codec over a sink-shaped
+// 4096-packet encoded batch: two-pass marshal, fast-path unmarshal, and
+// the one-pass frame marshal (header + payload + CRC in one buffer). All
+// three are 0 B/op at steady state.
+func BenchmarkWireCodec(b *testing.B) {
+	eng, _ := benchCombinedPlan(b)
+	const n = 4096
+	pkts := make([]core.PacketDigest, n)
+	vals := make([]core.HopValues, n)
+	for i := range pkts {
+		pkts[i] = core.PacketDigest{
+			Flow:    core.FlowKey(uint64(i%256)*2654435761 + 1),
+			PktID:   hash.Mix64(uint64(i)),
+			PathLen: benchHops,
+		}
+		vals[i] = core.HopValues{SwitchID: 0xAB000007, LatencyNs: 12345, Util: 501}
+	}
+	for hop := 1; hop <= benchHops; hop++ {
+		eng.EncodeHopBatch(hop, pkts, vals)
+	}
+	flat, err := wire.Marshal(pkts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		buf := append([]byte(nil), flat...)
+		b.SetBytes(int64(len(flat)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = wire.AppendMarshal(buf[:0], pkts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		out := make([]core.PacketDigest, 0, n)
+		b.SetBytes(int64(len(flat)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			out, err = wire.AppendUnmarshal(out[:0], flat)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
+	})
+	b.Run("frame", func(b *testing.B) {
+		buf := make([]byte, 0, len(flat)+wire.FrameHeaderLen)
+		b.SetBytes(int64(len(flat) + wire.FrameHeaderLen))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = wire.AppendMarshalFrame(buf[:0], pkts)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
+	})
 }
 
 // BenchmarkSinkIngestBounded pins the streaming-collector acceptance

@@ -10,6 +10,7 @@
 //	pintd -listen :9777 -http :9778          explicit addresses
 //	pintd -shards 8 -seed 3                  8 sink workers, seed-3 testbench plan
 //	pintd -grace 10s                         SIGTERM drain grace period
+//	pintd -pprof                             mount /debug/pprof/ on the HTTP address
 //
 // The daemon compiles the canonical testbench plan (collector.NewTestbench)
 // from -seed and -k; exporters must be compiled identically — the session
@@ -45,6 +46,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 4, "sink per-shard queue depth (batches); smaller = earlier backpressure")
 	maxFrame := flag.Int("max-frame", 0, "frame payload cap in bytes (0 = 1 MiB default)")
 	epoch := flag.Uint64("epoch", 0, "cluster partitioning epoch (fleet members and exporters must match; 0 = standalone)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP address")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
 	verbose := flag.Bool("v", false, "log per-session events")
 	flag.Parse()
@@ -92,7 +94,12 @@ func main() {
 			log.Fatalf("pintd: http: %v", err)
 		}
 		fmt.Printf("pintd: http on %s\n", hln.Addr())
-		httpSrv = srv.HTTPServer(nil)
+		handler := http.Handler(nil)
+		if *pprofOn {
+			fmt.Printf("pintd: pprof on http://%s/debug/pprof/\n", hln.Addr())
+			handler = collector.WithProfiling(srv.Handler())
+		}
+		httpSrv = srv.HTTPServer(handler)
 		go func() {
 			if err := httpSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
 				log.Fatalf("pintd: http: %v", err)

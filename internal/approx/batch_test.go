@@ -1,0 +1,75 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// TestRandomizedPartsMatchEncodeRandomized pins the memoizable
+// decomposition to the scalar encoder for every decision path: v <= 1,
+// integer exponents (frac = 0), fractional exponents, and saturation.
+func TestRandomizedPartsMatchEncodeRandomized(t *testing.T) {
+	g := hash.NewGlobal(0xBA7C4)
+	for _, cfg := range []struct {
+		eps  float64
+		bits int
+	}{{0.025, 8}, {0.0025, 16}, {0.4, 3}} {
+		c, err := NewMultCompressor(cfg.eps, cfg.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := []float64{0, 0.5, 1, 1.0000001, 2, 3.7, 1000, 1e6, 1e12, 1e300,
+			c.base, c.base * c.base, math.Pow(c.base, 7)}
+		var h [1]uint64
+		for _, v := range vals {
+			lo, coinThr, always := c.RandomizedParts(v)
+			for pkt := uint64(0); pkt < 500; pkt++ {
+				want := c.EncodeRandomized(v, g, pkt)
+				code := lo
+				// The coin hash EncodeRandomized draws via g.Act(pkt, 1<<20, frac).
+				g.ActHashColumn(h[:], []uint64{pkt}, 1<<20)
+				if always || h[0] < coinThr {
+					code++
+				}
+				if code > c.MaxCode() {
+					code = c.MaxCode()
+				}
+				if code != want {
+					t.Fatalf("eps=%v bits=%d v=%v pkt=%d: parts give %d, scalar %d",
+						cfg.eps, cfg.bits, v, pkt, code, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMorrisIncrementThresholdMatchesNextCode pins the precomputable coin
+// threshold to MorrisNextCode across codes and widths.
+func TestMorrisIncrementThresholdMatchesNextCode(t *testing.T) {
+	g := hash.NewGlobal(0xBA7C5)
+	for _, eps := range []float64{0.05, 0.25, 0.9} {
+		a := MorrisBase(eps)
+		for _, bits := range []int{1, 4, 8, 12} {
+			max := uint64(1)<<uint(bits) - 1
+			for code := uint64(0); code <= max && code < 300; code++ {
+				thr, always := MorrisIncrementThreshold(a, code)
+				for pkt := uint64(0); pkt < 200; pkt++ {
+					salt := pkt % 7
+					want := MorrisNextCode(a, bits, code, g, pkt, salt)
+					got := code
+					if code < max {
+						if h := g.ValueDigest(salt, pkt, 64); always || h < thr {
+							got = code + 1
+						}
+					}
+					if got != want {
+						t.Fatalf("eps=%v bits=%d code=%d pkt=%d: threshold gives %d, scalar %d",
+							eps, bits, code, pkt, got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package coding
+
+import (
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// TestActConstMatchesActs pins ActConst's threshold form to acts() across
+// layerings, layers, and hops — the contract the op-major batch encoder
+// builds its per-layer threshold tables on.
+func TestActConstMatchesActs(t *testing.T) {
+	layerings := map[string]Layering{
+		"baseline":   PureBaseline(),
+		"xor":        PureXOR(0.25),
+		"hybrid":     Hybrid(10, 0.75),
+		"multi5":     MultiLayer(5, true),
+		"multi40":    MultiLayer(40, true),
+		"full-layer": {Tau: 0.5, Probs: []float64{1}}, // p = 1: layer always acts
+	}
+	for name, lyr := range layerings {
+		enc, err := NewEncoder(Config{Bits: 4, Mode: ModeHashed, Layering: lyr}, hash.NewGlobal(0xAC7))
+		if err != nil {
+			t.Fatalf("%s: NewEncoder: %v", name, err)
+		}
+		for layer := 0; layer <= lyr.Layers(); layer++ {
+			var h [1]uint64
+			for _, hop := range []int{1, 2, 3, 17, 64, 65, 200} {
+				thr, always := enc.ActConst(hop, layer)
+				for i := 0; i < 200; i++ {
+					pkt := hash.Seed(99).Hash2(uint64(i), uint64(hop))
+					enc.ActGlobal().ActHashColumn(h[:], []uint64{pkt}, uint64(hop))
+					got := always || h[0] < thr
+					want := enc.acts(pkt, hop, layer)
+					if got != want {
+						t.Fatalf("%s layer %d hop %d pkt %#x: ActConst says %v, acts says %v",
+							name, layer, hop, pkt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchAccessorsAliasEncoderState pins ActGlobal/InstanceGlobal to
+// the families acts() and payload() actually consult.
+func TestBatchAccessorsAliasEncoderState(t *testing.T) {
+	enc, err := NewEncoder(Config{Bits: 8, Mode: ModeHashed, Instances: 2, Layering: MultiLayer(5, true)},
+		hash.NewGlobal(0xAC8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.ActGlobal() != &enc.g {
+		t.Fatal("ActGlobal does not alias the encoder's act family")
+	}
+	pkt := uint64(12345)
+	for inst := 0; inst < 2; inst++ {
+		want := enc.payload(pkt, inst, 42)
+		got := enc.InstanceGlobal(inst).ValueDigest(42, pkt, enc.cfg.Bits)
+		if got != want {
+			t.Fatalf("instance %d: InstanceGlobal digest %#x, payload %#x", inst, got, want)
+		}
+	}
+}

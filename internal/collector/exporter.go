@@ -79,21 +79,16 @@ func (e *Exporter) Send(batch []core.PacketDigest) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	payload, err := wire.AppendMarshal(e.scratch[:0], batch)
+	// Header, payload, and CRC are built in the scratch buffer in one
+	// pass — no separate marshal buffer, no header+payload re-copy.
+	frame, err := wire.AppendMarshalFrame(e.scratch[:0], batch)
 	if err != nil {
 		return err
 	}
-	// Frame it in the same buffer, after the payload: the header+payload
-	// copy starts at len(payload), so the regions cannot overlap.
-	framed, err := wire.AppendFrame(payload, payload)
-	if err != nil {
-		return err
-	}
-	frame := framed[len(payload):]
 	if _, err := e.conn.Write(frame); err != nil {
 		return fmt.Errorf("collector: sending frame: %w", err)
 	}
-	e.scratch = framed[:0]
+	e.scratch = frame[:0]
 	e.packets += uint64(len(batch))
 	e.bytes += uint64(len(frame))
 	return nil

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
@@ -179,6 +180,24 @@ func (s *Server) Handler() http.Handler {
 		}
 		WriteJSON(w, map[string]any{"flows": answers})
 	})
+	return mux
+}
+
+// WithProfiling layers net/http/pprof's endpoints under /debug/pprof/ on
+// top of h; every other path falls through to h. It is opt-in (pintd
+// -pprof) and off by default: the collector's HTTP port is an operational
+// surface, and the profiling handlers expose memory contents and burn CPU
+// on demand. With it mounted, `go tool pprof http://host/debug/pprof/profile`
+// profiles a live collector under real exporter load — how the hot-path
+// numbers in README.md are gathered.
+func WithProfiling(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
 	return mux
 }
 

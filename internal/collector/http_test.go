@@ -141,6 +141,46 @@ func TestHTTPServerHardening(t *testing.T) {
 	}
 }
 
+// TestWithProfiling smoke-tests the opt-in pprof surface end to end: a
+// real HTTP listener (the profile handler needs a flushable writer, not a
+// recorder), a 1-second CPU profile that must come back 200 with a
+// non-empty body, and the collector's own routes still served underneath.
+// The plain Handler must NOT expose /debug/pprof/ — it is opt-in.
+func TestWithProfiling(t *testing.T) {
+	srv, _ := newQuietServer(t)
+	ts := httptest.NewServer(WithProfiling(srv.Handler()))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 64)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof profile: status %d, want 200 (body %q)", resp.StatusCode, body[:n])
+	}
+	if n == 0 {
+		t.Fatal("pprof profile: empty body")
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under WithProfiling: status %d, want 200", resp.StatusCode)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("plain Handler serves /debug/pprof/ (status %d): profiling must be opt-in", rec.Code)
+	}
+}
+
 // TestEpochMismatchRefused pins the cluster-epoch gate: an exporter
 // carrying a different epoch is refused at the handshake with a
 // descriptive error, and nothing is ingested.

@@ -256,16 +256,22 @@ func TestEncodeBatchZeroAlloc(t *testing.T) {
 		pkts[i] = PacketDigest{Flow: FlowKey(i), PktID: rng.Uint64(), PathLen: k}
 		vals[i] = hopValuesFor(pkts[i].PktID, 1, 0xAB00)
 	}
-	allocs := testing.AllocsPerRun(20, func() {
-		for hop := 1; hop <= k; hop++ {
-			eng.EncodeHopBatch(hop, pkts, vals)
+	// The SoA scratch rides a sync.Pool, and under -race the pool
+	// deliberately drops a fraction of Puts to surface reuse bugs — the
+	// re-allocations that causes are race-runtime behavior, not a hot-path
+	// leak, so the assertion only holds in a normal build.
+	if !raceEnabled {
+		allocs := testing.AllocsPerRun(20, func() {
+			for hop := 1; hop <= k; hop++ {
+				eng.EncodeHopBatch(hop, pkts, vals)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("EncodeHopBatch allocates %.1f times per run, want 0", allocs)
 		}
-	})
-	if allocs != 0 {
-		t.Fatalf("EncodeHopBatch allocates %.1f times per run, want 0", allocs)
 	}
 	var buf []Extracted
-	allocs = testing.AllocsPerRun(20, func() {
+	allocs := testing.AllocsPerRun(20, func() {
 		for i := range pkts {
 			buf = eng.ExtractInto(pkts[i].PktID, pkts[i].Digest, buf[:0])
 		}

@@ -96,6 +96,10 @@ type encodeOp struct {
 	cnt   *CountQuery
 	// morrisBase is CountQuery's growth base, hoisted out of the loop.
 	morrisBase float64
+	// morrisThr[c] is the coin threshold for one Morris increment from
+	// code c (^0 = always fires), precomputed at compile time for the
+	// op-major pass; nil when the counter is too wide to table.
+	morrisThr []uint64
 	// resG points at the latency/freq query's hash family so reservoir
 	// decisions skip the per-hop 48-byte Global copy.
 	resG *hash.Global
@@ -150,6 +154,17 @@ func compileProgram(set QuerySet) (encodeProgram, error) {
 		case *CountQuery:
 			op.kind, op.cnt = opCount, qq
 			op.morrisBase = approx.MorrisBase(qq.eps)
+			if qq.bits <= morrisTableMaxBits {
+				max := uint64(1)<<uint(qq.bits) - 1
+				op.morrisThr = make([]uint64, max)
+				for c := uint64(0); c < max; c++ {
+					thr, always := approx.MorrisIncrementThreshold(op.morrisBase, c)
+					if always {
+						thr = ^uint64(0)
+					}
+					op.morrisThr[c] = thr
+				}
+			}
 		default:
 			return encodeProgram{}, fmt.Errorf("core: query %q has unsupported type %T", q.Name(), q)
 		}
@@ -184,13 +199,26 @@ func (e *Engine) EncodeHopValues(pktID uint64, hop int, digest uint64, v *HopVal
 // EncodeHopBatch applies hop `hop`'s Encoding Modules to every packet of a
 // batch in place: pkts[i].Digest is rewritten using vals[i]. len(vals)
 // must be at least len(pkts). This is the shape a shard worker or a
-// line-rate simulation drives: one program lookup amortized over the whole
-// per-packet loop, 0 B/op.
+// line-rate simulation drives: batches of soaMinBatch packets or more run
+// the op-major column passes of EncodeHopBatchSoA (see soa.go), smaller
+// ones the packet-major loop — both bit-identical and 0 B/op at steady
+// state.
 func (e *Engine) EncodeHopBatch(hop int, pkts []PacketDigest, vals []HopValues) {
 	if len(pkts) == 0 {
 		return
 	}
 	_ = vals[len(pkts)-1] // bounds hint
+	if len(pkts) < soaMinBatch {
+		e.encodeHopBatchScalar(hop, pkts, vals)
+		return
+	}
+	e.EncodeHopBatchSoA(hop, pkts, vals)
+}
+
+// encodeHopBatchScalar is the packet-major reference loop: the routing
+// target for small batches and the oracle the SoA parity tests and
+// FuzzEncodeBatchParity compare against.
+func (e *Engine) encodeHopBatchScalar(hop int, pkts []PacketDigest, vals []HopValues) {
 	for i := range pkts {
 		pkt := &pkts[i]
 		si := e.setIndexOf(pkt)

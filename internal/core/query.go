@@ -12,6 +12,11 @@
 //     per-hop values, recorded into quantile sketches,
 //   - UtilQuery (per-packet): max-aggregated compressed bottleneck values
 //     (the congestion-control feed, §4.3 Example #3).
+//
+// The per-packet encode path is compiled (program.go) and, for batches,
+// vectorized into op-major column passes (soa.go) over the SIMD-friendly
+// hash kernels of internal/kernels. README.md's "Hot path anatomy"
+// section is the map of that machinery.
 package core
 
 import (

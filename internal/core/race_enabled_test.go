@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the -race flag for tests whose assertions the race
+// runtime itself invalidates (sync.Pool drops a fraction of Puts under
+// race to surface reuse bugs, so pool-backed paths re-allocate).
+const raceEnabled = true

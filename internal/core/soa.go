@@ -1,0 +1,371 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/approx"
+	"repro/internal/coding"
+	"repro/internal/hash"
+)
+
+// This file is the op-major (struct-of-arrays) form of the batch encode
+// hot path. The packet-major encodeHop loop re-dispatches the op switch
+// and re-derives every loop-invariant (thresholds, shifts, hash prefixes)
+// once per packet; here the batch is partitioned by query set once, each
+// compiled op runs as one pass over flat columns (pktIDs, digests,
+// per-op values), and the per-packet work collapses to a hash-column
+// evaluation (internal/kernels) plus a branch-free select. Decisions are
+// bit-identical to the scalar path — pinned by TestEncodeHopBatchSoAParity
+// and FuzzEncodeBatchParity.
+
+// soaMinBatch is the routing cutoff: below it the partition/gather/
+// scatter overhead outweighs the columnar win and EncodeHopBatch stays on
+// the packet-major loop.
+const soaMinBatch = 16
+
+// morrisTableMaxBits bounds the per-op Morris coin-threshold table
+// (2^bits-1 entries); wider counters fall back to the scalar coin.
+const morrisTableMaxBits = 12
+
+// soaScratch is one batch's worth of column storage, pooled so
+// steady-state encoding allocates nothing. Engines are driven
+// concurrently by exporter goroutines, so scratch lives in a pool rather
+// than on the Engine.
+type soaScratch struct {
+	idx [][]int32 // per-set original packet indices
+	pkt []uint64  // set's PktID column
+	dig []uint64  // set's digest column
+	h   []uint64  // hash column
+	tmp []uint64  // offset / gathered-pktID column
+	val []uint64  // gathered value column
+	pay []uint64  // payload column
+	lay []uint8   // per-packet coding-layer column
+	act []int32   // compacted actor positions within the set's columns
+}
+
+var soaPool = sync.Pool{New: func() any { return new(soaScratch) }}
+
+func growCol(c []uint64, n int) []uint64 {
+	if cap(c) < n {
+		return make([]uint64, n, n+n/2+8)
+	}
+	return c[:n]
+}
+
+// EncodeHopBatchSoA is the op-major implementation of EncodeHopBatch:
+// identical observable behavior (digests, set/layer caches, the
+// len(vals) >= len(pkts) bounds contract), different loop structure.
+// EncodeHopBatch routes large batches here; it is exported so harnesses
+// can pin the two paths against each other at any batch size.
+func (e *Engine) EncodeHopBatchSoA(hop int, pkts []PacketDigest, vals []HopValues) {
+	if len(pkts) == 0 {
+		return
+	}
+	_ = vals[len(pkts)-1] // bounds hint
+	s := soaPool.Get().(*soaScratch)
+	// Pass 1: partition by query set, filling the per-packet set cache
+	// exactly as the scalar loop would.
+	for len(s.idx) < len(e.progs) {
+		s.idx = append(s.idx, nil)
+	}
+	s.idx = s.idx[:len(e.progs)]
+	for si := range s.idx {
+		s.idx[si] = s.idx[si][:0]
+	}
+	for i := range pkts {
+		if si := e.setIndexOf(&pkts[i]); si >= 0 {
+			s.idx[si] = append(s.idx[si], int32(i))
+		}
+	}
+	// Pass 2: per set, gather columns, run each op over the whole set,
+	// scatter digests back.
+	for si := range e.progs {
+		if len(s.idx[si]) != 0 {
+			e.progs[si].encodeHopSoA(hop, s, s.idx[si], pkts, vals)
+		}
+	}
+	soaPool.Put(s)
+}
+
+func (p *encodeProgram) encodeHopSoA(hop int, s *soaScratch, idx []int32, pkts []PacketDigest, vals []HopValues) {
+	n := len(idx)
+	s.pkt = growCol(s.pkt, n)
+	s.dig = growCol(s.dig, n)
+	pktCol, digCol := s.pkt, s.dig
+	for j, i := range idx {
+		pktCol[j] = pkts[i].PktID
+		digCol[j] = pkts[i].Digest
+	}
+	for oi := range p.ops {
+		op := &p.ops[oi]
+		switch op.kind {
+		case opPath:
+			op.soaPath(hop, s, idx, pkts, vals, pktCol, digCol)
+		case opLatency:
+			op.soaLatency(hop, s, idx, vals, pktCol, digCol)
+		case opUtil:
+			op.soaUtil(hop, s, idx, vals, pktCol, digCol)
+		case opFreq:
+			op.soaFreq(hop, s, idx, vals, pktCol, digCol)
+		case opCount:
+			op.soaCount(hop, s, idx, vals, pktCol, digCol)
+		}
+	}
+	for j, i := range idx {
+		pkts[i].Digest = digCol[j]
+	}
+}
+
+// soaFreq: reservoir overwrite with the raw value. Hop 1 writes
+// unconditionally (no hash at all); later hops compare one hash column
+// against the hoisted reservoir threshold with a mask&-cond select.
+func (op *encodeOp) soaFreq(hop int, s *soaScratch, idx []int32, vals []HopValues, pktCol, digCol []uint64) {
+	shift, mask := op.shift, op.mask
+	keep := ^(mask << shift)
+	if hop <= 1 {
+		for j, i := range idx {
+			digCol[j] = digCol[j]&keep | (vals[i].FreqValue&mask)<<shift
+		}
+		return
+	}
+	s.h = growCol(s.h, len(idx))
+	h := s.h
+	op.resG.ActHashColumn(h, pktCol, uint64(hop))
+	thr := hash.ReservoirThreshold(hop)
+	for j, i := range idx {
+		var c uint64
+		if h[j] < thr {
+			c = 1
+		}
+		m := -c // all-ones when this hop wins the reservoir
+		old := digCol[j] >> shift & mask
+		nw := vals[i].FreqValue&mask&m | old&^m
+		digCol[j] = digCol[j]&keep | nw<<shift
+	}
+}
+
+// soaLatency: reservoir overwrite with the compressed value. Winners are
+// a 1/hop fraction, so the compressor runs only for them, behind a
+// one-entry value→code memo (hop latencies repeat heavily in a batch).
+func (op *encodeOp) soaLatency(hop int, s *soaScratch, idx []int32, vals []HopValues, pktCol, digCol []uint64) {
+	shift, mask := op.shift, op.mask
+	keep := ^(mask << shift)
+	comp := op.lat.comp
+	var lastV, lastCode uint64
+	have := false
+	if hop <= 1 {
+		for j, i := range idx {
+			if v := vals[i].LatencyNs; !have || v != lastV {
+				lastV, lastCode, have = v, comp.Encode(float64(v)), true
+			}
+			digCol[j] = digCol[j]&keep | (lastCode&mask)<<shift
+		}
+		return
+	}
+	s.h = growCol(s.h, len(idx))
+	h := s.h
+	op.resG.ActHashColumn(h, pktCol, uint64(hop))
+	thr := hash.ReservoirThreshold(hop)
+	for j, i := range idx {
+		if h[j] >= thr {
+			continue
+		}
+		if v := vals[i].LatencyNs; !have || v != lastV {
+			lastV, lastCode, have = v, comp.Encode(float64(v)), true
+		}
+		digCol[j] = digCol[j]&keep | (lastCode&mask)<<shift
+	}
+}
+
+// soaUtil: max-aggregation of randomized-rounded codes. The log/floor
+// decomposition is memoized per distinct value (RandomizedParts); the
+// per-packet coin is one hash column keyed the way EncodeHop namespaces
+// it (pktID + hop<<48 under the dedicated 1<<20 coin index).
+func (op *encodeOp) soaUtil(hop int, s *soaScratch, idx []int32, vals []HopValues, pktCol, digCol []uint64) {
+	n := len(idx)
+	shift, mask := op.shift, op.mask
+	keep := ^(mask << shift)
+	comp := op.util.comp
+	maxCode := comp.MaxCode()
+	s.h = growCol(s.h, n)
+	s.tmp = growCol(s.tmp, n)
+	h, tmp := s.h, s.tmp
+	off := uint64(hop) << 48
+	for j, p := range pktCol {
+		tmp[j] = p + off
+	}
+	op.util.g.ActHashColumn(h, tmp, 1<<20)
+	var lastRaw, lo, coinThr uint64
+	var always, have bool
+	for j, i := range idx {
+		if raw := vals[i].Util; !have || raw != lastRaw {
+			lo, coinThr, always = comp.RandomizedParts(float64(raw))
+			lastRaw, have = raw, true
+		}
+		code := lo
+		if always || h[j] < coinThr {
+			code++
+		}
+		if code > maxCode {
+			code = maxCode
+		}
+		old := digCol[j] >> shift & mask
+		if old > code {
+			code = old
+		}
+		digCol[j] = digCol[j]&keep | code<<shift
+	}
+}
+
+// soaCount: probabilistic Morris increments for the hops whose indicator
+// fired. Fired packets are compacted first (the indicator is typically
+// sparse); their coins come from one fixed-salt hash column compared
+// against the compile-time per-code threshold table.
+func (op *encodeOp) soaCount(hop int, s *soaScratch, idx []int32, vals []HopValues, pktCol, digCol []uint64) {
+	shift, mask := op.shift, op.mask
+	keep := ^(mask << shift)
+	maxCode := uint64(1)<<uint(op.cnt.bits) - 1
+	s.act = s.act[:0]
+	for j, i := range idx {
+		if vals[i].CountFired != 0 {
+			s.act = append(s.act, int32(j))
+		}
+	}
+	act := s.act
+	if len(act) == 0 {
+		return
+	}
+	if op.morrisThr == nil {
+		// Counter too wide for the threshold table: scalar coin per
+		// fired packet, identical to the packet-major path.
+		for _, j := range act {
+			old := digCol[j] >> shift & mask
+			nw := approx.MorrisNextCode(op.morrisBase, op.cnt.bits, old, op.cnt.g, pktCol[j], uint64(hop))
+			digCol[j] = digCol[j]&keep | (nw&mask)<<shift
+		}
+		return
+	}
+	na := len(act)
+	s.tmp = growCol(s.tmp, na)
+	s.h = growCol(s.h, na)
+	tmp, h := s.tmp, s.h
+	for t, j := range act {
+		tmp[t] = pktCol[j]
+	}
+	op.cnt.g.ValueDigestFixedColumn(h, tmp, uint64(hop))
+	for t, j := range act {
+		old := digCol[j] >> shift & mask
+		if old >= maxCode {
+			continue // saturated: never increments
+		}
+		// thr == ^0 is the "always increments" sentinel (code 0).
+		if thr := op.morrisThr[old]; thr == ^uint64(0) || h[t] < thr {
+			digCol[j] = digCol[j]&keep | (old+1)<<shift
+		}
+	}
+}
+
+// soaPath: the distributed-coding op. Layer selections ride the
+// PacketDigest cache; act decisions are one hash column against per-layer
+// thresholds (except FastVectors, whose word-AND decisions fall back to
+// the scalar predicate); acting packets are compacted and, in hashed
+// mode, each hash instance's payload is one value-hash column folded into
+// the digest column with overwrite (Baseline) or xor (XOR layers)
+// selects. Raw/fragmented mode keeps the scalar word fold per actor.
+func (op *encodeOp) soaPath(hop int, s *soaScratch, idx []int32, pkts []PacketDigest, vals []HopValues, pktCol, digCol []uint64) {
+	enc := op.pathEnc
+	cfg := enc.Config()
+	n := len(idx)
+	if cap(s.lay) < n {
+		s.lay = make([]uint8, n, n+n/2+8)
+	}
+	s.lay = s.lay[:n]
+	lay := s.lay
+	if pi := op.pathIdx; pi >= 0 {
+		for j, i := range idx {
+			if c := pkts[i].layers[pi]; c != 0 {
+				lay[j] = c - 1
+			} else {
+				l := uint8(enc.LayerOf(pktCol[j]))
+				pkts[i].layers[pi] = l + 1
+				lay[j] = l
+			}
+		}
+	} else {
+		for j := range pktCol {
+			lay[j] = uint8(enc.LayerOf(pktCol[j]))
+		}
+	}
+
+	s.act = s.act[:0]
+	if cfg.FastVectors {
+		for j := range pktCol {
+			if enc.ActsInLayer(pktCol[j], hop, int(lay[j])) {
+				s.act = append(s.act, int32(j))
+			}
+		}
+	} else {
+		var thrArr [8]uint64
+		var alwArr [8]bool
+		thr, alw := thrArr[:], alwArr[:]
+		nl := cfg.Layering.Layers()
+		if nl+1 > len(thrArr) {
+			thr = make([]uint64, nl+1)
+			alw = make([]bool, nl+1)
+		}
+		for l := 0; l <= nl; l++ {
+			thr[l], alw[l] = enc.ActConst(hop, l)
+		}
+		s.h = growCol(s.h, n)
+		h := s.h
+		enc.ActGlobal().ActHashColumn(h, pktCol, uint64(hop))
+		for j := range pktCol {
+			l := lay[j]
+			if alw[l] || h[j] < thr[l] {
+				s.act = append(s.act, int32(j))
+			}
+		}
+	}
+	act := s.act
+	if len(act) == 0 {
+		return
+	}
+
+	shift, mask := op.shift, op.mask
+	keep := ^(mask << shift)
+	if cfg.Mode != coding.ModeHashed {
+		for _, j := range act {
+			slice := digCol[j] >> shift & mask
+			slice = applyPathWords(enc, pktCol[j], int(lay[j]), slice,
+				op.pathN, op.pathBits, op.pathWordMask, vals[idx[j]].SwitchID)
+			digCol[j] = digCol[j]&keep | (slice&mask)<<shift
+		}
+		return
+	}
+
+	na := len(act)
+	s.val = growCol(s.val, na)
+	s.tmp = growCol(s.tmp, na)
+	s.pay = growCol(s.pay, na)
+	valCol, tmp, pay := s.val, s.tmp, s.pay
+	for t, j := range act {
+		valCol[t] = vals[idx[j]].SwitchID
+		tmp[t] = pktCol[j]
+	}
+	width, wmask := op.pathBits, op.pathWordMask
+	for inst := 0; inst < op.pathN; inst++ {
+		enc.InstanceGlobal(inst).ValueDigestColumn(pay, valCol, tmp, cfg.Bits)
+		ishift := shift + uint(inst)*width
+		ikeep := ^(wmask << ishift)
+		for t, j := range act {
+			w := pay[t]
+			var c uint64
+			if lay[j] != 0 {
+				c = 1
+			}
+			// XOR layers fold into the existing word; Baseline overwrites.
+			w ^= digCol[j] >> ishift & wmask & -c
+			digCol[j] = digCol[j]&ikeep | (w&wmask)<<ishift
+		}
+	}
+}

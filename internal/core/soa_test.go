@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/coding"
+	"repro/internal/hash"
+)
+
+// parityPlans builds one engine per plan shape the op-major path has a
+// distinct branch for: the combined benchmark plan, reservoir+Morris,
+// raw/fragmented paths, three path queries (layer cache overflow),
+// FastVectors, and a multi-set plan with unassigned probability mass.
+func parityPlans(t testing.TB) map[string]*Engine {
+	t.Helper()
+	master := hash.Seed(0x50A)
+	build := func(qs ...Query) *Engine {
+		eng, err := Compile(qs, 16, master)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		return eng
+	}
+	pathCfg, err := DefaultPathConfig(4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := NewPathQuery("path", pathCfg, 1, master, []uint64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := NewLatencyQuery("lat", 8, 0.04, 15.0/16, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := NewUtilQuery("hpcc", 8, 0.025, 1.0/16, 1000, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, err := NewFreqQuery("port", 6, 0.5, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := NewCountQuery("hot", 5, 0.25, 0.25, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPath, err := NewPathQuery("raw",
+		coding.Config{Bits: 4, Mode: coding.ModeRaw, ValueBits: 16, Layering: coding.MultiLayer(5, true)},
+		1, master, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastPath, err := NewPathQuery("fast",
+		coding.Config{Bits: 4, Mode: coding.ModeHashed, Layering: coding.MultiLayer(20, true), FastVectors: true},
+		1, master, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triple []Query
+	for i := 0; i < 3; i++ {
+		p, err := NewPathQuery(fmt.Sprintf("p%d", i),
+			coding.Config{Bits: 3, Mode: coding.ModeHashed, Layering: coding.Hybrid(6, 0.75)},
+			1, master, []uint64{1, 2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		triple = append(triple, p)
+	}
+	return map[string]*Engine{
+		"combined":    build(path, lat, util),
+		"freq+count":  build(freq, cnt),
+		"raw-path":    build(rawPath),
+		"fast-path":   build(fastPath),
+		"triple-path": build(triple[0], triple[1], triple[2]),
+		"multi-set":   build(lat, freq, cnt), // total mass < 1: unassigned packets
+	}
+}
+
+func parityBatch(seed uint64, n int) ([]PacketDigest, []HopValues) {
+	pkts := make([]PacketDigest, n)
+	vals := make([]HopValues, n)
+	s := hash.Seed(seed)
+	for i := range pkts {
+		u := uint64(i)
+		pkts[i] = PacketDigest{
+			Flow:    FlowKey(s.Hash2(u, 1) % 64),
+			PktID:   s.Hash2(u, 2),
+			PathLen: 1 + int(s.Hash2(u, 3)%8),
+		}
+		vals[i] = HopValues{
+			SwitchID:   1 + s.Hash2(u, 4)%5,
+			LatencyNs:  1 + s.Hash2(u, 5)%2000,
+			Util:       s.Hash2(u, 6) % 1500,
+			FreqValue:  s.Hash2(u, 7) % 64,
+			CountFired: s.Hash2(u, 8) & 1,
+		}
+	}
+	return pkts, vals
+}
+
+// TestEncodeHopBatchSoAParity drives the packet-major and op-major paths
+// over identical batches hop by hop and requires bit-identical packets —
+// digests *and* the set/layer caches — after every hop, for every plan
+// shape and for hops beyond the reservoir threshold table.
+func TestEncodeHopBatchSoAParity(t *testing.T) {
+	for name, eng := range parityPlans(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 15, 16, 17, 64, 301} {
+				scalar, vals := parityBatch(uint64(n)*977+7, n)
+				soa := append([]PacketDigest(nil), scalar...)
+				for _, hop := range []int{1, 2, 3, 4, 5, 64, 65, 66} {
+					eng.encodeHopBatchScalar(hop, scalar, vals)
+					eng.EncodeHopBatchSoA(hop, soa, vals)
+					for i := range scalar {
+						if scalar[i] != soa[i] {
+							t.Fatalf("n=%d hop=%d pkt %d diverged:\nscalar %+v\nsoa    %+v",
+								n, hop, i, scalar[i], soa[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEncodeHopBatchRouting pins that the public API gives the same
+// result whichever path the batch size routes it to.
+func TestEncodeHopBatchRouting(t *testing.T) {
+	eng := parityPlans(t)["combined"]
+	for _, n := range []int{soaMinBatch - 1, soaMinBatch, 200} {
+		api, vals := parityBatch(uint64(n), n)
+		ref := append([]PacketDigest(nil), api...)
+		for hop := 1; hop <= 5; hop++ {
+			eng.EncodeHopBatch(hop, api, vals)
+			eng.encodeHopBatchScalar(hop, ref, vals)
+		}
+		for i := range api {
+			if api[i] != ref[i] {
+				t.Fatalf("n=%d pkt %d: EncodeHopBatch %+v, scalar %+v", n, i, api[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestEncodeHopBatchShortValsPanics pins the documented bounds contract:
+// len(vals) < len(pkts) must panic up front on both routes, before any
+// packet is mutated.
+func TestEncodeHopBatchShortValsPanics(t *testing.T) {
+	eng := parityPlans(t)["combined"]
+	for _, n := range []int{2, soaMinBatch + 4} {
+		pkts, vals := parityBatch(3, n)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d: short vals did not panic", n)
+				}
+			}()
+			eng.EncodeHopBatch(1, pkts, vals[:n-1])
+		}()
+		for i := range pkts {
+			if pkts[i].Digest != 0 || pkts[i].set != 0 {
+				t.Fatalf("n=%d: packet %d mutated before bounds panic: %+v", n, i, pkts[i])
+			}
+		}
+	}
+}
+
+// FuzzEncodeBatchParity is the differential-fuzz safety net of the
+// op-major rewrite: arbitrary bytes pick a plan, a batch, and a hop
+// sequence, and the scalar and SoA paths must agree bit for bit.
+func FuzzEncodeBatchParity(f *testing.F) {
+	f.Add(uint8(0), uint64(1), []byte("pint"))
+	f.Add(uint8(1), uint64(0xF16), make([]byte, 25*24))
+	f.Add(uint8(3), ^uint64(0), []byte("\x01\x02\x03\x04\x05\x06\x07\x08kernels-soa-parity-seed!"))
+	f.Add(uint8(5), uint64(42), []byte("{\xff\x00AA\x10zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz}"))
+
+	var plans []*Engine
+	names := []string{"combined", "freq+count", "raw-path", "fast-path", "triple-path", "multi-set"}
+	built := parityPlans(f)
+	for _, name := range names {
+		plans = append(plans, built[name])
+	}
+
+	f.Fuzz(func(t *testing.T, planSel uint8, seed uint64, data []byte) {
+		eng := plans[int(planSel)%len(plans)]
+		n := len(data)/8 + 1
+		if n > 300 {
+			n = 300
+		}
+		scalar, vals := parityBatch(seed, n)
+		// Overlay fuzz bytes so the batch isn't purely hash-shaped:
+		// adversarial pktIDs/values directly from the corpus.
+		for i := 0; i+8 <= len(data) && i/8 < n; i += 8 {
+			v := binary.LittleEndian.Uint64(data[i:])
+			switch (i / 8) % 3 {
+			case 0:
+				scalar[i/8].PktID = v
+			case 1:
+				vals[i/8].Util = v
+			case 2:
+				vals[i/8].LatencyNs = v
+			}
+		}
+		soa := append([]PacketDigest(nil), scalar...)
+		hops := []int{1, 2, 3, 1 + int(seed%70)}
+		for _, hop := range hops {
+			eng.encodeHopBatchScalar(hop, scalar, vals)
+			eng.EncodeHopBatchSoA(hop, soa, vals)
+			for i := range scalar {
+				if scalar[i] != soa[i] {
+					t.Fatalf("hop=%d pkt %d diverged:\nscalar %+v\nsoa    %+v", hop, i, scalar[i], soa[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package hash
+
+import "testing"
+
+// TestActHashColumnMatchesScalar pins the column helper to the scalar
+// act-decision hash and to every decision built on it.
+func TestActHashColumnMatchesScalar(t *testing.T) {
+	g := NewGlobal(Seed(0xC01))
+	const n = 131
+	pkts := make([]uint64, n)
+	for i := range pkts {
+		pkts[i] = Seed(7).Hash1(uint64(i))
+	}
+	h := make([]uint64, n)
+	for _, hop := range []int{1, 2, 3, 5, 17, 64, 65, 1000} {
+		g.ActHashColumn(h, pkts, uint64(hop))
+		thr := ReservoirThreshold(hop)
+		for i, pkt := range pkts {
+			if want := g.g.Hash2(pkt, uint64(hop)); h[i] != want {
+				t.Fatalf("hop %d pkt %#x: column hash %#x, want %#x", hop, pkt, h[i], want)
+			}
+			wantWrite := g.ReservoirWrites(pkt, hop)
+			gotWrite := hop <= 1 || h[i] < thr
+			if wantWrite != gotWrite {
+				t.Fatalf("hop %d pkt %#x: column reservoir %v, scalar %v", hop, pkt, gotWrite, wantWrite)
+			}
+		}
+	}
+}
+
+// TestValueDigestColumnsMatchScalar pins both value-hash column shapes.
+func TestValueDigestColumnsMatchScalar(t *testing.T) {
+	g := NewGlobal(Seed(0xC02))
+	const n = 67
+	pkts := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range pkts {
+		pkts[i] = Seed(11).Hash1(uint64(i))
+		vals[i] = Seed(13).Hash1(uint64(i))
+	}
+	dst := make([]uint64, n)
+	for _, b := range []int{0, 1, 4, 8, 33, 63, 64} {
+		g.ValueDigestColumn(dst, vals, pkts, b)
+		for i := range dst {
+			if want := g.ValueDigest(vals[i], pkts[i], b); dst[i] != want {
+				t.Fatalf("b=%d i=%d: column %#x, want %#x", b, i, dst[i], want)
+			}
+		}
+	}
+	for _, salt := range []uint64{0, 1, 5, 1 << 40} {
+		g.ValueDigestFixedColumn(dst, pkts, salt)
+		for i := range dst {
+			if want := g.ValueDigest(salt, pkts[i], 64); dst[i] != want {
+				t.Fatalf("salt=%d i=%d: column %#x, want %#x", salt, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestReservoirThresholdBounds pins the exported threshold at the table
+// boundary and in the Below fallback range.
+func TestReservoirThresholdBounds(t *testing.T) {
+	if got := ReservoirThreshold(0); got != ^uint64(0) {
+		t.Fatalf("hop 0 threshold %#x, want saturation", got)
+	}
+	if got := ReservoirThreshold(1); got != ^uint64(0) {
+		t.Fatalf("hop 1 threshold %#x, want saturation", got)
+	}
+	for _, hop := range []int{2, 3, 64, 65, 66, 4096} {
+		thr := ReservoirThreshold(hop)
+		if want := Threshold(1 / float64(hop)); thr != want {
+			t.Fatalf("hop %d threshold %#x, want %#x", hop, thr, want)
+		}
+		if thr == 0 || thr == ^uint64(0) {
+			t.Fatalf("hop %d threshold %#x degenerate", hop, thr)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package kernels holds the columnar primitives behind the op-major
+// encode hot path: batch evaluations of the splitmix64-style global hash
+// family over flat []uint64 columns.
+//
+// The package sits *below* internal/hash in the dependency order (hash's
+// column helpers call into it), so the mixing constants are duplicated
+// here; an equivalence test asserts every kernel agrees bit-for-bit with
+// the scalar reference in internal/hash for all input lengths, including
+// the vector-width tails.
+//
+// Each kernel has two implementations selected at build time:
+//
+//   - *_generic: portable Go loops, compiled everywhere, and the only
+//     implementation under the `purego` build tag;
+//   - *_amd64.s: AVX2 four-lane variants, compiled only when the target
+//     guarantees AVX2 at build time (GOAMD64=v3 or higher), so no runtime
+//     CPU feature detection is needed.
+//
+// The dispatch rule is deliberately boring: a kernel wrapper peels the
+// largest multiple of the vector width through the asm body and finishes
+// the tail with the same scalar loop the generic build uses. Adding a
+// kernel means adding the scalar loop here, the asm body plus wrapper in
+// the _amd64 files, and a row in the equivalence test.
+package kernels
+
+// Mixing constants of the splitmix64 family — must match internal/hash
+// (asserted by TestKernelConstantsMatchHash).
+const (
+	golden = 0x9e3779b97f4a7c15
+	mixA   = 0xbf58476d1ce4e5b9
+	mixB   = 0x94d049bb133111eb
+)
+
+// blockLanes is the number of 64-bit lanes one vector iteration handles.
+const blockLanes = 4
+
+// mix64 is the splitmix64 finalizer (identical to hash.Mix64).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= mixA
+	x ^= x >> 27
+	x *= mixB
+	x ^= x >> 31
+	return x
+}
+
+// HashPktHop fills dst[i] = Hash2(seed; pkt[i], hop): the act-decision
+// hash g(pkt, hop) with the hop argument loop-invariant — the shape of
+// every reservoir/act column in the encode hot path. dst and pkt must
+// have equal length.
+func HashPktHop(dst, pkt []uint64, seed, hop uint64) {
+	if len(dst) != len(pkt) {
+		panic("kernels: HashPktHop column length mismatch")
+	}
+	hashPktHop(dst, pkt, seed^golden, hop*mixA+2)
+}
+
+// Hash2Prefix returns the first-round state of Hash2(seed; a, ·), i.e.
+// Mix64((seed^golden) ^ (a·golden+1)). Callers with a fixed first
+// argument hoist it once and stream the second argument through
+// HashFixedA.
+func Hash2Prefix(seed, a uint64) uint64 {
+	return mix64((seed ^ golden) ^ (a*golden + 1))
+}
+
+// HashFixedA fills dst[i] = Hash2(seed; a, b[i]) given the hoisted
+// prefix h1 = Hash2Prefix(seed, a). dst and b must have equal length.
+func HashFixedA(dst, b []uint64, h1 uint64) {
+	if len(dst) != len(b) {
+		panic("kernels: HashFixedA column length mismatch")
+	}
+	hashFixedA(dst, b, h1)
+}
+
+// Hash2Cols fills dst[i] = Hash2(seed; a[i], b[i]): the value-hash shape
+// h(value, pkt) of payload columns. dst, a, and b must have equal length.
+func Hash2Cols(dst, a, b []uint64, seed uint64) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic("kernels: Hash2Cols column length mismatch")
+	}
+	hash2Cols(dst, a, b, seed^golden)
+}
+
+// hashPktHopScalar is the scalar reference body: x = seed^golden and
+// hb = hop·mixA+2 are the caller-hoisted loop invariants.
+func hashPktHopScalar(dst, pkt []uint64, x, hb uint64) {
+	for i, p := range pkt {
+		dst[i] = mix64(mix64(x^(p*golden+1)) ^ hb)
+	}
+}
+
+func hashFixedAScalar(dst, b []uint64, h1 uint64) {
+	for i, v := range b {
+		dst[i] = mix64(h1 ^ (v*mixA + 2))
+	}
+}
+
+func hash2ColsScalar(dst, a, b []uint64, x uint64) {
+	for i := range dst {
+		dst[i] = mix64(mix64(x^(a[i]*golden+1)) ^ (b[i]*mixA + 2))
+	}
+}

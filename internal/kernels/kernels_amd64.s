@@ -1,0 +1,163 @@
+//go:build amd64 && amd64.v3 && !purego
+
+#include "textflag.h"
+
+// AVX2 bodies of the splitmix64 column kernels, four 64-bit lanes per
+// iteration. Wrappers in kernels_amd64.go guarantee n > 0 and n % 4 == 0
+// and run the tail through the shared scalar loops.
+//
+// Register plan (fixed across all three kernels):
+//   Y0/Y1  golden / golden with dword halves swapped
+//   Y2/Y3  mixA   / swapped
+//   Y4/Y5  mixB   / swapped
+//   Y6     qword 1 broadcast
+//   Y7     qword 2 broadcast
+//   Y8     seed-derived invariant (x or h1)
+//   Y9     second invariant (hb)
+//   Y10    lane accumulator V
+//   Y11    second input column W
+//   Y12-14 temporaries
+//   X15    scratch for GPR->YMM broadcasts
+
+#define YG   Y0
+#define YGS  Y1
+#define YA   Y2
+#define YAS  Y3
+#define YB   Y4
+#define YBS  Y5
+#define YK1  Y6
+#define YK2  Y7
+#define YX   Y8
+#define YHB  Y9
+#define RV   Y10
+#define RW   Y11
+#define RT1  Y12
+#define RT2  Y13
+#define RT3  Y14
+
+// BCASTQ broadcasts a 64-bit immediate or GPR value into every lane of
+// YREG via the X15 scratch lane.
+#define BCASTQ(val, YREG) \
+	MOVQ         val, AX; \
+	VMOVQ        AX, X15; \
+	VPBROADCASTQ X15, YREG
+
+// MUL64 computes V *= c lane-wise for a broadcast constant c, where C
+// holds c and CS holds c with the 32-bit halves of each lane swapped.
+// AVX2 has no VPMULLQ, so build it from 32-bit products:
+//   lo64(v*c) = lo32(v)*lo32(c) + ((lo32(v)*hi32(c) + hi32(v)*lo32(c)) << 32)
+#define MUL64(V, C, CS, T1, T2) \
+	VPMULLD  CS, V, T1; \
+	VPSRLQ   $32, T1, T2; \
+	VPADDD   T2, T1, T1; \
+	VPSLLQ   $32, T1, T1; \
+	VPMULUDQ C, V, V; \
+	VPADDQ   T1, V, V
+
+// MIX64 applies the splitmix64 finalizer to each lane of V.
+#define MIX64(V, T1, T2, T3) \
+	VPSRLQ $30, V, T3; \
+	VPXOR  T3, V, V; \
+	MUL64(V, YA, YAS, T1, T2); \
+	VPSRLQ $27, V, T3; \
+	VPXOR  T3, V, V; \
+	MUL64(V, YB, YBS, T1, T2); \
+	VPSRLQ $31, V, T3; \
+	VPXOR  T3, V, V
+
+// LOADMIXCONSTS materializes the mixA/mixB multiplier lanes MIX64 needs.
+#define LOADMIXCONSTS \
+	BCASTQ($0xbf58476d1ce4e5b9, YA); \
+	VPSHUFD $0xB1, YA, YAS; \
+	BCASTQ($0x94d049bb133111eb, YB); \
+	VPSHUFD $0xB1, YB, YBS
+
+// LOADGOLDEN materializes the golden-ratio multiplier lanes.
+#define LOADGOLDEN \
+	BCASTQ($0x9e3779b97f4a7c15, YG); \
+	VPSHUFD $0xB1, YG, YGS
+
+// func hashPktHopAVX2(dst, pkt *uint64, n uint64, x, hb uint64)
+// dst[i] = mix64(mix64(x ^ (pkt[i]*golden + 1)) ^ hb)
+TEXT ·hashPktHopAVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ pkt+8(FP), SI
+	MOVQ n+16(FP), CX
+	LOADGOLDEN
+	LOADMIXCONSTS
+	BCASTQ($1, YK1)
+	BCASTQ(x+24(FP), YX)
+	BCASTQ(hb+32(FP), YHB)
+
+pktloop:
+	VMOVDQU (SI), RV
+	MUL64(RV, YG, YGS, RT1, RT2)
+	VPADDQ  YK1, RV, RV
+	VPXOR   YX, RV, RV
+	MIX64(RV, RT1, RT2, RT3)
+	VPXOR   YHB, RV, RV
+	MIX64(RV, RT1, RT2, RT3)
+	VMOVDQU RV, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $4, CX
+	JNZ     pktloop
+	VZEROUPPER
+	RET
+
+// func hashFixedAAVX2(dst, b *uint64, n uint64, h1 uint64)
+// dst[i] = mix64(h1 ^ (b[i]*mixA + 2))
+TEXT ·hashFixedAAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ n+16(FP), CX
+	LOADMIXCONSTS
+	BCASTQ($2, YK2)
+	BCASTQ(h1+24(FP), YX)
+
+fixaloop:
+	VMOVDQU (SI), RV
+	MUL64(RV, YA, YAS, RT1, RT2)
+	VPADDQ  YK2, RV, RV
+	VPXOR   YX, RV, RV
+	MIX64(RV, RT1, RT2, RT3)
+	VMOVDQU RV, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $4, CX
+	JNZ     fixaloop
+	VZEROUPPER
+	RET
+
+// func hash2ColsAVX2(dst, a, b *uint64, n uint64, x uint64)
+// dst[i] = mix64(mix64(x ^ (a[i]*golden + 1)) ^ (b[i]*mixA + 2))
+TEXT ·hash2ColsAVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+	LOADGOLDEN
+	LOADMIXCONSTS
+	BCASTQ($1, YK1)
+	BCASTQ($2, YK2)
+	BCASTQ(x+32(FP), YX)
+
+colsloop:
+	VMOVDQU (SI), RV
+	VMOVDQU (DX), RW
+	MUL64(RV, YG, YGS, RT1, RT2)
+	VPADDQ  YK1, RV, RV
+	VPXOR   YX, RV, RV
+	MIX64(RV, RT1, RT2, RT3)
+	MUL64(RW, YA, YAS, RT1, RT2)
+	VPADDQ  YK2, RW, RW
+	VPXOR   RW, RV, RV
+	MIX64(RV, RT1, RT2, RT3)
+	VMOVDQU RV, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	SUBQ    $4, CX
+	JNZ     colsloop
+	VZEROUPPER
+	RET

@@ -200,9 +200,38 @@ func (s *Sink) Record(flow core.FlowKey, k int, pktID, digest uint64) {
 // concurrently with itself, Record, Flush, or Close (one ingester thread,
 // many worker threads — the paper's sink is likewise a single tap point).
 // Snapshot, by contrast, may run concurrently from any goroutine.
+//
+// The loop is the collector's per-packet toll, so the closed check is
+// hoisted out of it and the single-shard layout (where routing is the
+// identity) skips the per-packet flow hash entirely, moving the batch in
+// buffer-sized copies.
 func (s *Sink) Ingest(batch []core.PacketDigest) {
+	if len(batch) == 0 {
+		return
+	}
+	if s.closed {
+		panic("pipeline: Ingest after Close")
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		for len(batch) > 0 {
+			n := copy(sh.buf[len(sh.buf):cap(sh.buf)], batch)
+			sh.buf = sh.buf[:len(sh.buf)+n]
+			batch = batch[n:]
+			if len(sh.buf) == cap(sh.buf) {
+				sh.dispatch(s.cfg.OnStall)
+			}
+		}
+		return
+	}
+	shards := s.shards
+	mod := uint64(len(shards))
 	for i := range batch {
-		s.ingestOne(batch[i])
+		sh := shards[hash.Mix64(uint64(batch[i].Flow))%mod]
+		sh.buf = append(sh.buf, batch[i])
+		if len(sh.buf) == cap(sh.buf) {
+			sh.dispatch(s.cfg.OnStall)
+		}
 	}
 }
 

@@ -1,0 +1,376 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// This file pins the bulk codec (two-pass sized marshal, fast-path
+// unmarshal, single-buffer frame marshal) to byte-at-a-time reference
+// implementations of the same format — the simplest possible encoders,
+// kept here so the hot-path rewrite can never drift from the format
+// definition without a test or the fuzzer noticing.
+
+// referenceMarshal is the pre-bulk encoder: amortized appends via
+// binary.AppendVarint, one field at a time.
+func referenceMarshal(dst []byte, batch []core.PacketDigest) ([]byte, error) {
+	dst = append(dst, magic[0], magic[1], Version)
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	var prevFlow, prevID uint64
+	var prevLen int
+	for i := range batch {
+		p := &batch[i]
+		if p.PathLen < 1 || p.PathLen > MaxPathLen {
+			return nil, fmt.Errorf("wire: packet %d has path length %d outside [1, %d]",
+				i, p.PathLen, MaxPathLen)
+		}
+		dst = binary.AppendVarint(dst, int64(uint64(p.Flow)-prevFlow))
+		dst = binary.AppendVarint(dst, int64(p.PktID-prevID))
+		dst = binary.AppendVarint(dst, int64(p.PathLen-prevLen))
+		dst = binary.AppendUvarint(dst, p.Digest)
+		prevFlow, prevID, prevLen = uint64(p.Flow), p.PktID, p.PathLen
+	}
+	return dst, nil
+}
+
+// referenceUnmarshal is the pre-bulk decoder: every varint through the
+// strict generic reader, no inline fast path.
+func referenceUnmarshal(data []byte) ([]core.PacketDigest, error) {
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("wire: %d-byte input shorter than the %d-byte header", len(data), headerLen)
+	}
+	if data[0] != magic[0] || data[1] != magic[1] {
+		return nil, fmt.Errorf("wire: bad magic %#02x%02x", data[0], data[1])
+	}
+	if data[2] != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d (have %d)", data[2], Version)
+	}
+	rest := data[3:]
+	count, n, err := uvarint(rest)
+	if err != nil {
+		return nil, fmt.Errorf("wire: batch count: %w", err)
+	}
+	rest = rest[n:]
+	if count > uint64(len(rest)/minRecordLen) {
+		return nil, fmt.Errorf("wire: count %d exceeds the %d remaining bytes", count, len(rest))
+	}
+	out := make([]core.PacketDigest, 0, count)
+	var prevFlow, prevID uint64
+	var prevLen int64
+	for i := uint64(0); i < count; i++ {
+		dFlow, n, err := varint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: packet %d flow: %w", i, err)
+		}
+		rest = rest[n:]
+		dID, n, err := varint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: packet %d id: %w", i, err)
+		}
+		rest = rest[n:]
+		dLen, n, err := varint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: packet %d path length: %w", i, err)
+		}
+		rest = rest[n:]
+		digest, n, err := uvarint(rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: packet %d digest: %w", i, err)
+		}
+		rest = rest[n:]
+		prevFlow += uint64(dFlow)
+		prevID += uint64(dID)
+		prevLen += dLen
+		if prevLen < 1 || prevLen > MaxPathLen {
+			return nil, fmt.Errorf("wire: packet %d path length %d outside [1, %d]", i, prevLen, MaxPathLen)
+		}
+		out = append(out, core.PacketDigest{
+			Flow:    core.FlowKey(prevFlow),
+			PktID:   prevID,
+			PathLen: int(prevLen),
+			Digest:  digest,
+		})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after the last record", len(rest))
+	}
+	return out, nil
+}
+
+// adversarialBatch exercises every varint width: maximal fields, sign
+// flips between consecutive records (full-width negative deltas), and
+// tiny values that hit the 1- and 2-byte fast paths.
+func adversarialBatch() []core.PacketDigest {
+	return []core.PacketDigest{
+		{Flow: ^core.FlowKey(0), PktID: ^uint64(0), PathLen: MaxPathLen, Digest: ^uint64(0)},
+		{Flow: 0, PktID: 0, PathLen: 1, Digest: 0},
+		{Flow: 1 << 63, PktID: 1<<63 - 1, PathLen: 64, Digest: 1 << 62},
+		{Flow: 127, PktID: 128, PathLen: 2, Digest: 16383},
+		{Flow: 128, PktID: 16384, PathLen: 3, Digest: 16384},
+		{Flow: ^core.FlowKey(0) - 5, PktID: 3, PathLen: 1, Digest: 0x5555555555555555},
+	}
+}
+
+// TestBulkMarshalBitIdentical pins the two-pass encoder to the reference
+// byte for byte, including sizes that cross the count-varint width and
+// records needing every delta width.
+func TestBulkMarshalBitIdentical(t *testing.T) {
+	batches := map[string][]core.PacketDigest{
+		"empty":       nil,
+		"one":         sampleBatch(1),
+		"small":       sampleBatch(7),
+		"count2byte":  sampleBatch(300),
+		"large":       sampleBatch(4096),
+		"adversarial": adversarialBatch(),
+	}
+	for name, batch := range batches {
+		got, err := Marshal(batch)
+		if err != nil {
+			t.Fatalf("%s: bulk marshal: %v", name, err)
+		}
+		want, err := referenceMarshal(nil, batch)
+		if err != nil {
+			t.Fatalf("%s: reference marshal: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: bulk encoding differs from reference:\nbulk %x\nref  %x", name, got, want)
+		}
+		back, err := Unmarshal(got)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		for i := range batch {
+			if back[i] != batch[i] {
+				t.Fatalf("%s: packet %d = %+v, want %+v", name, i, back[i], batch[i])
+			}
+		}
+	}
+}
+
+// TestAppendMarshalRecycledBuffers pins the single-reservation grow logic
+// on every buffer shape a recycling caller hands in: spare capacity (no
+// grow, prefix kept), exact-fit capacity (no grow, fully used), and a
+// short buffer (one grow, prefix kept).
+func TestAppendMarshalRecycledBuffers(t *testing.T) {
+	batch := sampleBatch(100)
+	flat, err := Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("spare-capacity", func(t *testing.T) {
+		dst := make([]byte, 0, len(flat)+512)
+		dst = append(dst, 0xAA, 0xBB)
+		out, err := AppendMarshal(dst, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &out[0] != &dst[0] {
+			t.Fatal("spare-capacity append reallocated")
+		}
+		if out[0] != 0xAA || out[1] != 0xBB {
+			t.Fatal("prefix bytes clobbered")
+		}
+		if !bytes.Equal(out[2:], flat) {
+			t.Fatal("payload after prefix differs from flat marshal")
+		}
+	})
+
+	t.Run("exact-fit", func(t *testing.T) {
+		dst := make([]byte, 0, len(flat))
+		out, err := AppendMarshal(dst, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &out[0] != &dst[:1][0] {
+			t.Fatal("exact-fit append reallocated")
+		}
+		if len(out) != cap(dst) {
+			t.Fatalf("exact-fit used %d of %d bytes", len(out), cap(dst))
+		}
+		if !bytes.Equal(out, flat) {
+			t.Fatal("exact-fit payload differs from flat marshal")
+		}
+	})
+
+	t.Run("short-grows-once", func(t *testing.T) {
+		dst := append(make([]byte, 0, 4), 0xCC)
+		out, err := AppendMarshal(dst, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != 0xCC {
+			t.Fatal("prefix byte lost across the grow")
+		}
+		if !bytes.Equal(out[1:], flat) {
+			t.Fatal("grown payload differs from flat marshal")
+		}
+	})
+}
+
+// TestRoundtripAliasedDst decodes into the input batch's own backing
+// array — Roundtrip(batch[:0], buf, batch) — which is legal because the
+// marshal pass completes into buf before the decode pass writes a byte.
+func TestRoundtripAliasedDst(t *testing.T) {
+	batch := sampleBatch(64)
+	want := append([]core.PacketDigest(nil), batch...)
+	got, _, err := Roundtrip(batch[:0], nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("aliased roundtrip returned %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aliased packet %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAppendMarshalFrame pins the one-pass frame builder: its output must
+// be exactly AppendFrame(AppendMarshal(...)), decodable by DecodeFrame,
+// prefix-preserving, zero-alloc at steady state, and nil on marshal error.
+func TestAppendMarshalFrame(t *testing.T) {
+	batch := sampleBatch(256)
+	payload, err := Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AppendFrame(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame, err := AppendMarshalFrame(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame differs from AppendFrame over AppendMarshal:\ngot  %x\nwant %x", frame, want)
+	}
+	gotPayload, rest, err := DecodeFrame(frame, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 || !bytes.Equal(gotPayload, payload) {
+		t.Fatal("frame payload does not round-trip through DecodeFrame")
+	}
+
+	withPrefix, err := AppendMarshalFrame([]byte{1, 2, 3}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withPrefix[:3], []byte{1, 2, 3}) || !bytes.Equal(withPrefix[3:], want) {
+		t.Fatal("prefix not preserved by AppendMarshalFrame")
+	}
+
+	buf := frame
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = AppendMarshalFrame(buf[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AppendMarshalFrame allocates %.0f times per run, want 0", allocs)
+	}
+
+	if out, err := AppendMarshalFrame(nil, []core.PacketDigest{{PathLen: 0}}); err == nil || out != nil {
+		t.Fatal("bad PathLen did not error with a nil slice")
+	}
+}
+
+// fuzzBatch builds a marshal-direction batch from raw fuzz bytes: 25-byte
+// chunks become (flow, pktID, digest, pathLen) with pathLen forced valid.
+func fuzzBatch(data []byte) []core.PacketDigest {
+	var batch []core.PacketDigest
+	for i := 0; i+25 <= len(data) && len(batch) < 512; i += 25 {
+		batch = append(batch, core.PacketDigest{
+			Flow:    core.FlowKey(binary.LittleEndian.Uint64(data[i:])),
+			PktID:   binary.LittleEndian.Uint64(data[i+8:]),
+			Digest:  binary.LittleEndian.Uint64(data[i+16:]),
+			PathLen: 1 + int(data[i+24]%MaxPathLen),
+		})
+	}
+	return batch
+}
+
+// FuzzMarshalParity is the wire half of the differential-fuzz safety net:
+// arbitrary bytes drive both decoders (bulk fast-path vs byte-at-a-time
+// reference) which must agree on packets, error presence, and error text;
+// on success both encoders re-marshal bit-identically, and the same bytes
+// reinterpreted as packet fields must marshal bit-identically through
+// both encoders and the one-pass frame builder.
+func FuzzMarshalParity(f *testing.F) {
+	addBatch := func(batch []core.PacketDigest) {
+		data, err := Marshal(batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	addBatch(sampleBatch(40))
+	addBatch(adversarialBatch())
+	f.Add([]byte{'P', 'D', Version, 1, 0x80, 0x01, 0x80, 0x00, 2, 0})
+	f.Add([]byte{'P', 'D', Version, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0x91}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fast, fastErr := Unmarshal(data)
+		ref, refErr := referenceUnmarshal(data)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("decoder disagreement: fast err %v, reference err %v", fastErr, refErr)
+		}
+		if fastErr != nil {
+			if fastErr.Error() != refErr.Error() {
+				t.Fatalf("error text diverged:\nfast %q\nref  %q", fastErr, refErr)
+			}
+		} else {
+			if len(fast) != len(ref) {
+				t.Fatalf("fast decoded %d packets, reference %d", len(fast), len(ref))
+			}
+			for i := range ref {
+				if fast[i] != ref[i] {
+					t.Fatalf("packet %d: fast %+v, reference %+v", i, fast[i], ref[i])
+				}
+			}
+			again, err := Marshal(fast)
+			if err != nil {
+				t.Fatalf("re-marshal of a decoded batch failed: %v", err)
+			}
+			refAgain, err := referenceMarshal(nil, ref)
+			if err != nil {
+				t.Fatalf("reference re-marshal failed: %v", err)
+			}
+			if !bytes.Equal(again, refAgain) || !bytes.Equal(again, data) {
+				t.Fatalf("re-marshal not canonical:\nin   %x\nbulk %x\nref  %x", data, again, refAgain)
+			}
+		}
+
+		batch := fuzzBatch(data)
+		bulk, err := Marshal(batch)
+		if err != nil {
+			t.Fatalf("bulk marshal of a valid batch failed: %v", err)
+		}
+		refBytes, err := referenceMarshal(nil, batch)
+		if err != nil {
+			t.Fatalf("reference marshal of a valid batch failed: %v", err)
+		}
+		if !bytes.Equal(bulk, refBytes) {
+			t.Fatalf("marshal diverged:\nbulk %x\nref  %x", bulk, refBytes)
+		}
+		frame, err := AppendMarshalFrame(nil, batch)
+		if err != nil {
+			t.Fatalf("frame marshal failed: %v", err)
+		}
+		if !bytes.Equal(frame[FrameHeaderLen:], bulk) {
+			t.Fatal("frame payload differs from bulk marshal")
+		}
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"repro/internal/core"
 )
 
 // This file is the stream layer of the wire format: how marshaled digest
@@ -75,6 +77,30 @@ func AppendFrame(dst, payload []byte) ([]byte, error) {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
 	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
 	return append(dst, payload...), nil
+}
+
+// AppendMarshalFrame appends one frame whose payload is the marshaled
+// batch — header, payload, and checksum built in dst in a single pass,
+// with no intermediate payload buffer or copy (the allocation AppendFrame
+// over a separate AppendMarshal buffer cannot avoid). It reserves the
+// 8-byte header, marshals the batch in place after it, then backfills the
+// length and the CRC-32C of the payload bytes where they already sit.
+// On error dst is returned nil and unsent, like AppendMarshal.
+func AppendMarshalFrame(dst []byte, batch []core.PacketDigest) ([]byte, error) {
+	start := len(dst)
+	var header [FrameHeaderLen]byte
+	out, err := AppendMarshal(append(dst, header[:]...), batch)
+	if err != nil {
+		return nil, err
+	}
+	payload := out[start+FrameHeaderLen:]
+	if len(payload) > DefaultMaxFramePayload {
+		return nil, fmt.Errorf("wire: frame payload %d bytes above cap %d",
+			len(payload), DefaultMaxFramePayload)
+	}
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[start+4:], crc32.Checksum(payload, crcTable))
+	return out, nil
 }
 
 // DecodeFrame decodes the first frame of data, returning its payload

@@ -36,6 +36,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 )
@@ -64,10 +65,16 @@ func Marshal(batch []core.PacketDigest) ([]byte, error) {
 }
 
 // AppendMarshal appends the encoding of batch to dst (which may be nil or
-// a reused buffer's dst[:0]) and returns the extended slice.
+// a reused buffer's dst[:0]) and returns the extended slice. On error dst
+// is not extended (nil is returned) and no bytes were written.
+//
+// The encoder is a two-pass bulk codec: pass one validates every PathLen
+// and sums the exact varint lengths of all four delta columns, pass two
+// makes a single capacity reservation and writes byte offsets directly.
+// One grow per batch instead of amortized appends, and the common 1- and
+// 2-byte varints take a branch-free-size fast path in putUvarint.
 func AppendMarshal(dst []byte, batch []core.PacketDigest) ([]byte, error) {
-	dst = append(dst, magic[0], magic[1], Version)
-	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	need := 3 + uvarintLen(uint64(len(batch)))
 	var prevFlow, prevID uint64
 	var prevLen int
 	for i := range batch {
@@ -76,13 +83,64 @@ func AppendMarshal(dst []byte, batch []core.PacketDigest) ([]byte, error) {
 			return nil, fmt.Errorf("wire: packet %d has path length %d outside [1, %d]",
 				i, p.PathLen, MaxPathLen)
 		}
-		dst = binary.AppendVarint(dst, int64(uint64(p.Flow)-prevFlow))
-		dst = binary.AppendVarint(dst, int64(p.PktID-prevID))
-		dst = binary.AppendVarint(dst, int64(p.PathLen-prevLen))
-		dst = binary.AppendUvarint(dst, p.Digest)
+		need += uvarintLen(zigzag(int64(uint64(p.Flow)-prevFlow))) +
+			uvarintLen(zigzag(int64(p.PktID-prevID))) +
+			uvarintLen(zigzag(int64(p.PathLen-prevLen))) +
+			uvarintLen(p.Digest)
 		prevFlow, prevID, prevLen = uint64(p.Flow), p.PktID, p.PathLen
 	}
-	return dst, nil
+	w := len(dst)
+	if cap(dst)-w < need {
+		grown := make([]byte, w, w+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst[:w+need]
+	out[w], out[w+1], out[w+2] = magic[0], magic[1], Version
+	w = putUvarint(out, w+3, uint64(len(batch)))
+	prevFlow, prevID, prevLen = 0, 0, 0
+	for i := range batch {
+		p := &batch[i]
+		w = putUvarint(out, w, zigzag(int64(uint64(p.Flow)-prevFlow)))
+		w = putUvarint(out, w, zigzag(int64(p.PktID-prevID)))
+		w = putUvarint(out, w, zigzag(int64(p.PathLen-prevLen)))
+		w = putUvarint(out, w, p.Digest)
+		prevFlow, prevID, prevLen = uint64(p.Flow), p.PktID, p.PathLen
+	}
+	return out, nil
+}
+
+// uvarintLen is the exact encoded size of x: one byte per started 7-bit
+// group (x|1 makes zero cost one byte).
+func uvarintLen(x uint64) int {
+	return (bits.Len64(x|1) + 6) / 7
+}
+
+// zigzag maps a signed delta to binary.AppendVarint's unsigned form.
+func zigzag(x int64) uint64 {
+	return uint64(x)<<1 ^ uint64(x>>63)
+}
+
+// putUvarint writes x at out[i] and returns the next write offset. The
+// caller has already reserved uvarintLen(x) bytes, so the 1- and 2-byte
+// encodings that dominate delta-coded sink streams write without a loop.
+func putUvarint(out []byte, i int, x uint64) int {
+	if x < 0x80 {
+		out[i] = byte(x)
+		return i + 1
+	}
+	if x < 0x4000 {
+		out[i] = byte(x) | 0x80
+		out[i+1] = byte(x >> 7)
+		return i + 2
+	}
+	for x >= 0x80 {
+		out[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	out[i] = byte(x)
+	return i + 1
 }
 
 // Unmarshal decodes a marshaled batch. On error the returned slice is nil.
@@ -137,22 +195,22 @@ func AppendUnmarshal(dst []core.PacketDigest, data []byte) ([]core.PacketDigest,
 	var prevFlow, prevID uint64
 	var prevLen int64
 	for i := uint64(0); i < count; i++ {
-		dFlow, n, err := varint(rest)
+		dFlow, n, err := varintFast(rest)
 		if err != nil {
 			return dst, fmt.Errorf("wire: packet %d flow: %w", i, err)
 		}
 		rest = rest[n:]
-		dID, n, err := varint(rest)
+		dID, n, err := varintFast(rest)
 		if err != nil {
 			return dst, fmt.Errorf("wire: packet %d id: %w", i, err)
 		}
 		rest = rest[n:]
-		dLen, n, err := varint(rest)
+		dLen, n, err := varintFast(rest)
 		if err != nil {
 			return dst, fmt.Errorf("wire: packet %d path length: %w", i, err)
 		}
 		rest = rest[n:]
-		digest, n, err := uvarint(rest)
+		digest, n, err := uvarintFast(rest)
 		if err != nil {
 			return dst, fmt.Errorf("wire: packet %d digest: %w", i, err)
 		}
@@ -196,6 +254,35 @@ func uvarint(b []byte) (uint64, int, error) {
 // varint reads one canonical zigzag varint.
 func varint(b []byte) (int64, int, error) {
 	u, n, err := uvarint(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), n, nil
+}
+
+// uvarintFast is uvarint with the decode-side fast path: 1- and 2-byte
+// encodings — the bulk of a delta-coded stream — decode inline without
+// touching binary.Uvarint's loop. Any longer, truncated, or non-minimal
+// input falls through to the strict generic reader, so the error strings
+// and acceptance set are exactly uvarint's.
+func uvarintFast(b []byte) (uint64, int, error) {
+	if len(b) >= 1 {
+		if b0 := b[0]; b0 < 0x80 {
+			return uint64(b0), 1, nil
+		} else if len(b) >= 2 {
+			// Second byte must terminate (< 0x80) and be nonzero (a zero
+			// continuation would be a non-minimal encoding).
+			if b1 := b[1]; b1-1 < 0x7f {
+				return uint64(b0&0x7f) | uint64(b1)<<7, 2, nil
+			}
+		}
+	}
+	return uvarint(b)
+}
+
+// varintFast reads one canonical zigzag varint via uvarintFast.
+func varintFast(b []byte) (int64, int, error) {
+	u, n, err := uvarintFast(b)
 	if err != nil {
 		return 0, 0, err
 	}
