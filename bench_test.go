@@ -17,6 +17,7 @@ import (
 	"repro/internal/hash"
 	"repro/internal/pipeline"
 	"repro/internal/scenario"
+	"repro/internal/segstore"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -518,6 +519,65 @@ func BenchmarkSinkIngest(b *testing.B) {
 				if err := sink.Close(); err != nil {
 					b.Fatal(err)
 				}
+			}
+			b.ReportMetric(float64(nPkts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
+		})
+	}
+}
+
+// BenchmarkSinkIngestDurable is BenchmarkSinkIngest with the persistence
+// writer attached: every batch is also framed, CRC'd, and appended to a
+// segment log (NoSync — the fsync cadence is the checkpoint's job, not
+// the hot path's). The delta against the plain shards=N rows is the total
+// durability tax on ingest throughput.
+func BenchmarkSinkIngestDurable(b *testing.B) {
+	eng, _ := benchCombinedPlan(b)
+	const (
+		nFlows = 256
+		nPkts  = 1 << 14
+	)
+	pkts := make([]core.PacketDigest, nPkts)
+	vals := make([]core.HopValues, nPkts)
+	for i := range pkts {
+		pkts[i] = core.PacketDigest{
+			Flow:    core.FlowKey(uint64(i%nFlows)*2654435761 + 1),
+			PktID:   hash.Mix64(uint64(i)),
+			PathLen: benchHops,
+		}
+		vals[i] = core.HopValues{SwitchID: 0xAB000007, LatencyNs: 12345, Util: 501}
+	}
+	for hop := 1; hop <= benchHops; hop++ {
+		eng.EncodeHopBatch(hop, pkts, vals)
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store, _, err := segstore.Open(b.TempDir(), segstore.Options{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink, err := pipeline.NewSink(eng, pipeline.Config{
+					Shards: shards, SketchItems: 32, Base: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := segstore.NewWriter(store, segstore.WriterOptions{})
+				sink.SetPersister(w)
+				b.StartTimer()
+				sink.Ingest(pkts)
+				if err := sink.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := store.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
 			}
 			b.ReportMetric(float64(nPkts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpkt/s")
 		})

@@ -11,6 +11,7 @@
 //	pintd -shards 8 -seed 3                  8 sink workers, seed-3 testbench plan
 //	pintd -grace 10s                         SIGTERM drain grace period
 //	pintd -pprof                             mount /debug/pprof/ on the HTTP address
+//	pintd -data-dir /var/lib/pint            durable segment log with crash recovery
 //
 // The daemon compiles the canonical testbench plan (collector.NewTestbench)
 // from -seed and -k; exporters must be compiled identically — the session
@@ -18,6 +19,13 @@
 // accepting, gives open sessions -grace to finish, flushes and barriers
 // the sink so every ingested packet is counted, prints final stats, and
 // exits 0.
+//
+// With -data-dir the daemon runs the durable tier (internal/segstore):
+// every ingested batch is appended to a crash-safe segment log before the
+// next checkpoint fsync, and on startup the daemon replays the log —
+// recovering from torn tails a SIGKILL left behind — before accepting
+// connections, so a restarted collector answers exactly like one that
+// never died.
 package main
 
 import (
@@ -47,6 +55,10 @@ func main() {
 	maxFrame := flag.Int("max-frame", 0, "frame payload cap in bytes (0 = 1 MiB default)")
 	epoch := flag.Uint64("epoch", 0, "cluster partitioning epoch (fleet members and exporters must match; 0 = standalone)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP address")
+	dataDir := flag.String("data-dir", "", "segment-log directory for durable storage ('' disables)")
+	ckptEvery := flag.Duration("checkpoint", time.Second, "durable checkpoint+fsync cadence (requires -data-dir)")
+	segBytes := flag.Int64("seg-bytes", 0, "segment rotation size in bytes (0 = 4 MiB default)")
+	retain := flag.Int("retain", 0, "sealed segments to keep; older ones are deleted (0 = keep all)")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
 	verbose := flag.Bool("v", false, "log per-session events")
 	flag.Parse()
@@ -56,14 +68,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("pintd: %v", err)
 	}
-	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{
+	pcfg := pipeline.Config{
 		Shards:     *shards,
 		BatchSize:  *batchSize,
 		QueueDepth: *queueDepth,
 		Base:       tb.Base,
-	})
-	if err != nil {
-		log.Fatalf("pintd: %v", err)
+	}
+	var sink *pipeline.Sink
+	var durable *collector.DurableSink
+	if *dataDir != "" {
+		durable, err = collector.OpenDurableSink(tb.Engine, tb.Queries(), pcfg, collector.DurableOptions{
+			DataDir:      *dataDir,
+			SegmentBytes: *segBytes,
+			MaxSegments:  *retain,
+		})
+		if err != nil {
+			log.Fatalf("pintd: %v", err)
+		}
+		rep := durable.Recovery
+		fmt.Printf("pintd: recovered: %d segments, %d blocks, %d packets replayed", rep.Segments, rep.Blocks, durable.Replayed)
+		if rep.TornBytes > 0 {
+			fmt.Printf(" (%d bytes torn tail cut from %s)", rep.TornBytes, rep.TornSegment)
+		}
+		fmt.Println()
+		sink = durable.Sink
+	} else {
+		sink, err = pipeline.NewSink(tb.Engine, pcfg)
+		if err != nil {
+			log.Fatalf("pintd: %v", err)
+		}
 	}
 	cfg := collector.Config{
 		Engine:          tb.Engine,
@@ -71,6 +104,8 @@ func main() {
 		Queries:         tb.Queries(),
 		MaxFramePayload: *maxFrame,
 		Epoch:           *epoch,
+		Durable:         durable,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -133,7 +168,11 @@ func main() {
 	st := srv.Stats()
 	snap := sink.Snapshot()
 	flows := snap.TrackedFlows()
-	if err := sink.Close(); err != nil {
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			log.Fatalf("pintd: durable: %v", err)
+		}
+	} else if err := sink.Close(); err != nil {
 		log.Fatalf("pintd: sink: %v", err)
 	}
 	fmt.Printf("pintd: drained: %d packets in %d frames from %d sessions (%d conn errors), %d flows tracked\n",

@@ -17,5 +17,10 @@
 // daemons behind a consistent-hash flow partitioner with epoch-fenced
 // sessions and a merging query frontend whose answers stay byte-identical
 // to a single collector, degrading to explicit partial results when
-// members die), and the scenario catalog.
+// members die), the durable storage tier (internal/segstore, enabled by
+// pintd -data-dir — a crash-safe segment log replayed before serving, so
+// a SIGKILLed-and-restarted collector answers bit-for-bit identically to
+// one that never crashed, modulo an explicitly-reported unflushed tail;
+// see README.md's "Durable storage" section for the segment format,
+// recovery guarantees, and retention knobs), and the scenario catalog.
 package repro

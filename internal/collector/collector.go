@@ -66,6 +66,16 @@ type Config struct {
 	// MaxFramePayload caps a frame's payload bytes (default
 	// wire.DefaultMaxFramePayload). Larger frames kill the connection.
 	MaxFramePayload int
+	// Durable, when non-nil, attaches the collector's durable tier (built
+	// with OpenDurableSink). Sink may be left nil — it defaults to
+	// Durable.Sink — and /snapshot gains the ?since=/?until= historical
+	// window parameters. The server owns the checkpoint cadence; the
+	// caller still owns DurableSink.Close after Shutdown.
+	Durable *DurableSink
+	// CheckpointEvery is the background checkpoint+fsync interval when
+	// Durable is set (default 1s; < 0 disables the background cadence —
+	// checkpoints then happen only at Shutdown or by explicit call).
+	CheckpointEvery time.Duration
 	// HandshakeTimeout bounds how long a new connection may take to
 	// present its Hello (default 10s), shedding dead or non-protocol
 	// connections.
@@ -113,6 +123,10 @@ type Server struct {
 	// barriered the sink; later callers wait on it so every Shutdown
 	// return means "the sink is queryable".
 	drained chan struct{}
+	// stopCkpt stops the background checkpoint goroutine (nil when the
+	// collector has no durable tier).
+	stopCkpt     chan struct{}
+	stopCkptOnce sync.Once
 
 	// ingestMu serializes sink ingestion across connection handlers: the
 	// sink has a single-ingester contract, and the paper's sink is
@@ -133,6 +147,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("collector: nil engine")
 	}
+	if cfg.Durable != nil {
+		if cfg.Sink == nil {
+			cfg.Sink = cfg.Durable.Sink
+		} else if cfg.Sink != cfg.Durable.Sink {
+			return nil, fmt.Errorf("collector: Sink differs from Durable.Sink")
+		}
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = time.Second
+		}
+	}
 	if cfg.Sink == nil {
 		return nil, fmt.Errorf("collector: nil sink")
 	}
@@ -142,12 +166,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		planHash: cfg.Engine.PlanHash(),
 		conns:    map[net.Conn]struct{}{},
 		drained:  make(chan struct{}),
-	}, nil
+	}
+	if cfg.Durable != nil && cfg.CheckpointEvery > 0 {
+		s.stopCkpt = make(chan struct{})
+		go s.runCheckpoints(cfg.CheckpointEvery)
+	}
+	return s, nil
 }
 
 // PlanHash returns the hash the server demands in every Hello.
@@ -342,6 +371,9 @@ func isDeadlineErr(err error) bool {
 // left open — the caller queries it and owns its Close. Shutdown is
 // idempotent; concurrent calls share the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stopCkpt != nil {
+		s.stopCkptOnce.Do(func() { close(s.stopCkpt) })
+	}
 	s.mu.Lock()
 	already := s.closing
 	s.closing = true
@@ -395,6 +427,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.ingestMu.Lock()
 	s.cfg.Sink.Flush()
 	s.cfg.Sink.Barrier()
+	if s.cfg.Durable != nil {
+		// End the log with a verifiable round covering everything the
+		// drain ingested, fsynced — a SIGKILL arriving after Shutdown
+		// loses nothing.
+		if cerr := s.cfg.Durable.Checkpoint(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	s.ingestMu.Unlock()
 	close(s.drained)
 	return err

@@ -1,0 +1,259 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/segstore"
+)
+
+// This file wires the durable tier (internal/segstore) into the
+// collector: open-with-recovery, replay-before-serve, the background
+// checkpoint cadence, and the historical /snapshot window path.
+
+// DurableOptions shapes a collector's durable tier.
+type DurableOptions struct {
+	// DataDir is the segment-log directory (created if missing).
+	DataDir string
+	// SegmentBytes / MaxSegments / NoSync / Now pass through to
+	// segstore.Options.
+	SegmentBytes int64
+	MaxSegments  int
+	NoSync       bool
+	Now          func() uint64
+	// WriterQueue bounds the persistence queue (segstore.WriterOptions).
+	WriterQueue int
+}
+
+// DurableSink is a sharded sink joined to its segment log: the sink
+// answers live queries, the log makes every ingested packet durable, and
+// recovery rebuilds the sink from the log. Build with OpenDurableSink.
+type DurableSink struct {
+	Sink   *pipeline.Sink
+	Store  *segstore.Store
+	Writer *segstore.Writer
+	// Recovery reports what Open found: surviving packets, and the torn
+	// tail (if any) a crash left behind.
+	Recovery segstore.RecoveryReport
+	// Replayed counts the packets fed back into the sink at startup.
+	Replayed uint64
+
+	engine  *core.Engine
+	queries []core.Query
+	pcfg    pipeline.Config
+}
+
+// OpenDurableSink opens (recovering if needed) the segment log, builds
+// the sink, replays the log into it — so the collector starts holding
+// every packet the previous incarnation made durable — and only then
+// attaches the persistence writer, so replayed packets are not re-logged.
+// Evicted flows persist with their finalized answers rendered by the
+// same fixed-order encoder the HTTP surface uses.
+func OpenDurableSink(engine *core.Engine, queries []core.Query, pcfg pipeline.Config, opts DurableOptions) (*DurableSink, error) {
+	store, report, err := segstore.Open(opts.DataDir, segstore.Options{
+		SegmentBytes: opts.SegmentBytes,
+		MaxSegments:  opts.MaxSegments,
+		NoSync:       opts.NoSync,
+		Now:          opts.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sink, err := pipeline.NewSink(engine, pcfg)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	d := &DurableSink{
+		Sink:     sink,
+		Store:    store,
+		Recovery: *report,
+		engine:   engine,
+		queries:  queries,
+		pcfg:     pcfg,
+	}
+	if d.Replayed, err = ReplayInto(store, sink); err != nil {
+		sink.Close()
+		store.Close()
+		return nil, err
+	}
+	d.Writer = segstore.NewWriter(store, segstore.WriterOptions{
+		QueueDepth:  opts.WriterQueue,
+		EncodeEvict: evictEncoder(queries),
+	})
+	sink.SetPersister(d.Writer)
+	return d, nil
+}
+
+// evictEncoder renders one evicted flow's finalized answers with the
+// same fixed-order encoder /snapshot uses, so a durable eviction record
+// holds exactly the JSON the flow would have answered live.
+func evictEncoder(queries []core.Query) func(ev pipeline.Eviction, rec *core.Recording) []byte {
+	return func(ev pipeline.Eviction, rec *core.Recording) []byte {
+		answers := Answers(rec, queries, []core.FlowKey{ev.Flow})
+		buf, err := json.Marshal(answers[0])
+		if err != nil {
+			// Answers marshals plain structs; an error here is a
+			// programming bug, but a durable record with an empty body
+			// beats losing the eviction entirely.
+			return nil
+		}
+		return buf
+	}
+}
+
+// ReplayInto feeds every digest block in the store, in log order, into
+// the sink and barriers it, returning the packet count. The sink must
+// not have a persister attached yet (the replay would re-log itself) and
+// the caller must hold the single-ingester role.
+func ReplayInto(store *segstore.Store, sink *pipeline.Sink) (uint64, error) {
+	var scratch []core.PacketDigest
+	var packets uint64
+	err := store.Scan(0, ^uint64(0), func(b segstore.Block) error {
+		if b.Kind != segstore.KindDigests {
+			return nil
+		}
+		var err error
+		scratch, err = segstore.DecodeDigests(scratch, b.Body)
+		if err != nil {
+			return err
+		}
+		sink.Ingest(scratch)
+		packets += uint64(len(scratch))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sink.Barrier()
+	return packets, sink.Err()
+}
+
+// Checkpoint runs one full durability interval: a sink checkpoint
+// barrier (every shard drains and reports), then a writer flush+fsync.
+// It shares the sink's single-ingester contract — the Server runs it
+// under ingestMu.
+func (d *DurableSink) Checkpoint() error {
+	d.Sink.Checkpoint()
+	return d.Writer.Sync()
+}
+
+// Close shuts the durable sink down in dependency order: a final
+// checkpoint (so the log ends with a verifiable round), sink close
+// (whose drain may still evict through the writer), then writer and
+// store. The caller must hold the single-ingester role.
+func (d *DurableSink) Close() error {
+	d.Sink.Checkpoint()
+	err := d.Writer.Sync()
+	if cerr := d.Sink.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := d.Writer.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := d.Store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon simulates a SIGKILL for the torture suites: the persistence
+// queue is dropped, the store closes without sealing or syncing, and the
+// sink tears down with no final flush. Whatever had not reached the file
+// is the unflushed tail recovery explicitly reports lost.
+func (d *DurableSink) Abandon() {
+	d.Sink.SetPersister(nil)
+	d.Writer.Abandon()
+	d.Sink.Close()
+}
+
+// WindowAnswers answers every query for the [since, until] time window
+// from the log alone: digest blocks in the window replay into a fresh
+// single-shard sink (shard count never changes answers — the pipeline
+// determinism contract), and the standard fixed-order encoder runs over
+// the result. flows nil means every flow seen in the window.
+func (d *DurableSink) WindowAnswers(since, until uint64, flows []core.FlowKey) ([]FlowAnswers, error) {
+	cfg := pipeline.Config{
+		Shards:        1,
+		BatchSize:     d.pcfg.BatchSize,
+		Base:          d.pcfg.Base,
+		SketchItems:   d.pcfg.SketchItems,
+		WindowBuckets: d.pcfg.WindowBuckets,
+		WindowSpan:    d.pcfg.WindowSpan,
+		FreqCounters:  d.pcfg.FreqCounters,
+	}
+	sink, err := pipeline.NewSink(d.engine, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var scratch []core.PacketDigest
+	scanErr := d.Store.Scan(since, until, func(b segstore.Block) error {
+		if b.Kind != segstore.KindDigests {
+			return nil
+		}
+		var err error
+		scratch, err = segstore.DecodeDigests(scratch, b.Body)
+		if err != nil {
+			return err
+		}
+		sink.Ingest(scratch)
+		return nil
+	})
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return SnapshotAnswers(sink.Snapshot(), d.queries, flows)
+}
+
+// VerifyAgainstLive proves the headline guarantee on a quiescent durable
+// sink: the log-only answer for the full window must be byte-identical
+// to the live sink's snapshot answer. It is the self-check the
+// kill-recover suites run after every recovery.
+func (d *DurableSink) VerifyAgainstLive() error {
+	live, err := SnapshotAnswers(d.Sink.Snapshot(), d.queries, nil)
+	if err != nil {
+		return err
+	}
+	replayed, err := d.WindowAnswers(0, ^uint64(0), nil)
+	if err != nil {
+		return err
+	}
+	a, err := json.Marshal(live)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(replayed)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("collector: durable replay diverges from live state (%d vs %d bytes)", len(b), len(a))
+	}
+	return nil
+}
+
+// runCheckpoints is the Server's background durability cadence.
+func (s *Server) runCheckpoints(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCkpt:
+			return
+		case <-t.C:
+			s.ingestMu.Lock()
+			err := s.cfg.Durable.Checkpoint()
+			s.ingestMu.Unlock()
+			if err != nil {
+				s.logf("collector: checkpoint: %v", err)
+			}
+		}
+	}
+}

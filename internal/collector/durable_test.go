@@ -1,0 +1,391 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/segstore"
+)
+
+// durableOpts is the deterministic store shape every durable test uses:
+// injected counter clock, no fsync (tests hammer temp dirs).
+func durableOpts(dir string) DurableOptions {
+	var ts uint64
+	return DurableOptions{
+		DataDir: dir,
+		NoSync:  true,
+		Now:     func() uint64 { ts += 10; return ts },
+	}
+}
+
+// ingestWaves streams nFlows testbench flows of pktsPer packets into the
+// durable sink and returns the flat digest stream in arrival order.
+func ingestWaves(t *testing.T, tb *Testbench, d *DurableSink, exp uint64, nFlows, pktsPer int) []core.PacketDigest {
+	t.Helper()
+	var all []core.PacketDigest
+	for f := 0; f < nFlows; f++ {
+		batch := tb.FlowBatch(exp, f, pktsPer, nil, nil)
+		d.Sink.Ingest(batch)
+		all = append(all, batch...)
+	}
+	return all
+}
+
+// TestDurableRoundTrip is the headline guarantee without the crash: a
+// closed-and-reopened durable collector answers byte-identically to the
+// live one it used to be, for shards {1, 4}.
+func TestDurableRoundTrip(t *testing.T) {
+	tb := mustTestbench(t, 7)
+	for _, shards := range []int{1, 4} {
+		dir := t.TempDir()
+		pcfg := pipeline.Config{Shards: shards, BatchSize: 64, Base: tb.Base}
+		d, err := OpenDurableSink(tb.Engine, tb.Queries(), pcfg, durableOpts(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := ingestWaves(t, tb, d, 1, 4, 300)
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.VerifyAgainstLive(); err != nil {
+			t.Fatalf("shards=%d: live store diverges: %v", shards, err)
+		}
+		live, err := SnapshotAnswers(d.Sink.Snapshot(), tb.Queries(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveJSON := answersJSON(t, live)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		re, err := OpenDurableSink(tb.Engine, tb.Queries(), pcfg, durableOpts(dir))
+		if err != nil {
+			t.Fatalf("shards=%d: reopen: %v", shards, err)
+		}
+		if re.Replayed != uint64(len(stream)) {
+			t.Fatalf("shards=%d: replayed %d packets, want %d", shards, re.Replayed, len(stream))
+		}
+		if re.Recovery.TornBytes != 0 {
+			t.Fatalf("shards=%d: clean close reported a torn tail: %+v", shards, re.Recovery)
+		}
+		recovered, err := SnapshotAnswers(re.Sink.Snapshot(), tb.Queries(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(answersJSON(t, recovered), liveJSON) {
+			t.Fatalf("shards=%d: recovered answers differ from the uncrashed run", shards)
+		}
+		if err := re.VerifyAgainstLive(); err != nil {
+			t.Fatalf("shards=%d: recovered store diverges: %v", shards, err)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDurableAbandonRecovers is the in-process SIGKILL: whatever reached
+// the file is recovered bit-identically to an uncrashed collector fed
+// the same durable prefix, and the loss is exactly the unflushed tail.
+func TestDurableAbandonRecovers(t *testing.T) {
+	tb := mustTestbench(t, 13)
+	dir := t.TempDir()
+	pcfg := pipeline.Config{Shards: 4, BatchSize: 64, Base: tb.Base}
+	d, err := OpenDurableSink(tb.Engine, tb.Queries(), pcfg, durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := ingestWaves(t, tb, d, 1, 3, 200)
+	if err := d.Checkpoint(); err != nil { // first wave is durable
+		t.Fatal(err)
+	}
+	stream = append(stream, ingestWaves(t, tb, d, 2, 3, 200)...) // second wave races the writer
+	d.Abandon()
+
+	re, err := OpenDurableSink(tb.Engine, tb.Queries(), pcfg, durableOpts(dir))
+	if err != nil {
+		t.Fatalf("recovery after abandon: %v", err)
+	}
+	defer re.Close()
+	replayed := re.Replayed
+	if replayed < 600 {
+		t.Fatalf("checkpointed wave lost: only %d packets recovered", replayed)
+	}
+	if replayed > uint64(len(stream)) {
+		t.Fatalf("recovered %d packets, only %d were ever ingested — double count", replayed, len(stream))
+	}
+
+	// Bit-for-bit identity with an uncrashed collector that ingested the
+	// durable prefix: batches are logged whole and in arrival order, so
+	// the recovered state must equal the first `replayed` packets of the
+	// original stream. Conservation first, answers second.
+	ref, err := pipeline.NewSink(tb.Engine, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Ingest(stream[:replayed])
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := SnapshotAnswers(ref.Snapshot(), tb.Queries(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SnapshotAnswers(re.Sink.Snapshot(), tb.Queries(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(answersJSON(t, got), answersJSON(t, want)) {
+		t.Fatalf("recovered answers differ from an uncrashed run over the durable prefix (%d pkts)", replayed)
+	}
+}
+
+// newDurableServer builds a collector whose sink is durable, with the
+// background checkpoint ticker disabled so tests control flush points.
+func newDurableServer(t *testing.T, tb *Testbench, dir string, opts DurableOptions) (*Server, *DurableSink) {
+	t.Helper()
+	d, err := OpenDurableSink(tb.Engine, tb.Queries(), pipeline.Config{Shards: 2, Base: tb.Base}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	srv, err := New(Config{
+		Engine: tb.Engine, Sink: d.Sink, Queries: tb.Queries(),
+		Durable: d, CheckpointEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, d
+}
+
+// TestSnapshotWindowErrorPaths pins the /snapshot?since/until contract:
+// bad timestamps and inverted windows are 400s, a window entirely behind
+// the retention horizon is a 400, one straddling it answers with
+// X-Pint-Partial: 1 — the same convention the federation frontend uses.
+func TestSnapshotWindowErrorPaths(t *testing.T) {
+	tb := mustTestbench(t, 11)
+	dir := t.TempDir()
+	opts := durableOpts(dir)
+	opts.MaxSegments = 1 // retention on: rotations delete history
+	srv, d := newDurableServer(t, tb, dir, opts)
+	h := srv.Handler()
+
+	// Build history behind the horizon: two waves with a forced rotation
+	// between them, so wave 1's segment is deleted.
+	for f := 0; f < 2; f++ {
+		d.Sink.Ingest(tb.FlowBatch(1, f, 100, nil, nil))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 2; f++ {
+		d.Sink.Ingest(tb.FlowBatch(2, f, 100, nil, nil))
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store.Rotate(); err != nil { // seals wave 2, deletes wave 1
+		t.Fatal(err)
+	}
+	horizon := d.Store.HorizonTS()
+	if horizon == 0 {
+		t.Fatal("retention never advanced the horizon")
+	}
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	cases := []struct {
+		name   string
+		path   string
+		status int
+		body   string
+	}{
+		{"bad since", "/snapshot?since=banana", http.StatusBadRequest, "since: bad timestamp"},
+		{"bad until", "/snapshot?since=1&until=2x", http.StatusBadRequest, "until: bad timestamp"},
+		{"inverted window", "/snapshot?since=100&until=50", http.StatusBadRequest, "inverted"},
+		{"behind horizon", "/snapshot?since=0&until=1", http.StatusBadRequest, "retention"},
+		{"bad flow in window", "/snapshot?since=0&flow=zzz", http.StatusBadRequest, "bad flow"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := get(tc.path)
+			if rec.Code != tc.status {
+				t.Fatalf("%s: status %d, want %d (body %q)", tc.path, rec.Code, tc.status, rec.Body.String())
+			}
+			if !strings.Contains(rec.Body.String(), tc.body) {
+				t.Fatalf("%s: body lacks %q:\n%s", tc.path, tc.body, rec.Body.String())
+			}
+		})
+	}
+
+	// A window straddling the horizon answers, flagged partial.
+	rec := get("/snapshot?since=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("straddling window: status %d (body %q)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get(PartialHeader) != "1" {
+		t.Fatalf("straddling window not flagged %s", PartialHeader)
+	}
+	var out struct {
+		Flows []FlowAnswers `json:"flows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("window body: %v", err)
+	}
+	if len(out.Flows) != 2 { // only wave 2 survives retention
+		t.Fatalf("straddling window answered %d flows, want 2", len(out.Flows))
+	}
+
+	// A window entirely above the horizon is complete: no partial header.
+	rec = get("/snapshot?since=" + strconv.FormatUint(horizon+1, 10))
+	if rec.Code != http.StatusOK || rec.Header().Get(PartialHeader) != "" {
+		t.Fatalf("clean window: status %d partial %q", rec.Code, rec.Header().Get(PartialHeader))
+	}
+
+	// Without a durable store the window surface is an explicit 400.
+	rec = httptest.NewRecorder()
+	srvPlain, err := New(Config{Engine: tb.Engine, Sink: mustPlainSink(t, tb), Queries: tb.Queries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvPlain.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/snapshot?since=0", nil))
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "data-dir") {
+		t.Fatalf("windowed snapshot without a store: status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+func mustPlainSink(t *testing.T, tb *Testbench) *pipeline.Sink {
+	t.Helper()
+	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{Shards: 1, Base: tb.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sink.Close() })
+	return sink
+}
+
+// TestDurableCheckpointTicker: a Server with a positive CheckpointEvery
+// flushes the log on its own cadence — no explicit Checkpoint call — and
+// Shutdown stops the ticker and lands the final checkpoint.
+func TestDurableCheckpointTicker(t *testing.T) {
+	tb := mustTestbench(t, 5)
+	dir := t.TempDir()
+	d, err := OpenDurableSink(tb.Engine, tb.Queries(), pipeline.Config{Shards: 2, Base: tb.Base}, durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// Ingest before the server exists: the ticker goroutine must be the
+	// only checkpoint caller (single-ingester contract).
+	stream := ingestWaves(t, tb, d, 1, 3, 100)
+	srv, err := New(Config{
+		Engine: tb.Engine, Sink: d.Sink, Queries: tb.Queries(),
+		Durable: d, CheckpointEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Store.Stats().Packets != uint64(len(stream)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("background cadence flushed %d of %d packets", d.Store.Stats().Packets, len(stream))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if ts := d.Store.MaxTS(); ts == 0 {
+		t.Fatal("flushed store reports MaxTS 0")
+	}
+}
+
+// TestDurableEvictionRecords: a policy eviction lands in the log as a
+// KindEvict block whose Answers body is the flow's finalized JSON — what
+// the flow would have answered live, rendered by the snapshot encoder.
+func TestDurableEvictionRecords(t *testing.T) {
+	tb := mustTestbench(t, 9)
+	dir := t.TempDir()
+	pcfg := pipeline.Config{
+		Shards: 1, Base: tb.Base,
+		Policy: func() pipeline.EvictionPolicy { return pipeline.NewLRU(2) },
+	}
+	d, err := OpenDurableSink(tb.Engine, tb.Queries(), pcfg, durableOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestWaves(t, tb, d, 1, 6, 50) // 6 flows through a 2-flow cap
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var evicted []segstore.EvictRecord
+	err = d.Store.Scan(0, ^uint64(0), func(b segstore.Block) error {
+		if b.Kind != segstore.KindEvict {
+			return nil
+		}
+		ev, err := segstore.DecodeEvict(b.Body)
+		if err != nil {
+			return err
+		}
+		evicted = append(evicted, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) == 0 {
+		t.Fatal("LRU evictions never reached the log")
+	}
+	for _, ev := range evicted {
+		var ans FlowAnswers
+		if err := json.Unmarshal(ev.Answers, &ans); err != nil {
+			t.Fatalf("evict record for flow %d: answers not JSON: %v\n%s", ev.Flow, err, ev.Answers)
+		}
+		if ans.Flow != uint64(ev.Flow) || len(ans.Answers) == 0 {
+			t.Fatalf("evict record answers mismatch: record flow %d, body %s", ev.Flow, ev.Answers)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableStatsSurface: /stats exposes the store's accounting and the
+// recovery report when the daemon is durable.
+func TestDurableStatsSurface(t *testing.T) {
+	tb := mustTestbench(t, 3)
+	dir := t.TempDir()
+	srv, d := newDurableServer(t, tb, dir, durableOpts(dir))
+	d.Sink.Ingest(tb.FlowBatch(1, 0, 50, nil, nil))
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"durable"`, `"store"`, `"recovery"`, `"replayed"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("durable stats lack %s:\n%s", want, body)
+		}
+	}
+}

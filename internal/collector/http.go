@@ -148,11 +148,19 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		total, perShard := s.cfg.Sink.Stats()
-		WriteJSON(w, map[string]any{
+		body := map[string]any{
 			"server":     s.Stats(),
 			"sink":       total,
 			"sink_shard": perShard,
-		})
+		}
+		if d := s.cfg.Durable; d != nil {
+			body["durable"] = map[string]any{
+				"store":    d.Store.Stats(),
+				"recovery": d.Recovery,
+				"replayed": d.Replayed,
+			}
+		}
+		WriteJSON(w, body)
 	})
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		// A draining daemon answers 503 instead of racing its own sink
@@ -173,6 +181,10 @@ func (s *Server) Handler() http.Handler {
 			}
 			flows = append(flows, core.FlowKey(v))
 		}
+		if r.URL.Query().Has("since") || r.URL.Query().Has("until") {
+			s.serveWindow(w, r, flows)
+			return
+		}
 		answers, err := SnapshotAnswers(s.cfg.Sink.Snapshot(), s.cfg.Queries, flows)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -181,6 +193,83 @@ func (s *Server) Handler() http.Handler {
 		WriteJSON(w, map[string]any{"flows": answers})
 	})
 	return mux
+}
+
+// PartialHeader marks an answer that covers less than what was asked
+// for; the value counts the failed parts. It is the same convention the
+// federated query frontend uses for dead fleet members (the two packages
+// cannot share the constant — federation imports collector).
+const PartialHeader = "X-Pint-Partial"
+
+// parseWindowBound parses one ?since=/?until= value: a non-negative
+// integer is taken as a store-clock timestamp (unix nanoseconds under
+// the default clock); anything else must parse as RFC 3339.
+func parseWindowBound(raw string) (uint64, error) {
+	if v, err := strconv.ParseUint(raw, 10, 64); err == nil {
+		return v, nil
+	}
+	t, err := time.Parse(time.RFC3339, raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad timestamp %q: want unix nanoseconds or RFC 3339", raw)
+	}
+	return uint64(t.UnixNano()), nil
+}
+
+// serveWindow answers /snapshot?since=S&until=U from the segment log:
+// the live tail is checkpointed and flushed first (making the log the
+// complete record — nothing is counted twice because nothing is read
+// from the live shards), then the window replays through a fresh sink.
+// A window reaching at or below the retention horizon answers partially
+// (PartialHeader: 1) if it extends past the horizon, 400 if not.
+func (s *Server) serveWindow(w http.ResponseWriter, r *http.Request, flows []core.FlowKey) {
+	d := s.cfg.Durable
+	if d == nil {
+		http.Error(w, "collector: no durable store (-data-dir) — historical windows unavailable", http.StatusBadRequest)
+		return
+	}
+	since, until := uint64(0), ^uint64(0)
+	var err error
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		if since, err = parseWindowBound(raw); err != nil {
+			http.Error(w, "since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if raw := r.URL.Query().Get("until"); raw != "" {
+		if until, err = parseWindowBound(raw); err != nil {
+			http.Error(w, "until: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if since > until {
+		http.Error(w, fmt.Sprintf("inverted window: since %d > until %d", since, until), http.StatusBadRequest)
+		return
+	}
+	horizon := d.Store.HorizonTS()
+	if horizon > 0 && until <= horizon {
+		http.Error(w, fmt.Sprintf("window ends at %d, before the retention horizon %d — those segments are deleted",
+			until, horizon), http.StatusBadRequest)
+		return
+	}
+	// Make the live tail durable so the log alone answers the window.
+	s.ingestMu.Lock()
+	cerr := d.Checkpoint()
+	s.ingestMu.Unlock()
+	if cerr != nil {
+		http.Error(w, cerr.Error(), http.StatusInternalServerError)
+		return
+	}
+	answers, err := d.WindowAnswers(since, until, flows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if horizon > 0 && since <= horizon {
+		// The window's head predates retention: answer what survives and
+		// say so, the same contract a degraded federated fleet serves.
+		w.Header().Set(PartialHeader, "1")
+	}
+	WriteJSON(w, map[string]any{"flows": answers})
 }
 
 // WithProfiling layers net/http/pprof's endpoints under /debug/pprof/ on

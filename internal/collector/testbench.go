@@ -3,6 +3,8 @@ package collector
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/hash"
@@ -135,6 +137,22 @@ func (tb *Testbench) Flows(nExporters, flowsPer int) []core.FlowKey {
 		}
 	}
 	return out
+}
+
+// ScratchDir creates a throwaway data directory for durable-daemon
+// suites and returns it with an idempotent cleanup closure. The cleanup
+// is bound at creation — t.TempDir-style — not in the daemon's own
+// teardown: harnesses that removed the directory only when the daemon
+// shut down cleanly leaked it whenever the daemon failed to start, and
+// the kill-recover suites start (and kill) daemons constantly. Callers
+// defer the cleanup immediately after the error check.
+func (tb *Testbench) ScratchDir(prefix string) (string, func(), error) {
+	dir, err := os.MkdirTemp("", prefix)
+	if err != nil {
+		return "", nil, fmt.Errorf("collector: scratch dir: %w", err)
+	}
+	var once sync.Once
+	return dir, func() { once.Do(func() { os.RemoveAll(dir) }) }, nil
 }
 
 // Validate sanity-checks the deployment shape shared by pintload's flags

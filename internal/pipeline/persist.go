@@ -1,0 +1,105 @@
+package pipeline
+
+import (
+	"repro/internal/core"
+)
+
+// This file is the sink's durability hook. The sink itself stays a pure
+// in-memory structure; a Persister observes the three events a durable
+// tier needs — the ingested stream, evictions, and checkpoint barriers —
+// without touching the hot path when none is attached (one atomic load
+// per batch).
+
+// Persister receives the sink's durable events. internal/segstore's
+// Writer is the production implementation: it copies each event into a
+// bounded queue and applies it on its own goroutine, so the only way
+// persistence slows ingestion is genuine backpressure (the queue is
+// full because the disk is behind).
+//
+// Contract:
+//
+//   - PersistIngest runs on the ingester goroutine for every batch, in
+//     arrival order, before any of the batch reaches a worker. The slice
+//     is only valid during the call — implementations copy.
+//   - PersistEvict runs on the owning shard's worker goroutine under the
+//     same rules as Config.OnEvict (rec still holds the flow; do not
+//     retain rec; do not call Sink methods), immediately before OnEvict.
+//   - PersistCheckpoint runs on each shard's worker goroutine during
+//     Sink.Checkpoint, after the shard drained everything dispatched to
+//     it, so the stats describe a quiescent shard.
+type Persister interface {
+	PersistIngest(batch []core.PacketDigest)
+	PersistEvict(shard int, ev Eviction, rec *core.Recording)
+	PersistCheckpoint(cp CheckpointStats)
+}
+
+// CheckpointStats is one shard's state at a checkpoint barrier.
+type CheckpointStats struct {
+	// Round numbers the Checkpoint call (1, 2, …) within this sink's
+	// lifetime; every shard reports once per round.
+	Round uint64
+	// Shard / Shards locate this report within the round.
+	Shard  int
+	Shards int
+	// Packets is the shard's dispatched-packet counter; the barrier
+	// guarantees all of them are recorded.
+	Packets uint64
+	// Flows is the shard's live flow count.
+	Flows int
+}
+
+// persistBox wraps the interface so it fits an atomic.Pointer.
+type persistBox struct{ p Persister }
+
+// SetPersister attaches (or, with nil, detaches) the sink's persister.
+// Attach after any recovery replay — an attached persister would re-log
+// every replayed batch — and before live ingestion starts. The pointer
+// is atomic, so the swap itself is safe at any time; events racing the
+// swap may go to either persister.
+func (s *Sink) SetPersister(p Persister) {
+	if p == nil {
+		s.persist.Store(nil)
+		return
+	}
+	s.persist.Store(&persistBox{p: p})
+}
+
+// persister returns the attached Persister, or nil.
+func (s *Sink) persister() Persister {
+	if b := s.persist.Load(); b != nil {
+		return b.p
+	}
+	return nil
+}
+
+// ckptReq asks one worker to drain, persist its checkpoint, and reply.
+type ckptReq struct {
+	round uint64
+	reply chan<- struct{}
+}
+
+// Checkpoint flushes every shard and runs a checkpoint barrier: each
+// worker drains everything dispatched to it, reports its CheckpointStats
+// to the persister (if one is attached), and replies. When Checkpoint
+// returns, every packet ingested before the call is recorded AND its
+// checkpoint record is ordered after all of those packets' PersistIngest
+// events — the ordering the recovery cross-check relies on. It shares
+// Ingest's single-ingester contract and returns the round number. After
+// Close it is a no-op.
+func (s *Sink) Checkpoint() uint64 {
+	if s.closed {
+		return s.ckptRound
+	}
+	s.ckptRound++
+	for _, sh := range s.shards {
+		sh.dispatch(s.cfg.OnStall)
+	}
+	// Fan out first so the shards drain and persist concurrently.
+	for _, sh := range s.shards {
+		sh.ckpt <- ckptReq{round: s.ckptRound, reply: s.barrier}
+	}
+	for range s.shards {
+		<-s.barrier
+	}
+	return s.ckptRound
+}

@@ -1,0 +1,208 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// recordingPersister captures every Persister callback in arrival order,
+// copying what the contract says is only valid during the call.
+type recordingPersister struct {
+	mu      sync.Mutex
+	batches [][]core.PacketDigest
+	evicts  []Eviction
+	answers []uint64 // per-evict: packets rec still held for the flow at callback time
+	ckpts   []CheckpointStats
+}
+
+func (r *recordingPersister) PersistIngest(batch []core.PacketDigest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches = append(r.batches, append([]core.PacketDigest(nil), batch...))
+}
+
+func (r *recordingPersister) PersistEvict(shard int, ev Eviction, rec *core.Recording) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evicts = append(r.evicts, ev)
+	var held uint64
+	if rec != nil {
+		held = 1 // the flow must still be queryable during the callback
+		for _, f := range rec.Flows() {
+			if f == ev.Flow {
+				held = 2
+			}
+		}
+	}
+	r.answers = append(r.answers, held)
+}
+
+func (r *recordingPersister) PersistCheckpoint(cp CheckpointStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ckpts = append(r.ckpts, cp)
+}
+
+// TestPersisterSeesArrivalOrder: PersistIngest observes the exact global
+// batch sequence the ingester saw — the write-ahead-log property replay
+// depends on.
+func TestPersisterSeesArrivalOrder(t *testing.T) {
+	eng, _, _, _, _, _ := testPlan(t, 101)
+	pkts := encodeWorkload(eng, 7, 12, 50, 6)
+	for _, shards := range []int{1, 4} {
+		p := &recordingPersister{}
+		sink, err := NewSink(eng, Config{Shards: shards, BatchSize: 32, Base: hash.Seed(0xD1CE)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink.SetPersister(p)
+		const batchLen = 37 // deliberately unaligned with BatchSize
+		var sent int
+		for off := 0; off < len(pkts); off += batchLen {
+			end := off + batchLen
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			sink.Ingest(pkts[off:end])
+			sent++
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(p.batches) != sent {
+			t.Fatalf("shards=%d: persister saw %d batches, ingester sent %d", shards, len(p.batches), sent)
+		}
+		var replay []core.PacketDigest
+		for _, b := range p.batches {
+			replay = append(replay, b...)
+		}
+		if len(replay) != len(pkts) {
+			t.Fatalf("shards=%d: persister saw %d packets, want %d", shards, len(replay), len(pkts))
+		}
+		for i := range replay {
+			if replay[i].Flow != pkts[i].Flow || replay[i].PktID != pkts[i].PktID ||
+				replay[i].Digest != pkts[i].Digest {
+				t.Fatalf("shards=%d: packet %d out of arrival order", shards, i)
+			}
+		}
+	}
+}
+
+// TestPersisterCheckpointRounds: Sink.Checkpoint barriers every shard
+// and emits one record per shard whose packet counts sum to everything
+// ingested — the conservation law recovery re-checks from the log.
+func TestPersisterCheckpointRounds(t *testing.T) {
+	eng, _, _, _, _, _ := testPlan(t, 101)
+	pkts := encodeWorkload(eng, 7, 12, 40, 6)
+	for _, shards := range []int{1, 4} {
+		p := &recordingPersister{}
+		sink, err := NewSink(eng, Config{Shards: shards, BatchSize: 64, Base: hash.Seed(0xD1CE)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink.SetPersister(p)
+		half := len(pkts) / 2
+		sink.Ingest(pkts[:half])
+		if round := sink.Checkpoint(); round != 1 {
+			t.Fatalf("first checkpoint round %d", round)
+		}
+		sink.Ingest(pkts[half:])
+		if round := sink.Checkpoint(); round != 2 {
+			t.Fatalf("second checkpoint round %d", round)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if len(p.ckpts) != 2*shards {
+			t.Fatalf("shards=%d: %d checkpoint records, want %d", shards, len(p.ckpts), 2*shards)
+		}
+		sums := map[uint64]uint64{}
+		perRound := map[uint64]int{}
+		for _, cp := range p.ckpts {
+			if cp.Shards != shards || cp.Shard < 0 || cp.Shard >= shards {
+				t.Fatalf("malformed checkpoint record %+v", cp)
+			}
+			sums[cp.Round] += cp.Packets
+			perRound[cp.Round]++
+		}
+		if perRound[1] != shards || perRound[2] != shards {
+			t.Fatalf("shards=%d: incomplete rounds %v", shards, perRound)
+		}
+		if sums[1] != uint64(half) {
+			t.Fatalf("shards=%d: round 1 covers %d packets, want %d", shards, sums[1], half)
+		}
+		if sums[2] != uint64(len(pkts)) {
+			t.Fatalf("shards=%d: round 2 covers %d packets, want %d", shards, sums[2], len(pkts))
+		}
+	}
+}
+
+// TestPersisterEvictBeforeDrop: every eviction reaches the persister
+// while the Recording still holds the flow, and in the same stream the
+// OnEvict callback sees.
+func TestPersisterEvictBeforeDrop(t *testing.T) {
+	eng, _, _, _, _, _ := testPlan(t, 101)
+	pkts := encodeWorkload(eng, 7, 24, 30, 6)
+	p := &recordingPersister{}
+	var evictMu sync.Mutex // OnEvict runs on each shard's goroutine
+	var onEvict []Eviction
+	sink, err := NewSink(eng, Config{
+		Shards: 2, BatchSize: 32, Base: hash.Seed(0xD1CE),
+		Policy: func() EvictionPolicy { return NewLRU(4) },
+		OnEvict: func(ev Eviction, rec *core.Recording) {
+			evictMu.Lock()
+			onEvict = append(onEvict, ev)
+			evictMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.SetPersister(p)
+	sink.Ingest(pkts)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.evicts) == 0 {
+		t.Fatal("LRU policy evicted nothing")
+	}
+	if len(p.evicts) != len(onEvict) {
+		t.Fatalf("persister saw %d evictions, OnEvict saw %d", len(p.evicts), len(onEvict))
+	}
+	for i, held := range p.answers {
+		if held != 2 {
+			t.Fatalf("eviction %d: flow %d already dropped when persisted", i, p.evicts[i].Flow)
+		}
+	}
+}
+
+// TestSetPersisterDetach: a nil persister detaches cleanly and a replay
+// (persister-less ingest) is never re-logged.
+func TestSetPersisterDetach(t *testing.T) {
+	eng, _, _, _, _, _ := testPlan(t, 101)
+	pkts := encodeWorkload(eng, 7, 6, 20, 6)
+	p := &recordingPersister{}
+	sink, err := NewSink(eng, Config{Shards: 2, Base: hash.Seed(0xD1CE)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Ingest(pkts[:50]) // replay phase: no persister attached
+	sink.SetPersister(p)
+	sink.Ingest(pkts[50:100])
+	sink.SetPersister(nil)
+	sink.Ingest(pkts[100:])
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var logged int
+	for _, b := range p.batches {
+		logged += len(b)
+	}
+	if logged != 50 {
+		t.Fatalf("persister logged %d packets, want exactly the attached window of 50", logged)
+	}
+}

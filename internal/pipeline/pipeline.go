@@ -97,6 +97,11 @@ type Sink struct {
 	// barrier is the reusable Barrier reply channel; Barrier shares the
 	// single-ingester contract with Ingest, so reuse is race-free.
 	barrier chan struct{}
+	// persist is the attached durability hook (see persist.go); nil-when-
+	// detached costs the hot path one atomic load per batch.
+	persist atomic.Pointer[persistBox]
+	// ckptRound numbers Checkpoint barriers; ingester-goroutine only.
+	ckptRound uint64
 }
 
 type shard struct {
@@ -105,6 +110,7 @@ type shard struct {
 	free chan []core.PacketDigest
 	snap chan chan *core.Recording
 	sync chan chan<- struct{}
+	ckpt chan ckptReq
 	rec  *core.Recording
 	buf  []core.PacketDigest
 	pol  EvictionPolicy
@@ -169,6 +175,7 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 			free: make(chan []core.PacketDigest, cfg.QueueDepth+1),
 			snap: make(chan chan *core.Recording),
 			sync: make(chan chan<- struct{}),
+			ckpt: make(chan ckptReq),
 			rec:  rec,
 			buf:  make([]core.PacketDigest, 0, cfg.BatchSize),
 		}
@@ -212,6 +219,13 @@ func (s *Sink) Ingest(batch []core.PacketDigest) {
 	if s.closed {
 		panic("pipeline: Ingest after Close")
 	}
+	// Log the batch before any of it is routed: the persister sees the
+	// global arrival order, which is exactly what a recovery replay needs
+	// to reproduce every shard's state (routing is a pure function of the
+	// flow key, so order within the log implies order within each shard).
+	if p := s.persister(); p != nil {
+		p.PersistIngest(batch)
+	}
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
 		for len(batch) > 0 {
@@ -238,6 +252,10 @@ func (s *Sink) Ingest(batch []core.PacketDigest) {
 func (s *Sink) ingestOne(pkt core.PacketDigest) {
 	if s.closed {
 		panic("pipeline: Ingest after Close")
+	}
+	if p := s.persister(); p != nil {
+		one := [1]core.PacketDigest{pkt}
+		p.PersistIngest(one[:])
 	}
 	sh := s.shardOf(pkt.Flow)
 	sh.buf = append(sh.buf, pkt)
@@ -320,7 +338,7 @@ func (s *Sink) start() {
 					if !ok {
 						return
 					}
-					sh.consume(b, s.cfg.OnEvict)
+					sh.consume(b, s.cfg.OnEvict, s.persister())
 					select {
 					case sh.free <- b[:0]:
 					default:
@@ -330,11 +348,26 @@ func (s *Sink) start() {
 					// already queued, so a snapshot taken after
 					// Ingest+Flush (from the ingester, or synchronized
 					// with it) observes all of it.
-					sh.drainPending(s.cfg.OnEvict)
+					sh.drainPending(s.cfg.OnEvict, s.persister())
 					req <- sh.rec.Clone()
 				case req := <-sh.sync:
-					sh.drainPending(s.cfg.OnEvict)
+					sh.drainPending(s.cfg.OnEvict, s.persister())
 					req <- struct{}{}
+				case req := <-sh.ckpt:
+					// Drain first: the checkpoint must describe a shard
+					// that has recorded everything dispatched to it.
+					p := s.persister()
+					sh.drainPending(s.cfg.OnEvict, p)
+					if p != nil {
+						p.PersistCheckpoint(CheckpointStats{
+							Round:   req.round,
+							Shard:   sh.idx,
+							Shards:  len(s.shards),
+							Packets: sh.packets.Load(),
+							Flows:   sh.rec.TrackedFlows(),
+						})
+					}
+					req.reply <- struct{}{}
 				}
 			}
 		}(sh)
@@ -342,7 +375,7 @@ func (s *Sink) start() {
 }
 
 // drainPending consumes every batch already queued without blocking.
-func (sh *shard) drainPending(onEvict func(Eviction, *core.Recording)) {
+func (sh *shard) drainPending(onEvict func(Eviction, *core.Recording), p Persister) {
 	for {
 		select {
 		case b, ok := <-sh.ch:
@@ -351,7 +384,7 @@ func (sh *shard) drainPending(onEvict func(Eviction, *core.Recording)) {
 				// channel cannot close mid-snapshot; guard anyway.
 				return
 			}
-			sh.consume(b, onEvict)
+			sh.consume(b, onEvict, p)
 			select {
 			case sh.free <- b[:0]:
 			default:
@@ -366,7 +399,7 @@ func (sh *shard) drainPending(onEvict func(Eviction, *core.Recording)) {
 // so a victim's state is finalized (callback, then dropped) before any
 // later packet is recorded — a flow is never half-evicted, and an evicted
 // flow's re-arrival within the same batch starts a fresh flow.
-func (sh *shard) consume(b []core.PacketDigest, onEvict func(Eviction, *core.Recording)) {
+func (sh *shard) consume(b []core.PacketDigest, onEvict func(Eviction, *core.Recording), p Persister) {
 	if sh.failed() != nil {
 		return // drain after failure; keep Ingest unblocked
 	}
@@ -381,6 +414,12 @@ func (sh *shard) consume(b []core.PacketDigest, onEvict func(Eviction, *core.Rec
 		sh.now++
 		sh.vict = sh.pol.Touch(b[i].Flow, sh.now, sh.vict[:0])
 		for _, ev := range sh.vict {
+			// Persist first: the durable record captures the flow's
+			// finalized answers while rec still holds them, and the user
+			// callback below may mutate nothing the persister needs.
+			if p != nil {
+				p.PersistEvict(sh.idx, ev, sh.rec)
+			}
 			if onEvict != nil {
 				onEvict(ev, sh.rec)
 			}

@@ -1,0 +1,273 @@
+// Package segstore is the durable tier of the collector: an append-only
+// segment log that persists the ingested digest stream, per-shard
+// Recording checkpoints, and evicted flows' finalized answers, so a
+// collector that crashes — SIGKILL, not a graceful drain — restarts into
+// exactly the state an uncrashed collector would hold, modulo an
+// explicitly-reported unflushed tail.
+//
+// # Why a digest WAL and not state snapshots
+//
+// core.Recording has no serialization, and inventing one would freeze
+// every sketch's internals into a file format. It does not need one: a
+// Recording is a pure function of its digest stream and its seed (the
+// pipeline package's determinism argument), so logging the stream in
+// global arrival order IS logging the state. Recovery replays the log
+// through an identically-configured sink and lands on the same bits —
+// including the same evictions, since those too are a function of the
+// stream.
+//
+// # Segment layout
+//
+//	magic  [4]byte  'P' 'S' 'G' '1'
+//	block*          wire frames (length u32 LE | crc32c u32 LE | payload)
+//
+// and, once sealed (rotation or clean close):
+//
+//	index block     kind 0xF0, the segment's block directory
+//	trailer         footerOff uint64 LE | 'P' 'I' 'D' 'X'
+//
+// Every block payload is `kind uint8 | ts uint64 LE | body`. Reusing
+// internal/wire's frame discipline means segments inherit the stream
+// format's guarantees: strict bounded decode, CRC-32C over every payload,
+// and wire.ErrShortFrame distinguishing a torn tail (benign: the write
+// was cut by a crash) from a checksum mismatch (corruption: the bytes
+// changed after they were written).
+//
+// The index footer lists every block's (offset, kind, ts, packets) so a
+// time-windowed query seeks straight past segments outside its window.
+// Its encoding is canonical — minimal uvarints, no trailing bytes — so
+// decode∘encode is the identity, a property the fuzzers pin.
+package segstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Block kinds. The high range (0xF0+) is reserved for segment metadata
+// that replay skips.
+const (
+	// KindDigests carries one wire-marshaled core.PacketDigest batch — the
+	// WAL record recovery replays.
+	KindDigests uint8 = 1
+	// KindCheckpoint carries one shard's checkpoint counters: proof of how
+	// many packets the sink had recorded when the round closed. Recovery
+	// cross-checks complete rounds against the digest stream.
+	KindCheckpoint uint8 = 2
+	// KindEvict carries one evicted flow's identity and its finalized
+	// answers (an opaque encoder-provided body), persisted before the
+	// flow's state was dropped.
+	KindEvict uint8 = 3
+	// KindRetain records that retention deleted sealed segments: the
+	// cumulative deleted segment/packet totals and the deleted range's max
+	// timestamp, so conservation checks and the query horizon survive the
+	// deletion.
+	KindRetain uint8 = 4
+	// kindIndex is the sealed segment's index footer.
+	kindIndex uint8 = 0xF0
+)
+
+// blockHeadLen is the payload prefix before the body: kind + timestamp.
+const blockHeadLen = 9
+
+// Block is one decoded segment block.
+type Block struct {
+	Kind uint8
+	// TS is the store clock's value when the block was appended
+	// (monotone non-decreasing within a store's lifetime).
+	TS uint64
+	// Body is the kind-specific encoding; it aliases the decode buffer.
+	Body []byte
+}
+
+// appendBlock appends one framed block to dst.
+func appendBlock(dst []byte, kind uint8, ts uint64, body []byte) ([]byte, error) {
+	payload := make([]byte, 0, blockHeadLen+len(body))
+	payload = append(payload, kind)
+	payload = binary.LittleEndian.AppendUint64(payload, ts)
+	payload = append(payload, body...)
+	return wire.AppendFrame(dst, payload)
+}
+
+// decodeBlock decodes the first block of data, returning it and the bytes
+// after its frame. wire.ErrShortFrame means data ends before the block
+// does (a torn tail); any other error is corruption.
+func decodeBlock(data []byte) (Block, []byte, error) {
+	payload, rest, err := wire.DecodeFrame(data, wire.DefaultMaxFramePayload)
+	if err != nil {
+		return Block{}, data, err
+	}
+	if len(payload) < blockHeadLen {
+		return Block{}, data, fmt.Errorf("segstore: block payload %d bytes below header %d", len(payload), blockHeadLen)
+	}
+	return Block{
+		Kind: payload[0],
+		TS:   binary.LittleEndian.Uint64(payload[1:]),
+		Body: payload[blockHeadLen:],
+	}, rest, nil
+}
+
+// uvarint is the strict, canonical decoder every segstore body shares:
+// it rejects truncation, overflow, and non-minimal encodings, so every
+// valid body has exactly one byte representation and re-encoding a
+// decoded value reproduces the input (the fuzzers' identity property).
+func uvarint(data []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(data)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("segstore: truncated uvarint")
+	}
+	if n < 0 {
+		return 0, 0, fmt.Errorf("segstore: uvarint overflows 64 bits")
+	}
+	if n > 1 && data[n-1] == 0 {
+		return 0, 0, fmt.Errorf("segstore: non-minimal uvarint")
+	}
+	return v, n, nil
+}
+
+// Checkpoint is one shard's durable checkpoint record.
+type Checkpoint struct {
+	// Round numbers the checkpoint barrier this record belongs to; one
+	// round emits Shards records sharing it.
+	Round uint64
+	// Shard / Shards locate the record within its round.
+	Shard  int
+	Shards int
+	// Packets is the shard's dispatched-packet counter at the barrier —
+	// after a barrier that equals everything the shard has recorded.
+	Packets uint64
+	// Flows is the shard's live flow count at the barrier.
+	Flows int
+}
+
+// appendCheckpointBody appends cp's body encoding to dst.
+func appendCheckpointBody(dst []byte, cp Checkpoint) []byte {
+	dst = binary.AppendUvarint(dst, cp.Round)
+	dst = binary.AppendUvarint(dst, uint64(cp.Shard))
+	dst = binary.AppendUvarint(dst, uint64(cp.Shards))
+	dst = binary.AppendUvarint(dst, cp.Packets)
+	dst = binary.AppendUvarint(dst, uint64(cp.Flows))
+	return dst
+}
+
+// DecodeCheckpoint decodes a KindCheckpoint body.
+func DecodeCheckpoint(body []byte) (Checkpoint, error) {
+	var cp Checkpoint
+	fields := []*uint64{&cp.Round, nil, nil, &cp.Packets, nil}
+	ints := []*int{nil, &cp.Shard, &cp.Shards, nil, &cp.Flows}
+	for i := range fields {
+		v, n, err := uvarint(body)
+		if err != nil {
+			return Checkpoint{}, fmt.Errorf("segstore: checkpoint field %d: %w", i, err)
+		}
+		if fields[i] != nil {
+			*fields[i] = v
+		} else {
+			if v > 1<<31 {
+				return Checkpoint{}, fmt.Errorf("segstore: checkpoint field %d value %d above int bound", i, v)
+			}
+			*ints[i] = int(v)
+		}
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return Checkpoint{}, fmt.Errorf("segstore: %d trailing bytes after checkpoint", len(body))
+	}
+	if cp.Shards < 1 || cp.Shard >= cp.Shards {
+		return Checkpoint{}, fmt.Errorf("segstore: checkpoint shard %d/%d out of range", cp.Shard, cp.Shards)
+	}
+	return cp, nil
+}
+
+// EvictRecord is one evicted flow's durable record.
+type EvictRecord struct {
+	Flow core.FlowKey
+	// Reason mirrors pipeline.EvictReason.
+	Reason uint8
+	// LastSeen is the policy clock when the flow was last touched.
+	LastSeen uint64
+	// Answers is the encoder-provided finalized answer bytes (typically
+	// the collector's FlowAnswers JSON); segstore treats it as opaque.
+	Answers []byte
+}
+
+// appendEvictBody appends ev's body encoding to dst.
+func appendEvictBody(dst []byte, ev EvictRecord) []byte {
+	dst = binary.AppendUvarint(dst, uint64(ev.Flow))
+	dst = append(dst, ev.Reason)
+	dst = binary.AppendUvarint(dst, ev.LastSeen)
+	return append(dst, ev.Answers...)
+}
+
+// DecodeEvict decodes a KindEvict body. The Answers field aliases body.
+func DecodeEvict(body []byte) (EvictRecord, error) {
+	var ev EvictRecord
+	flow, n, err := uvarint(body)
+	if err != nil {
+		return EvictRecord{}, fmt.Errorf("segstore: evict flow: %w", err)
+	}
+	body = body[n:]
+	if len(body) < 1 {
+		return EvictRecord{}, fmt.Errorf("segstore: evict record missing reason")
+	}
+	ev.Flow = core.FlowKey(flow)
+	ev.Reason = body[0]
+	body = body[1:]
+	last, n, err := uvarint(body)
+	if err != nil {
+		return EvictRecord{}, fmt.Errorf("segstore: evict last-seen: %w", err)
+	}
+	ev.LastSeen = last
+	ev.Answers = body[n:]
+	return ev, nil
+}
+
+// Retain is the cumulative retention-deletion record.
+type Retain struct {
+	// Segments / Packets count everything retention has deleted over the
+	// store's lifetime (cumulative, so the latest record is the total).
+	Segments uint64
+	Packets  uint64
+	// HorizonTS is the max block timestamp among deleted segments: queries
+	// at or before it can only be answered partially.
+	HorizonTS uint64
+}
+
+// appendRetainBody appends r's body encoding to dst.
+func appendRetainBody(dst []byte, r Retain) []byte {
+	dst = binary.AppendUvarint(dst, r.Segments)
+	dst = binary.AppendUvarint(dst, r.Packets)
+	dst = binary.AppendUvarint(dst, r.HorizonTS)
+	return dst
+}
+
+// DecodeRetain decodes a KindRetain body.
+func DecodeRetain(body []byte) (Retain, error) {
+	var r Retain
+	for i, f := range []*uint64{&r.Segments, &r.Packets, &r.HorizonTS} {
+		v, n, err := uvarint(body)
+		if err != nil {
+			return Retain{}, fmt.Errorf("segstore: retain field %d: %w", i, err)
+		}
+		*f = v
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return Retain{}, fmt.Errorf("segstore: %d trailing bytes after retain record", len(body))
+	}
+	return r, nil
+}
+
+// DecodeDigests decodes a KindDigests body into dst (reused when large
+// enough) — the same wire batch format exporters stream.
+func DecodeDigests(dst []core.PacketDigest, body []byte) ([]core.PacketDigest, error) {
+	return wire.AppendUnmarshal(dst[:0], body)
+}
+
+// Persister is re-exported so callers wiring a Writer into a sink can
+// name the contract without importing pipeline.
+type Persister = pipeline.Persister

@@ -1,0 +1,971 @@
+package segstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Segment file naming and framing constants.
+const (
+	// segMagic opens every segment file.
+	segMagic = "PSG1"
+	// segHeaderLen is the fixed file header: just the magic.
+	segHeaderLen = 4
+	// trailerMagic closes every sealed segment, after the footer offset.
+	trailerMagic = "PIDX"
+	// trailerLen is footerOff uint64 LE + trailerMagic.
+	trailerLen = 12
+	// segSuffix is the segment file extension.
+	segSuffix = ".pint"
+)
+
+// segName formats segment file names so lexical order is sequence order.
+func segName(seq uint64) string { return fmt.Sprintf("seg-%016d%s", seq, segSuffix) }
+
+// Options shapes a Store.
+type Options struct {
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 4 MiB). Rotation seals the segment: index footer,
+	// trailer, fsync.
+	SegmentBytes int64
+	// MaxSegments, when > 0, caps the sealed segment count; rotation
+	// deletes the oldest sealed segments beyond it and records the
+	// deletion in a KindRetain block.
+	MaxSegments int
+	// NoSync skips fsync everywhere — only for tests and benchmarks where
+	// the page cache is the durability domain anyway (a SIGKILLed process
+	// loses no written bytes; only machine loss needs fsync).
+	NoSync bool
+	// Now is the block timestamp clock (default wall-clock nanoseconds).
+	// The store clamps it monotone non-decreasing. Deterministic tests
+	// inject a counter.
+	Now func() uint64
+}
+
+// RecoveryReport says what Open found on disk.
+type RecoveryReport struct {
+	// Segments and Blocks count what survived (the active segment's
+	// replayable blocks included).
+	Segments int    `json:"segments"`
+	Blocks   int    `json:"blocks"`
+	Packets  uint64 `json:"packets"`
+	// TornBytes were discarded from TornSegment's tail: a crash cut the
+	// last write mid-block, and recovery truncated back to the last block
+	// boundary. Zero means the log ended cleanly.
+	TornBytes   int64  `json:"torn_bytes"`
+	TornSegment string `json:"torn_segment,omitempty"`
+	// DeletedSegments/DeletedPackets total what retention removed over
+	// the store's lifetime (from the latest KindRetain record).
+	DeletedSegments uint64 `json:"deleted_segments"`
+	DeletedPackets  uint64 `json:"deleted_packets"`
+	// HorizonTS is the newest timestamp retention has deleted; windows at
+	// or before it can only be answered partially.
+	HorizonTS uint64 `json:"horizon_ts"`
+	// MinTS/MaxTS bound the surviving blocks (both zero when empty).
+	MinTS uint64 `json:"min_ts"`
+	MaxTS uint64 `json:"max_ts"`
+}
+
+// segMeta is one sealed segment's directory entry.
+type segMeta struct {
+	name    string
+	seq     uint64
+	size    int64
+	minTS   uint64
+	maxTS   uint64
+	packets uint64
+	blocks  int
+}
+
+// Store is the append-only segment log. Appends come from one writer
+// goroutine (segstore.Writer); Scan and the stats methods are safe from
+// any goroutine.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	size   int64
+	idx    []IndexEntry
+	minTS  uint64
+	maxTS  uint64
+	pkts   uint64 // active segment's digest packets
+	blocks int    // active segment's block count
+	lastTS uint64 // monotone clamp for opts.Now
+
+	sealed []segMeta
+
+	// durablePkts counts digest packets across sealed + active segments;
+	// delSegs/delPkts/horizon mirror the latest KindRetain record.
+	durablePkts uint64
+	delSegs     uint64
+	delPkts     uint64
+	horizon     uint64
+
+	scratch []byte
+	closed  bool
+}
+
+// Open opens (creating if needed) the segment log in dir, recovers it —
+// truncating a torn tail back to the last valid block, refusing anything
+// that looks like corruption rather than truncation — and returns the
+// store positioned to append.
+func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	// A rotation threshold below one metadata block would rotate forever;
+	// 4 KiB is the floor (tests forcing rotation call Rotate directly).
+	if opts.SegmentBytes < 4096 {
+		opts.SegmentBytes = 4096
+	}
+	if opts.Now == nil {
+		opts.Now = func() uint64 { return uint64(time.Now().UnixNano()) }
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("segstore: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	report, err := s.recoverLog()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, report, nil
+}
+
+// listSegments returns dir's segment files in sequence order.
+func (s *Store) listSegments() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && len(name) == len(segName(0)) &&
+			filepath.Ext(name) == segSuffix && name[:4] == "seg-" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// recoverLog scans every segment, validates or repairs the last one, and
+// leaves the store appending to a fresh segment after the highest
+// sequence seen (never into a repaired file: its sealed index would lie
+// about blocks appended later). An unsealed survivor — the crash victim,
+// already truncated back to its last complete block — is re-sealed here,
+// so after Open every segment on disk carries a verified index.
+func (s *Store) recoverLog() (*RecoveryReport, error) {
+	names, err := s.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	report := &RecoveryReport{}
+	ckpt := newCkptChecker()
+	nextSeq := uint64(0)
+	for i, name := range names {
+		path := filepath.Join(s.dir, name)
+		last := i == len(names)-1
+		meta, entries, torn, wasSealed, err := s.scanSegment(path, last, ckpt)
+		if err != nil {
+			return nil, err
+		}
+		if torn > 0 {
+			report.TornBytes = torn
+			report.TornSegment = name
+		}
+		switch {
+		case meta.blocks == 0:
+			// Empty survivor (crash right after rotation); drop it rather
+			// than carry a zero-block file forever.
+			if err := os.Remove(path); err != nil {
+				return nil, fmt.Errorf("segstore: %w", err)
+			}
+		default:
+			if !wasSealed {
+				sealedMeta, err := sealFile(path, meta, entries, s.opts.NoSync)
+				if err != nil {
+					return nil, err
+				}
+				meta = sealedMeta
+			}
+			s.sealed = append(s.sealed, meta)
+			s.durablePkts += meta.packets
+			report.Segments++
+			report.Blocks += meta.blocks
+			report.Packets += meta.packets
+			if report.MinTS == 0 || meta.minTS < report.MinTS {
+				report.MinTS = meta.minTS
+			}
+			if meta.maxTS > report.MaxTS {
+				report.MaxTS = meta.maxTS
+			}
+		}
+		if meta.seq >= nextSeq {
+			nextSeq = meta.seq + 1
+		}
+		if meta.maxTS > s.lastTS {
+			s.lastTS = meta.maxTS
+		}
+	}
+	if err := ckpt.verify(); err != nil {
+		return nil, err
+	}
+	report.DeletedSegments = s.delSegs
+	report.DeletedPackets = s.delPkts
+	report.HorizonTS = s.horizon
+	if err := s.openSegment(nextSeq); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// sealFile appends an index footer and trailer to a recovered, unsealed
+// segment so every surviving segment leaves recovery sealed.
+func sealFile(path string, meta segMeta, entries []IndexEntry, noSync bool) (segMeta, error) {
+	idx := Index{MinTS: meta.minTS, MaxTS: meta.maxTS, Packets: meta.packets, Entries: entries}
+	buf, err := appendBlock(nil, kindIndex, meta.maxTS, appendIndexBody(nil, idx))
+	if err != nil {
+		return segMeta{}, err
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(meta.size))
+	buf = append(buf, trailerMagic...)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return segMeta{}, fmt.Errorf("segstore: re-sealing: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return segMeta{}, fmt.Errorf("segstore: re-sealing: %w", err)
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return segMeta{}, fmt.Errorf("segstore: re-sealing: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return segMeta{}, fmt.Errorf("segstore: re-sealing: %w", err)
+	}
+	meta.size += int64(len(buf))
+	return meta, nil
+}
+
+// scanSegment walks one segment's blocks. Sealed segments must verify
+// end to end (index directory included). The last, possibly-unsealed
+// segment may end mid-block — wire.ErrShortFrame — in which case the
+// file is truncated back to the last valid block and the cut tail is
+// reported; a checksum mismatch anywhere is corruption and refuses to
+// open. It returns the (possibly repaired) segment's metadata, its block
+// directory, the torn byte count, and whether the segment was sealed.
+func (s *Store) scanSegment(path string, last bool, ckpt *ckptChecker) (segMeta, []IndexEntry, int64, bool, error) {
+	fail := func(err error) (segMeta, []IndexEntry, int64, bool, error) {
+		return segMeta{}, nil, 0, false, err
+	}
+	name := filepath.Base(path)
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "seg-%016d"+segSuffix, &seq); err != nil {
+		return fail(fmt.Errorf("segstore: segment name %q: %w", name, err))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail(fmt.Errorf("segstore: %w", err))
+	}
+	if len(data) < segHeaderLen || string(data[:segHeaderLen]) != segMagic {
+		if last && len(data) < segHeaderLen && string(data) == segMagic[:len(data)] {
+			// The crash hit mid-header: the newest file holds a strict
+			// prefix of the magic and nothing else. Truncate it to empty;
+			// the zero-block path removes it.
+			if err := os.Truncate(path, 0); err != nil {
+				return fail(fmt.Errorf("segstore: truncating torn header: %w", err))
+			}
+			return segMeta{name: name, seq: seq}, nil, int64(len(data)), false, nil
+		}
+		return fail(fmt.Errorf("segstore: %s: bad segment magic", name))
+	}
+	meta := segMeta{name: name, seq: seq, size: int64(len(data))}
+
+	// A sealed segment ends with `footerOff | "PIDX"`; validate the
+	// directory against the blocks we are about to scan.
+	var sealedIdx *Index
+	rest := data[segHeaderLen:]
+	if n := len(data); n >= segHeaderLen+trailerLen && string(data[n-4:]) == trailerMagic {
+		footerOff := binary.LittleEndian.Uint64(data[n-trailerLen:])
+		if footerOff < segHeaderLen || footerOff >= uint64(n-trailerLen) {
+			return fail(fmt.Errorf("segstore: %s: index footer offset %d outside file", name, footerOff))
+		}
+		blk, after, err := decodeBlock(data[footerOff : n-trailerLen])
+		if err != nil || blk.Kind != kindIndex || len(after) != 0 {
+			return fail(fmt.Errorf("segstore: %s: sealed trailer points at no index block", name))
+		}
+		idx, err := DecodeIndex(blk.Body)
+		if err != nil {
+			return fail(fmt.Errorf("segstore: %s: %w", name, err))
+		}
+		sealedIdx = &idx
+		rest = data[segHeaderLen:footerOff]
+	} else if !last {
+		// Only the newest segment may be unsealed (a crash mid-append);
+		// an unsealed older segment means bytes went missing after the
+		// fact — that is corruption, not truncation.
+		return fail(fmt.Errorf("segstore: %s: unsealed segment is not the newest", name))
+	}
+
+	var torn int64
+	offset := uint64(segHeaderLen)
+	var entries []IndexEntry
+	for len(rest) > 0 {
+		blk, after, err := decodeBlock(rest)
+		switch {
+		case err == nil:
+		case errors.Is(err, wire.ErrShortFrame) && sealedIdx == nil:
+			// Torn tail: the crash cut this block mid-write. Truncate the
+			// file back to the last complete block and report the loss.
+			torn = int64(len(rest))
+			if err := os.Truncate(path, int64(offset)); err != nil {
+				return fail(fmt.Errorf("segstore: truncating torn tail: %w", err))
+			}
+			meta.size = int64(offset)
+			rest = nil
+			continue
+		default:
+			return fail(fmt.Errorf("segstore: %s: block at offset %d: %w", name, offset, err))
+		}
+		if blk.Kind == kindIndex && sealedIdx == nil {
+			// An index block without its trailer: the crash hit between
+			// the footer write and the trailer write. The directory is
+			// metadata only — cut it and stay unsealed.
+			torn = int64(len(rest))
+			if err := os.Truncate(path, int64(offset)); err != nil {
+				return fail(fmt.Errorf("segstore: truncating torn index: %w", err))
+			}
+			meta.size = int64(offset)
+			rest = nil
+			continue
+		}
+		pkts, err := s.absorbBlock(blk, ckpt, name, offset)
+		if err != nil {
+			return fail(err)
+		}
+		entries = append(entries, IndexEntry{Offset: offset, Kind: blk.Kind, TS: blk.TS, Packets: pkts})
+		meta.blocks++
+		meta.packets += pkts
+		if meta.blocks == 1 || blk.TS < meta.minTS {
+			meta.minTS = blk.TS
+		}
+		if blk.TS > meta.maxTS {
+			meta.maxTS = blk.TS
+		}
+		offset += uint64(len(rest) - len(after))
+		rest = after
+	}
+	if sealedIdx != nil {
+		if err := checkIndex(*sealedIdx, entries, meta, name); err != nil {
+			return fail(err)
+		}
+	}
+	return meta, entries, torn, sealedIdx != nil, nil
+}
+
+// absorbBlock validates one scanned block's body and updates the store's
+// retention/checkpoint recovery state. It returns the block's digest
+// packet count.
+func (s *Store) absorbBlock(blk Block, ckpt *ckptChecker, name string, offset uint64) (uint64, error) {
+	switch blk.Kind {
+	case KindDigests:
+		batch, err := wire.AppendUnmarshal(nil, blk.Body)
+		if err != nil {
+			return 0, fmt.Errorf("segstore: %s: digest block at offset %d: %w", name, offset, err)
+		}
+		ckpt.digests(uint64(len(batch)))
+		return uint64(len(batch)), nil
+	case KindCheckpoint:
+		cp, err := DecodeCheckpoint(blk.Body)
+		if err != nil {
+			return 0, fmt.Errorf("segstore: %s: checkpoint at offset %d: %w", name, offset, err)
+		}
+		if err := ckpt.checkpoint(cp); err != nil {
+			return 0, fmt.Errorf("segstore: %s: checkpoint at offset %d: %w", name, offset, err)
+		}
+		return 0, nil
+	case KindEvict:
+		if _, err := DecodeEvict(blk.Body); err != nil {
+			return 0, fmt.Errorf("segstore: %s: evict record at offset %d: %w", name, offset, err)
+		}
+		return 0, nil
+	case KindRetain:
+		r, err := DecodeRetain(blk.Body)
+		if err != nil {
+			return 0, fmt.Errorf("segstore: %s: retain record at offset %d: %w", name, offset, err)
+		}
+		if r.Segments < s.delSegs || r.Packets < s.delPkts {
+			return 0, fmt.Errorf("segstore: %s: retain record at offset %d went backwards", name, offset)
+		}
+		s.delSegs, s.delPkts, s.horizon = r.Segments, r.Packets, r.HorizonTS
+		ckpt.retain(r)
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("segstore: %s: unknown block kind %#02x at offset %d", name, blk.Kind, offset)
+	}
+}
+
+// checkIndex verifies a sealed segment's directory against its scanned
+// blocks — a directory that disagrees with the data is corruption.
+func checkIndex(idx Index, entries []IndexEntry, meta segMeta, name string) error {
+	if len(idx.Entries) != len(entries) {
+		return fmt.Errorf("segstore: %s: index lists %d blocks, found %d", name, len(idx.Entries), len(entries))
+	}
+	for i, e := range entries {
+		if idx.Entries[i] != e {
+			return fmt.Errorf("segstore: %s: index entry %d is %+v, block is %+v", name, i, idx.Entries[i], e)
+		}
+	}
+	if idx.Packets != meta.packets {
+		return fmt.Errorf("segstore: %s: index packet total %d, blocks hold %d", name, idx.Packets, meta.packets)
+	}
+	return nil
+}
+
+// ckptChecker verifies the never-double-count invariant while scanning:
+// every digest block precedes the checkpoint round that covers it (the
+// writer's FIFO guarantees it at append time), so a completed round —
+// all of its shards reported — claims exactly the digest packets logged
+// before it. Retention complicates the bookkeeping: a Retain marker
+// always lands later in the log than the checkpoints whose covered
+// digests it deleted, so rounds are collected during the scan and
+// validated once the final cumulative deletion count is known, against
+// the bounds seen_at_round ≤ sum ≤ seen_at_round + deleted_final.
+type ckptChecker struct {
+	seen    uint64 // digest packets scanned so far
+	deleted uint64 // retention-deleted packets (cumulative, from Retain)
+	round   uint64
+	shards  int
+	got     int
+	sum     uint64
+	rounds  []completedRound
+}
+
+// completedRound is one fully-reported checkpoint round awaiting
+// end-of-scan validation.
+type completedRound struct {
+	round uint64
+	sum   uint64 // packets the round's shards claim recorded
+	seen  uint64 // digest packets the log held when the round completed
+}
+
+func newCkptChecker() *ckptChecker { return &ckptChecker{} }
+
+func (c *ckptChecker) digests(n uint64) { c.seen += n }
+func (c *ckptChecker) retain(r Retain)  { c.deleted = r.Packets }
+
+func (c *ckptChecker) checkpoint(cp Checkpoint) error {
+	if c.got > 0 && (cp.Round != c.round || cp.Shards != c.shards) {
+		// A round abandoned mid-write (crash between shard records) is
+		// legal; just start accumulating the new round.
+		c.got, c.sum = 0, 0
+	}
+	c.round, c.shards = cp.Round, cp.Shards
+	c.sum += cp.Packets
+	c.got++
+	if c.got == c.shards {
+		c.rounds = append(c.rounds, completedRound{round: c.round, sum: c.sum, seen: c.seen})
+		c.got, c.sum = 0, 0
+	}
+	return nil
+}
+
+// verify runs once the whole log has been scanned. A round claiming less
+// than the log held is a double count (replaying the log would answer
+// with more packets than were recorded); claiming more than the log
+// plus everything retention ever deleted is loss.
+func (c *ckptChecker) verify() error {
+	for _, r := range c.rounds {
+		if r.sum < r.seen || r.sum > r.seen+c.deleted {
+			return fmt.Errorf("segstore: round %d claims %d packets recorded, log held %d (+%d deleted) — double count or loss",
+				r.round, r.sum, r.seen, c.deleted)
+		}
+	}
+	return nil
+}
+
+// openSegment creates and headers the next active segment.
+func (s *Store) openSegment(seq uint64) error {
+	path := filepath.Join(s.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: %w", err)
+	}
+	s.f, s.seq, s.size = f, seq, segHeaderLen
+	s.idx, s.minTS, s.maxTS, s.pkts, s.blocks = s.idx[:0], 0, 0, 0, 0
+	return nil
+}
+
+// now reads the clock, clamped monotone.
+func (s *Store) now() uint64 {
+	ts := s.opts.Now()
+	if ts < s.lastTS {
+		ts = s.lastTS
+	}
+	s.lastTS = ts
+	return ts
+}
+
+// append writes one block to the active segment and rotates if the
+// segment grew past the configured size.
+func (s *Store) append(kind uint8, body []byte, packets uint64) error {
+	if s.closed {
+		return fmt.Errorf("segstore: append after Close")
+	}
+	ts := s.now()
+	s.scratch = s.scratch[:0]
+	var err error
+	s.scratch, err = appendBlock(s.scratch, kind, ts, body)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(s.scratch); err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	s.idx = append(s.idx, IndexEntry{Offset: uint64(s.size), Kind: kind, TS: ts, Packets: packets})
+	if s.blocks == 0 {
+		s.minTS = ts
+	}
+	s.maxTS = ts
+	s.blocks++
+	s.size += int64(len(s.scratch))
+	s.pkts += packets
+	s.durablePkts += packets
+	if s.size >= s.opts.SegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// AppendDigests logs one ingested batch — the WAL record.
+func (s *Store) AppendDigests(batch []core.PacketDigest) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, err := wire.AppendMarshal(nil, batch)
+	if err != nil {
+		return err
+	}
+	return s.append(KindDigests, body, uint64(len(batch)))
+}
+
+// AppendCheckpoint logs one shard's checkpoint record.
+func (s *Store) AppendCheckpoint(cp Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(KindCheckpoint, appendCheckpointBody(nil, cp), 0)
+}
+
+// AppendEvict logs one evicted flow's finalized answers.
+func (s *Store) AppendEvict(ev EvictRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.append(KindEvict, appendEvictBody(nil, ev), 0)
+}
+
+// Rotate seals the active segment (index footer, trailer, fsync) and
+// opens the next one, then applies retention. A rotation of an empty
+// segment is a no-op.
+func (s *Store) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("segstore: Rotate after Close")
+	}
+	return s.rotateLocked()
+}
+
+func (s *Store) rotateLocked() error {
+	if s.blocks == 0 {
+		return nil
+	}
+	meta, err := s.sealLocked()
+	if err != nil {
+		return err
+	}
+	s.sealed = append(s.sealed, meta)
+	if err := s.openSegment(s.seq + 1); err != nil {
+		return err
+	}
+	return s.retainLocked()
+}
+
+// sealLocked writes the active segment's index footer and trailer,
+// fsyncs, closes the file, and returns its metadata.
+func (s *Store) sealLocked() (segMeta, error) {
+	idx := Index{MinTS: s.minTS, MaxTS: s.maxTS, Packets: s.pkts, Entries: s.idx}
+	footerOff := s.size
+	s.scratch = s.scratch[:0]
+	var err error
+	s.scratch, err = appendBlock(s.scratch, kindIndex, s.maxTS, appendIndexBody(nil, idx))
+	if err != nil {
+		return segMeta{}, err
+	}
+	s.scratch = binary.LittleEndian.AppendUint64(s.scratch, uint64(footerOff))
+	s.scratch = append(s.scratch, trailerMagic...)
+	if _, err := s.f.Write(s.scratch); err != nil {
+		return segMeta{}, fmt.Errorf("segstore: sealing: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return segMeta{}, fmt.Errorf("segstore: sealing: %w", err)
+		}
+	}
+	if err := s.f.Close(); err != nil {
+		return segMeta{}, fmt.Errorf("segstore: sealing: %w", err)
+	}
+	return segMeta{
+		name:    segName(s.seq),
+		seq:     s.seq,
+		size:    s.size + int64(len(s.scratch)),
+		minTS:   s.minTS,
+		maxTS:   s.maxTS,
+		packets: s.pkts,
+		blocks:  s.blocks,
+	}, nil
+}
+
+// retainLocked deletes the oldest sealed segments beyond MaxSegments and
+// records the deletion so conservation checks and the query horizon
+// survive it. The marker is logged and synced BEFORE the files are
+// unlinked: a crash in between leaves segments the marker already counts
+// as deleted — an overcounted horizon the next retention pass repairs —
+// never digests that vanished without a durable trace.
+func (s *Store) retainLocked() error {
+	if s.opts.MaxSegments <= 0 || len(s.sealed) <= s.opts.MaxSegments {
+		return nil
+	}
+	drop := s.sealed[:len(s.sealed)-s.opts.MaxSegments]
+	for _, m := range drop {
+		s.delSegs++
+		s.delPkts += m.packets
+		if m.maxTS > s.horizon {
+			s.horizon = m.maxTS
+		}
+	}
+	r := Retain{Segments: s.delSegs, Packets: s.delPkts, HorizonTS: s.horizon}
+	if err := s.append(KindRetain, appendRetainBody(nil, r), 0); err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: retention: %w", err)
+		}
+	}
+	for _, m := range drop {
+		if err := os.Remove(filepath.Join(s.dir, m.name)); err != nil {
+			return fmt.Errorf("segstore: retention: %w", err)
+		}
+		s.durablePkts -= m.packets
+	}
+	s.sealed = append(s.sealed[:0], s.sealed[len(drop):]...)
+	return nil
+}
+
+// Sync fsyncs the active segment — the durability point a checkpoint
+// interval ends with.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.NoSync {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	return nil
+}
+
+// Close seals the active segment and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.blocks == 0 {
+		// Nothing appended since the last rotation: delete the empty file
+		// rather than sealing a blockless segment.
+		name := s.f.Name()
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("segstore: %w", err)
+		}
+		return os.Remove(name)
+	}
+	meta, err := s.sealLocked()
+	if err != nil {
+		return err
+	}
+	s.sealed = append(s.sealed, meta)
+	return nil
+}
+
+// Abandon closes the store without sealing, syncing, or truncating —
+// the simulated SIGKILL the torture tests use. Bytes already written are
+// on disk (or in the page cache, which a process kill does not lose);
+// everything else is gone, exactly like a real crash.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.f.Close()
+}
+
+// Stats is the store's live accounting.
+type Stats struct {
+	// Segments counts sealed segments; the active segment rides in
+	// ActiveBlocks/ActiveBytes.
+	Segments        int    `json:"segments"`
+	Packets         uint64 `json:"packets"`
+	ActiveBlocks    int    `json:"active_blocks"`
+	ActiveBytes     int64  `json:"active_bytes"`
+	DeletedSegments uint64 `json:"deleted_segments"`
+	DeletedPackets  uint64 `json:"deleted_packets"`
+	HorizonTS       uint64 `json:"horizon_ts"`
+}
+
+// Stats reports the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Segments:        len(s.sealed),
+		Packets:         s.durablePkts,
+		ActiveBlocks:    s.blocks,
+		ActiveBytes:     s.size,
+		DeletedSegments: s.delSegs,
+		DeletedPackets:  s.delPkts,
+		HorizonTS:       s.horizon,
+	}
+}
+
+// HorizonTS returns the newest timestamp retention has deleted (0 when
+// nothing was ever deleted): the oldest instant the log can still answer
+// completely is just after it.
+func (s *Store) HorizonTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.horizon
+}
+
+// MaxTS returns the newest block timestamp on disk.
+func (s *Store) MaxTS() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.blocks > 0 {
+		return s.maxTS
+	}
+	if n := len(s.sealed); n > 0 {
+		return s.sealed[n-1].maxTS
+	}
+	return 0
+}
+
+// Scan walks every surviving block whose timestamp falls in
+// [since, until], in log order, calling fn for each. Sealed segments
+// wholly outside the window are skipped via their index bounds without
+// reading a block. Blocks alias a per-segment read buffer valid only
+// during the callback.
+func (s *Store) Scan(since, until uint64, fn func(Block) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.sealed {
+		if m.maxTS < since || m.minTS > until {
+			continue
+		}
+		if err := s.scanFile(filepath.Join(s.dir, m.name), true, since, until, fn); err != nil {
+			return err
+		}
+	}
+	if s.blocks == 0 || s.closed {
+		return nil
+	}
+	if s.maxTS < since || s.minTS > until {
+		return nil
+	}
+	return s.scanActiveLocked(since, until, fn)
+}
+
+// scanFile replays one sealed segment's data blocks through fn.
+func (s *Store) scanFile(path string, sealed bool, since, until uint64, fn func(Block) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	if len(data) < segHeaderLen || string(data[:segHeaderLen]) != segMagic {
+		return fmt.Errorf("segstore: %s: bad segment magic", filepath.Base(path))
+	}
+	rest := data[segHeaderLen:]
+	if sealed {
+		if len(data) < segHeaderLen+trailerLen || string(data[len(data)-4:]) != trailerMagic {
+			return fmt.Errorf("segstore: %s: sealed segment lost its trailer", filepath.Base(path))
+		}
+		footerOff := binary.LittleEndian.Uint64(data[len(data)-trailerLen:])
+		if footerOff < segHeaderLen || footerOff >= uint64(len(data)-trailerLen) {
+			return fmt.Errorf("segstore: %s: index footer offset %d outside file", filepath.Base(path), footerOff)
+		}
+		rest = data[segHeaderLen:footerOff]
+	}
+	return scanBlocks(rest, since, until, fn)
+}
+
+// scanActiveLocked replays the active segment's blocks through fn by
+// re-reading the file (the write handle is append-only).
+func (s *Store) scanActiveLocked(since, until uint64, fn func(Block) error) error {
+	data := make([]byte, s.size-segHeaderLen)
+	rf, err := os.Open(s.f.Name())
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	defer rf.Close()
+	if _, err := io.ReadFull(io.NewSectionReader(rf, segHeaderLen, int64(len(data))), data); err != nil {
+		return fmt.Errorf("segstore: reading active segment: %w", err)
+	}
+	return scanBlocks(data, since, until, fn)
+}
+
+func scanBlocks(data []byte, since, until uint64, fn func(Block) error) error {
+	for len(data) > 0 {
+		blk, rest, err := decodeBlock(data)
+		if err != nil {
+			return fmt.Errorf("segstore: scanning: %w", err)
+		}
+		data = rest
+		if blk.Kind == kindIndex || blk.TS < since || blk.TS > until {
+			continue
+		}
+		if err := fn(blk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact folds every sealed segment into one: blocks stream across in
+// log order (Retain records included — the deletion history must
+// survive), the combined segment seals with a fresh index, and the
+// originals are removed. The fold preserves exactly the property
+// Recording.Merge needs downstream: each flow's digests stay in arrival
+// order, so replaying the compacted log yields the same Recordings.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("segstore: Compact after Close")
+	}
+	if len(s.sealed) < 2 {
+		return nil
+	}
+	seq := s.sealed[len(s.sealed)-1].seq
+	tmp := filepath.Join(s.dir, segName(seq)+".compact")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: compact: %w", err)
+	}
+	defer os.Remove(tmp)
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: compact: %w", err)
+	}
+	out := segMeta{name: segName(seq), seq: seq}
+	size := int64(segHeaderLen)
+	var entries []IndexEntry
+	var buf []byte
+	for _, m := range s.sealed {
+		err := s.scanFile(filepath.Join(s.dir, m.name), true, 0, ^uint64(0), func(blk Block) error {
+			buf = buf[:0]
+			var err error
+			buf, err = appendBlock(buf, blk.Kind, blk.TS, blk.Body)
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(buf); err != nil {
+				return fmt.Errorf("segstore: compact: %w", err)
+			}
+			var pkts uint64
+			if blk.Kind == KindDigests {
+				batch, err := wire.AppendUnmarshal(nil, blk.Body)
+				if err != nil {
+					return err
+				}
+				pkts = uint64(len(batch))
+			}
+			entries = append(entries, IndexEntry{Offset: uint64(size), Kind: blk.Kind, TS: blk.TS, Packets: pkts})
+			if out.blocks == 0 {
+				out.minTS = blk.TS
+			}
+			out.maxTS = blk.TS
+			out.blocks++
+			out.packets += pkts
+			size += int64(len(buf))
+			return nil
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+	}
+	idx := Index{MinTS: out.minTS, MaxTS: out.maxTS, Packets: out.packets, Entries: entries}
+	buf = buf[:0]
+	buf, err = appendBlock(buf, kindIndex, out.maxTS, appendIndexBody(nil, idx))
+	if err != nil {
+		f.Close()
+		return err
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(size))
+	buf = append(buf, trailerMagic...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: compact: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("segstore: compact: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("segstore: compact: %w", err)
+	}
+	out.size = size + int64(len(buf))
+	// Replace: drop the originals first (the compacted file takes the
+	// newest seq's name, which is one of them), then move into place.
+	for _, m := range s.sealed[:len(s.sealed)-1] {
+		if err := os.Remove(filepath.Join(s.dir, m.name)); err != nil {
+			return fmt.Errorf("segstore: compact: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, out.name)); err != nil {
+		return fmt.Errorf("segstore: compact: %w", err)
+	}
+	s.sealed = append(s.sealed[:0], out)
+	return nil
+}

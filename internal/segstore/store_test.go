@@ -1,0 +1,483 @@
+package segstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// testClock is the deterministic nanosecond clock every store test
+// injects: timestamps are 10, 20, 30, … so windows are easy to reason
+// about and goldens never depend on the wall clock.
+func testClock() func() uint64 {
+	var ts uint64
+	return func() uint64 { ts += 10; return ts }
+}
+
+func openTest(t *testing.T, dir string, opts Options) (*Store, *RecoveryReport) {
+	t.Helper()
+	if opts.Now == nil {
+		opts.Now = testClock()
+	}
+	opts.NoSync = true
+	st, rep, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, rep
+}
+
+// collectBlocks scans the whole store into memory (bodies copied).
+func collectBlocks(t *testing.T, st *Store, since, until uint64) []Block {
+	t.Helper()
+	var out []Block
+	if err := st.Scan(since, until, func(b Block) error {
+		out = append(out, Block{Kind: b.Kind, TS: b.TS, Body: bytes.Clone(b.Body)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, rep := openTest(t, dir, Options{})
+	if rep.Segments != 0 || rep.Packets != 0 {
+		t.Fatalf("fresh dir recovered %+v", rep)
+	}
+
+	b1, b2, b3 := testDigests(3, 1), testDigests(2, 2), testDigests(4, 3)
+	for _, b := range [][]core.PacketDigest{b1, b2} {
+		if err := st.AppendDigests(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := EvictRecord{Flow: 0x42, Reason: 1, LastSeen: 7, Answers: []byte(`{"a":1}`)}
+	if err := st.AppendEvict(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(Checkpoint{Round: 1, Shard: 0, Shards: 1, Packets: 5, Flows: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendDigests(b3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(Checkpoint{Round: 2, Shard: 0, Shards: 1, Packets: 9, Flows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := collectBlocks(t, st, 0, ^uint64(0))
+	if len(want) != 6 {
+		t.Fatalf("live scan found %d blocks, want 6", len(want))
+	}
+	stats := st.Stats()
+	if stats.Packets != 9 || stats.Segments != 1 || stats.ActiveBlocks != 2 {
+		t.Fatalf("live stats %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything must come back, from sealed segments only.
+	st2, rep2 := openTest(t, dir, Options{})
+	defer st2.Close()
+	if rep2.Segments != 2 || rep2.Packets != 9 || rep2.TornBytes != 0 {
+		t.Fatalf("reopen recovered %+v", rep2)
+	}
+	if rep2.Blocks != 6 {
+		t.Fatalf("reopen found %d blocks, want 6", rep2.Blocks)
+	}
+	got := collectBlocks(t, st2, 0, ^uint64(0))
+	if len(got) != len(want) {
+		t.Fatalf("reopen scan found %d blocks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Kind != want[i].Kind || got[i].TS != want[i].TS || !bytes.Equal(got[i].Body, want[i].Body) {
+			t.Fatalf("block %d changed across reopen: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// The evict record survives with its answers intact.
+	evGot, err := DecodeEvict(got[2].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evGot.Flow != ev.Flow || !bytes.Equal(evGot.Answers, ev.Answers) {
+		t.Fatalf("evict record changed: %+v", evGot)
+	}
+
+	// Time-windowed scans honour block timestamps (10, 20, 30, …).
+	windowed := collectBlocks(t, st2, want[1].TS, want[3].TS)
+	if len(windowed) != 3 {
+		t.Fatalf("window [%d,%d] returned %d blocks, want 3", want[1].TS, want[3].TS, len(windowed))
+	}
+}
+
+// buildGoldenLog writes the deterministic two-segment log the torn-write
+// matrix and corruption tests mutilate: seg A sealed by rotation, seg B
+// sealed by Close, with a completed checkpoint round in each.
+func buildGoldenLog(t *testing.T, dir string) {
+	t.Helper()
+	st, _ := openTest(t, dir, Options{})
+	if err := st.AppendDigests(testDigests(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(Checkpoint{Round: 1, Shard: 0, Shards: 1, Packets: 3, Flows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendDigests(testDigests(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendDigests(testDigests(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendEvict(EvictRecord{Flow: 9, Reason: 0, LastSeen: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(Checkpoint{Round: 2, Shard: 0, Shards: 1, Packets: 9, Flows: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blockEnds maps a golden segment file to the byte offset where each
+// data block ends and the digest packets it holds, stopping at the index
+// block. It re-derives the layout straight from the bytes so the matrix
+// below never trusts the store's own bookkeeping.
+func blockEnds(t *testing.T, data []byte) (ends []int, pkts []uint64) {
+	t.Helper()
+	if string(data[:segHeaderLen]) != segMagic {
+		t.Fatal("golden segment lacks magic")
+	}
+	off := segHeaderLen
+	rest := data[segHeaderLen:]
+	for len(rest) > 0 {
+		blk, after, err := decodeBlock(rest)
+		if err != nil {
+			t.Fatalf("golden segment block at %d: %v", off, err)
+		}
+		if blk.Kind == kindIndex {
+			break
+		}
+		var n uint64
+		if blk.Kind == KindDigests {
+			batch, err := DecodeDigests(nil, blk.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n = uint64(len(batch))
+		}
+		off += len(rest) - len(after)
+		rest = after
+		ends = append(ends, off)
+		pkts = append(pkts, n)
+	}
+	return ends, pkts
+}
+
+// TestRecoveryTornMatrix is the torn-write torture: the last segment of
+// a committed golden log is truncated at EVERY byte offset, and each
+// prefix must recover — replaying cleanly to the last complete block,
+// reporting the exact tail loss, never crashing, never double-counting.
+func TestRecoveryTornMatrix(t *testing.T) {
+	golden := t.TempDir()
+	buildGoldenLog(t, golden)
+	names, err := os.ReadDir(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("golden log has %d segments, want 2", len(names))
+	}
+	segA, err := os.ReadFile(filepath.Join(golden, names[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segB, err := os.ReadFile(filepath.Join(golden, names[1].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	endsA, pktsA := blockEnds(t, segA)
+	var packetsA uint64
+	for _, n := range pktsA {
+		packetsA += n
+	}
+	if packetsA != 3 {
+		t.Fatalf("golden segment A holds %d packets, want 3", packetsA)
+	}
+	ends, pkts := blockEnds(t, segB)
+	_ = endsA
+
+	for cut := 0; cut <= len(segB); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, names[0].Name()), segA, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, names[1].Name()), segB[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, rep, err := Open(dir, Options{NoSync: true, Now: testClock()})
+		if err != nil {
+			t.Fatalf("cut %d/%d: recovery failed: %v", cut, len(segB), err)
+		}
+
+		// Expected survivors: every block of segment B whose bytes fit
+		// entirely inside the prefix.
+		wantPkts := packetsA
+		lastValid := segHeaderLen
+		for i, end := range ends {
+			if end <= cut {
+				wantPkts += pkts[i]
+				lastValid = end
+			}
+		}
+		if rep.Packets != wantPkts {
+			t.Fatalf("cut %d: recovered %d packets, want %d", cut, rep.Packets, wantPkts)
+		}
+		switch {
+		case cut == len(segB):
+			if rep.TornBytes != 0 {
+				t.Fatalf("cut %d (intact): reported %d torn bytes", cut, rep.TornBytes)
+			}
+		case cut > lastValid && cut >= segHeaderLen:
+			if rep.TornBytes != int64(cut-lastValid) {
+				t.Fatalf("cut %d: reported %d torn bytes, want %d", cut, rep.TornBytes, cut-lastValid)
+			}
+		case cut < segHeaderLen:
+			if rep.TornBytes != int64(cut) && cut > 0 {
+				t.Fatalf("cut %d (mid-header): reported %d torn bytes", cut, rep.TornBytes)
+			}
+		}
+
+		// The repaired log must append and reopen cleanly — and a second
+		// recovery must find nothing torn (repair is idempotent).
+		if err := st.AppendDigests(testDigests(1, 9)); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("cut %d: close after recovery: %v", cut, err)
+		}
+		st2, rep2, err := Open(dir, Options{NoSync: true, Now: testClock()})
+		if err != nil {
+			t.Fatalf("cut %d: second recovery: %v", cut, err)
+		}
+		if rep2.TornBytes != 0 {
+			t.Fatalf("cut %d: second recovery still torn (%d bytes)", cut, rep2.TornBytes)
+		}
+		if rep2.Packets != wantPkts+1 {
+			t.Fatalf("cut %d: second recovery holds %d packets, want %d", cut, rep2.Packets, wantPkts+1)
+		}
+		st2.Close()
+	}
+}
+
+// TestRecoveryCorruption separates the two failure classes: a flipped
+// bit is corruption and refuses to open (in both sealed and unsealed
+// segments), while only truncation is repaired.
+func TestRecoveryCorruption(t *testing.T) {
+	golden := t.TempDir()
+	buildGoldenLog(t, golden)
+	names, _ := os.ReadDir(golden)
+	for _, seg := range []string{names[0].Name(), names[1].Name()} {
+		data, err := os.ReadFile(filepath.Join(golden, seg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		for _, n := range names {
+			src, _ := os.ReadFile(filepath.Join(golden, n.Name()))
+			if n.Name() == seg {
+				src = bytes.Clone(src)
+				src[len(src)/2] ^= 0x01
+			}
+			if err := os.WriteFile(filepath.Join(dir, n.Name()), src, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, _, err = Open(dir, Options{NoSync: true, Now: testClock()})
+		if err == nil {
+			t.Fatalf("%s: flipped bit recovered silently", seg)
+		}
+		if errors.Is(err, wire.ErrShortFrame) {
+			t.Fatalf("%s: corruption misreported as truncation: %v", seg, err)
+		}
+		_ = data
+	}
+
+	// An unsealed segment that is not the newest means bytes vanished
+	// after the fact — corruption, not a torn tail.
+	dir := t.TempDir()
+	buildGoldenLog(t, dir)
+	names, _ = os.ReadDir(dir)
+	first := filepath.Join(dir, names[0].Name())
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, data[:len(data)-trailerLen], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{NoSync: true, Now: testClock()}); err == nil ||
+		!strings.Contains(err.Error(), "not the newest") {
+		t.Fatalf("unsealed older segment: %v", err)
+	}
+}
+
+// TestRecoveryDoubleCountDetected plants a checkpoint that claims fewer
+// packets than the log holds — the signature of a double count on replay
+// — and demands recovery refuse it.
+func TestRecoveryDoubleCountDetected(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTest(t, dir, Options{})
+	if err := st.AppendDigests(testDigests(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(Checkpoint{Round: 1, Shard: 0, Shards: 1, Packets: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{NoSync: true, Now: testClock()}); err == nil ||
+		!strings.Contains(err.Error(), "double count or loss") {
+		t.Fatalf("undercounting checkpoint recovered: %v", err)
+	}
+}
+
+// TestRetentionConservation rotates under MaxSegments=1 and checks that
+// deleted packets stay accounted: surviving digests plus the cumulative
+// Retain counter always equal everything ever appended, live and across
+// a reopen.
+func TestRetentionConservation(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTest(t, dir, Options{MaxSegments: 1})
+	var appended uint64
+	for i := 0; i < 5; i++ {
+		batch := testDigests(3+i, uint64(i))
+		if err := st.AppendDigests(batch); err != nil {
+			t.Fatal(err)
+		}
+		appended += uint64(len(batch))
+		if err := st.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	if stats.DeletedSegments == 0 {
+		t.Fatal("retention never deleted a segment")
+	}
+	var surviving uint64
+	count := func(b Block) error {
+		if b.Kind == KindDigests {
+			batch, err := DecodeDigests(nil, b.Body)
+			if err != nil {
+				return err
+			}
+			surviving += uint64(len(batch))
+		}
+		return nil
+	}
+	if err := st.Scan(0, ^uint64(0), count); err != nil {
+		t.Fatal(err)
+	}
+	if surviving+stats.DeletedPackets != appended {
+		t.Fatalf("conservation broken: %d surviving + %d deleted != %d appended",
+			surviving, stats.DeletedPackets, appended)
+	}
+	if st.HorizonTS() == 0 {
+		t.Fatal("retention left no horizon")
+	}
+	// A full-coverage checkpoint round is still valid: the checker knows
+	// about the deleted packets through the Retain marker.
+	if err := st.AppendCheckpoint(Checkpoint{Round: 1, Shard: 0, Shards: 1, Packets: appended}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep := openTest(t, dir, Options{MaxSegments: 1})
+	defer st2.Close()
+	if rep.DeletedPackets != stats.DeletedPackets || rep.DeletedSegments != stats.DeletedSegments {
+		t.Fatalf("reopen lost retention counters: %+v vs %+v", rep, stats)
+	}
+	if rep.HorizonTS == 0 {
+		t.Fatal("reopen lost the horizon")
+	}
+	surviving = 0
+	if err := st2.Scan(0, ^uint64(0), count); err != nil {
+		t.Fatal(err)
+	}
+	if surviving+rep.DeletedPackets != appended {
+		t.Fatalf("conservation broken after reopen: %d + %d != %d", surviving, rep.DeletedPackets, appended)
+	}
+}
+
+// TestCompact folds every sealed segment into one and demands the block
+// stream survive byte-for-byte.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTest(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		if err := st.AppendDigests(testDigests(2+i, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := collectBlocks(t, st, 0, ^uint64(0))
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectBlocks(t, st, 0, ^uint64(0))
+	if len(got) != len(want) {
+		t.Fatalf("compaction changed block count: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Kind != want[i].Kind || got[i].TS != want[i].TS || !bytes.Equal(got[i].Body, want[i].Body) {
+			t.Fatalf("compaction changed block %d", i)
+		}
+	}
+	if st.Stats().Segments != 1 {
+		t.Fatalf("compaction left %d sealed segments, want 1", st.Stats().Segments)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rep := openTest(t, dir, Options{})
+	defer st2.Close()
+	if rep.TornBytes != 0 || rep.Packets != 2+3+4+5 {
+		t.Fatalf("compacted log reopened as %+v", rep)
+	}
+}
+
+// TestAbandonThenRecover is the in-process SIGKILL: Abandon never seals,
+// and recovery still serves everything that hit the file.
+func TestAbandonThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTest(t, dir, Options{})
+	if err := st.AppendDigests(testDigests(6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Abandon()
+	st2, rep := openTest(t, dir, Options{})
+	defer st2.Close()
+	if rep.Packets != 6 || rep.TornBytes != 0 {
+		t.Fatalf("abandoned store recovered as %+v", rep)
+	}
+}

@@ -1,0 +1,267 @@
+package segstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// WriterOptions shapes a Writer.
+type WriterOptions struct {
+	// QueueDepth bounds the pending-operation queue (default 64). A full
+	// queue blocks PersistIngest — the ingester — which is the durability
+	// tier's backpressure: TCP flow control then slows the exporters,
+	// exactly like a slow sink worker would.
+	QueueDepth int
+	// EncodeEvict, when non-nil, renders an evicted flow's finalized
+	// answers while the Recording still holds them (it runs synchronously
+	// on the evicting worker); the bytes land in the KindEvict record.
+	// Nil persists the eviction with an empty answer body.
+	EncodeEvict func(ev pipeline.Eviction, rec *core.Recording) []byte
+}
+
+// Writer is the pipeline.Persister that feeds a Store: every event is
+// copied into a bounded queue and applied by one background goroutine,
+// keeping file I/O off the ingest hot path. Wiring it in:
+//
+//	store, report, _ := segstore.Open(dir, segstore.Options{})
+//	// ... replay the log into the sink first (collector.ReplayInto) ...
+//	w := segstore.NewWriter(store, segstore.WriterOptions{})
+//	sink.SetPersister(w)
+//
+// and on the way down: Sink.Checkpoint → w.Sync → Sink.Close → w.Close →
+// store.Close (the writer must outlive the sink, whose drain may still
+// evict).
+type Writer struct {
+	store *Store
+	enc   func(pipeline.Eviction, *core.Recording) []byte
+	ops   chan wop
+	free  chan []core.PacketDigest
+	quit  chan struct{}
+	done  chan struct{}
+	err   atomic.Pointer[error]
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// wop is one queued writer operation.
+type wop struct {
+	kind  uint8 // KindDigests / KindCheckpoint / KindEvict / opFlush / opSync
+	batch []core.PacketDigest
+	cp    Checkpoint
+	ev    EvictRecord
+	reply chan<- error
+}
+
+const (
+	opFlush uint8 = 0xFE
+	opSync  uint8 = 0xFF
+)
+
+// NewWriter starts a writer over store.
+func NewWriter(store *Store, opts WriterOptions) *Writer {
+	if opts.QueueDepth < 1 {
+		opts.QueueDepth = 64
+	}
+	w := &Writer{
+		store: store,
+		enc:   opts.EncodeEvict,
+		ops:   make(chan wop, opts.QueueDepth),
+		free:  make(chan []core.PacketDigest, opts.QueueDepth+1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+func (w *Writer) run() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			return
+		case op := <-w.ops:
+			w.apply(op)
+		}
+	}
+}
+
+func (w *Writer) apply(op wop) {
+	var err error
+	switch op.kind {
+	case KindDigests:
+		if w.Err() == nil {
+			err = w.store.AppendDigests(op.batch)
+		}
+		select {
+		case w.free <- op.batch[:0]:
+		default:
+		}
+	case KindCheckpoint:
+		if w.Err() == nil {
+			err = w.store.AppendCheckpoint(op.cp)
+		}
+	case KindEvict:
+		if w.Err() == nil {
+			err = w.store.AppendEvict(op.ev)
+		}
+	case opFlush:
+		op.reply <- w.Err()
+		return
+	case opSync:
+		err = w.Err()
+		if err == nil {
+			err = w.store.Sync()
+		}
+		op.reply <- err
+		return
+	}
+	if err != nil {
+		w.fail(err)
+	}
+}
+
+func (w *Writer) fail(err error) {
+	if w.err.Load() == nil {
+		w.err.Store(&err)
+	}
+}
+
+// Err returns the writer's first persistence error, or nil. After an
+// error the writer keeps draining its queue (so ingestion never
+// deadlocks) but appends nothing further — the collector surfaces the
+// error and the operator decides.
+func (w *Writer) Err() error {
+	if p := w.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// send enqueues an op, blocking when the queue is full (backpressure)
+// but never blocking past Abandon.
+func (w *Writer) send(op wop) {
+	select {
+	case w.ops <- op:
+	case <-w.quit:
+	}
+}
+
+// PersistIngest implements pipeline.Persister: it copies the batch into
+// a recycled buffer and queues it, so steady state allocates nothing.
+func (w *Writer) PersistIngest(batch []core.PacketDigest) {
+	var buf []core.PacketDigest
+	select {
+	case buf = <-w.free:
+	default:
+	}
+	buf = append(buf[:0], batch...)
+	w.send(wop{kind: KindDigests, batch: buf})
+}
+
+// PersistEvict implements pipeline.Persister. The answer encoding runs
+// here, synchronously on the evicting worker, because the flow's state
+// is dropped the moment this returns.
+func (w *Writer) PersistEvict(shard int, ev pipeline.Eviction, rec *core.Recording) {
+	record := EvictRecord{Flow: ev.Flow, Reason: uint8(ev.Reason), LastSeen: ev.LastSeen}
+	if w.enc != nil {
+		record.Answers = w.enc(ev, rec)
+	}
+	w.send(wop{kind: KindEvict, ev: record})
+}
+
+// PersistCheckpoint implements pipeline.Persister.
+func (w *Writer) PersistCheckpoint(cp pipeline.CheckpointStats) {
+	w.send(wop{kind: KindCheckpoint, cp: Checkpoint{
+		Round:   cp.Round,
+		Shard:   cp.Shard,
+		Shards:  cp.Shards,
+		Packets: cp.Packets,
+		Flows:   cp.Flows,
+	}})
+}
+
+// Flush blocks until every event queued before the call has been applied
+// to the store, and returns the writer's error state.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.Err()
+	}
+	w.mu.Unlock()
+	reply := make(chan error, 1)
+	select {
+	case w.ops <- wop{kind: opFlush, reply: reply}:
+	case <-w.quit:
+		return w.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-w.quit:
+		return w.Err()
+	}
+}
+
+// Sync flushes and fsyncs the store — the durability point each
+// checkpoint interval ends with.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.Err()
+	}
+	w.mu.Unlock()
+	reply := make(chan error, 1)
+	select {
+	case w.ops <- wop{kind: opSync, reply: reply}:
+	case <-w.quit:
+		return w.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-w.quit:
+		return w.Err()
+	}
+}
+
+// Close drains the queue and stops the writer. The store stays open —
+// the caller seals it with Store.Close.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return w.Err()
+	}
+	w.mu.Unlock()
+	err := w.Flush()
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.quit)
+	}
+	w.mu.Unlock()
+	<-w.done
+	return err
+}
+
+// Abandon stops the writer immediately, dropping everything still
+// queued, and abandons the store — the simulated SIGKILL. Producers
+// blocked on a full queue unblock (their events are lost, like any
+// in-process buffer at a crash).
+func (w *Writer) Abandon() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.quit)
+	}
+	w.mu.Unlock()
+	<-w.done
+	w.store.Abandon()
+}

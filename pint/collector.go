@@ -70,3 +70,24 @@ func Answers(rec *Recording, queries []Query, flows []FlowKey) []FlowAnswers {
 // ShardStats is one sink shard's ingest counters (see ShardedSink.Stats,
 // whose stall counts surface the backpressure OnStall observes).
 type ShardStats = pipeline.ShardStats
+
+// DurableSink is a sharded sink joined to its crash-safe segment log
+// (internal/segstore; pintd -data-dir): every ingested batch is appended
+// to the log off the hot path, and opening replays the log — recovering
+// from torn tails a SIGKILL left behind — before the first Ingest, so a
+// restarted collector answers bit-for-bit identically to one that never
+// crashed, modulo the explicitly reported unflushed tail in Recovery.
+type DurableSink = collector.DurableSink
+
+// DurableOptions shapes a DurableSink's segment log: directory, rotation
+// size, retention, and fsync policy.
+type DurableOptions = collector.DurableOptions
+
+// OpenDurableSink opens (recovering if needed) the segment log under
+// opts.DataDir, builds the sharded sink, replays the log into it, and
+// attaches the persistence writer. Pass the result as
+// CollectorConfig.Durable to serve it (checkpoint cadence, historical
+// /snapshot?since=&until= windows).
+func OpenDurableSink(eng *Engine, queries []Query, cfg ShardConfig, opts DurableOptions) (*DurableSink, error) {
+	return collector.OpenDurableSink(eng, queries, cfg, opts)
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -116,6 +117,21 @@ func (d *daemonProc) scrape(t *testing.T, marker string) string {
 		if _, rest, ok := strings.Cut(line, marker); ok {
 			token, _, _ := strings.Cut(rest, " ")
 			return strings.TrimSuffix(token, ",")
+		}
+	}
+	t.Fatalf("daemon never printed %q:\n%s", marker, strings.Join(d.lines, "\n"))
+	return ""
+}
+
+// scrapeLine reads stdout until a line contains marker and returns the
+// whole line (scrape returns only the token after the marker).
+func (d *daemonProc) scrapeLine(t *testing.T, marker string) string {
+	t.Helper()
+	for d.scanner.Scan() {
+		line := d.scanner.Text()
+		d.lines = append(d.lines, line)
+		if strings.Contains(line, marker) {
+			return line
 		}
 	}
 	t.Fatalf("daemon never printed %q:\n%s", marker, strings.Join(d.lines, "\n"))
@@ -266,6 +282,162 @@ func TestSmokeFederatedDrain(t *testing.T) {
 	}
 	if !strings.Contains(gateOut, "pintgate: drained") {
 		t.Fatalf("pintgate drain report missing:\n%s", gateOut)
+	}
+}
+
+// TestSmokeKillRecover is the binary-level half of the kill-recover
+// torture suite (the scenario registry holds the in-process half): a real
+// pintd with -data-dir takes a full pintload deployment, is SIGKILLed —
+// no drain, no final checkpoint — and a restarted daemon on the same
+// directory must replay every flushed packet, serve the same flows, take
+// a second deployment, shut down cleanly, and replay the union on a third
+// start. Packet conservation is checked at every hop.
+func TestSmokeKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests exec the go tool; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	bin := t.TempDir()
+	for _, cmd := range []string{"pintd", "pintload"} {
+		out, err := exec.CommandContext(ctx, "go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", cmd, err, out)
+		}
+	}
+	dataDir := t.TempDir()
+
+	const (
+		exporters = 2
+		flows     = 3
+		pkts      = 400
+	)
+	total := exporters * flows * pkts
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	start := func() *daemonProc {
+		return startDaemon(t, ctx, filepath.Join(bin, "pintd"),
+			"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+			"-shards", "2", "-data-dir", dataDir, "-checkpoint", "50ms")
+	}
+	// recovered reports the replayed packet count a daemon announced at
+	// startup (the line prints before "listening on").
+	recovered := func(d *daemonProc) int {
+		line := d.scrapeLine(t, "recovered:")
+		var segs, blocks, replayed int
+		if _, err := fmt.Sscanf(line, "pintd: recovered: %d segments, %d blocks, %d packets replayed",
+			&segs, &blocks, &replayed); err != nil {
+			t.Fatalf("unparseable recovery line %q: %v", line, err)
+		}
+		return replayed
+	}
+	// durablePackets polls /stats until the segment log holds want packets
+	// — the flush point after which a SIGKILL loses nothing.
+	durablePackets := func(httpAddr string, want int) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var doc struct {
+				Durable struct {
+					Store struct {
+						Packets int `json:"packets"`
+					} `json:"store"`
+				} `json:"durable"`
+			}
+			resp, err := client.Get("http://" + httpAddr + "/stats")
+			if err != nil {
+				t.Fatalf("stats: %v", err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("stats decode: %v", err)
+			}
+			if doc.Durable.Store.Packets == want {
+				return
+			}
+			if doc.Durable.Store.Packets > want {
+				t.Fatalf("segment log holds %d packets, only %d were ever sent — double count",
+					doc.Durable.Store.Packets, want)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("segment log stuck at %d packets, want %d", doc.Durable.Store.Packets, want)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	load := func(addr string) {
+		t.Helper()
+		out, err := exec.CommandContext(ctx, filepath.Join(bin, "pintload"),
+			"-addr", addr,
+			"-exporters", fmt.Sprint(exporters), "-flows", fmt.Sprint(flows), "-pkts", fmt.Sprint(pkts),
+		).CombinedOutput()
+		if err != nil {
+			t.Fatalf("pintload: %v\n%s", err, out)
+		}
+		if want := fmt.Sprintf("sent %d packets", total); !strings.Contains(string(out), want) {
+			t.Fatalf("pintload report lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Incarnation 1: empty directory, one deployment, flushed, SIGKILLed.
+	d1 := start()
+	if n := recovered(d1); n != 0 {
+		t.Fatalf("fresh data dir replayed %d packets", n)
+	}
+	addr := d1.scrape(t, "listening on ")
+	httpAddr := d1.scrape(t, "http on ")
+	load(addr)
+	durablePackets(httpAddr, total)
+	if err := d1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+		t.Fatal(err)
+	}
+	d1.drainOutput()
+	d1.cmd.Wait() // non-zero by design; reap it
+
+	// Incarnation 2: must replay the full deployment before serving, then
+	// answer with the same flows and survive a second deployment.
+	d2 := start()
+	if n := recovered(d2); n != total {
+		t.Fatalf("after SIGKILL: replayed %d packets, want %d", n, total)
+	}
+	addr = d2.scrape(t, "listening on ")
+	httpAddr = d2.scrape(t, "http on ")
+	resp, err := client.Get("http://" + httpAddr + "/snapshot")
+	if err != nil {
+		t.Fatalf("snapshot after recovery: %v", err)
+	}
+	snap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.Count(string(snap), `"flow":`); got != exporters*flows {
+		t.Fatalf("recovered snapshot has %d flows, want %d:\n%.600s", got, exporters*flows, snap)
+	}
+	load(addr)
+	durablePackets(httpAddr, 2*total)
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out2 := d2.drainOutput()
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("pintd exited non-zero after SIGTERM: %v\n%s", err, out2)
+	}
+	if want := fmt.Sprintf("drained: %d packets", total); !strings.Contains(out2, want) {
+		t.Fatalf("second incarnation drain report lacks %q:\n%s", want, out2)
+	}
+
+	// Incarnation 3: the union of both deployments replays after a clean
+	// shutdown — nothing was lost, nothing double-counted.
+	d3 := start()
+	if n := recovered(d3); n != 2*total {
+		t.Fatalf("final restart replayed %d packets, want %d", n, 2*total)
+	}
+	d3.scrape(t, "listening on ")
+	if err := d3.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out3 := d3.drainOutput()
+	if err := d3.cmd.Wait(); err != nil {
+		t.Fatalf("pintd exited non-zero after final SIGTERM: %v\n%s", err, out3)
 	}
 }
 
