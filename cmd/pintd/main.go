@@ -115,6 +115,13 @@ func main() {
 		log.Fatalf("pintd: %v", err)
 	}
 
+	// The handler must be in place before the daemon announces itself:
+	// supervisors (and the kill-recover smoke) take the "listening on"
+	// line as license to signal, and a SIGTERM landing in the gap would
+	// kill the process instead of draining it.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("pintd: %v", err)
@@ -145,8 +152,6 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigs:
 		fmt.Printf("pintd: %v: draining (grace %v)\n", sig, *grace)

@@ -173,8 +173,10 @@ func New(cfg Config) (*Server, error) {
 		drained:  make(chan struct{}),
 	}
 	if cfg.Durable != nil && cfg.CheckpointEvery > 0 {
+		// The cadence goroutine itself starts lazily in Serve: a Server
+		// that is constructed but never served must not leak a ticker
+		// that keeps checkpointing a DurableSink the caller closed.
 		s.stopCkpt = make(chan struct{})
-		go s.runCheckpoints(cfg.CheckpointEvery)
 	}
 	return s, nil
 }
@@ -225,6 +227,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		return fmt.Errorf("collector: Serve called twice")
 	}
 	s.ln = ln
+	if s.stopCkpt != nil {
+		// First (and only — Serve-twice errors above) Serve owns starting
+		// the background checkpoint cadence; Shutdown stops it.
+		go s.runCheckpoints(s.cfg.CheckpointEvery)
+	}
 	s.mu.Unlock()
 
 	for {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -282,8 +283,11 @@ func mustPlainSink(t *testing.T, tb *Testbench) *pipeline.Sink {
 }
 
 // TestDurableCheckpointTicker: a Server with a positive CheckpointEvery
-// flushes the log on its own cadence — no explicit Checkpoint call — and
-// Shutdown stops the ticker and lands the final checkpoint.
+// runs the checkpoint cadence on its own once served — no explicit
+// Checkpoint call — and Shutdown stops the ticker and lands the final
+// checkpoint. The cadence must NOT start before Serve: a constructed-but
+// -never-served Server would otherwise leak a ticker goroutine that keeps
+// checkpointing a DurableSink its caller may already have closed.
 func TestDurableCheckpointTicker(t *testing.T) {
 	tb := mustTestbench(t, 5)
 	dir := t.TempDir()
@@ -302,15 +306,43 @@ func TestDurableCheckpointTicker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	countCkpts := func() int {
+		n := 0
+		if err := d.Store.Scan(0, ^uint64(0), func(b segstore.Block) error {
+			if b.Kind == segstore.KindCheckpoint {
+				n++
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	// Construction alone starts nothing: many intervals later the log
+	// still holds zero checkpoint records.
+	time.Sleep(20 * time.Millisecond)
+	if n := countCkpts(); n != 0 {
+		t.Fatalf("cadence ran before Serve: %d checkpoint records", n)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	deadline := time.Now().Add(30 * time.Second)
-	for d.Store.Stats().Packets != uint64(len(stream)) {
+	for countCkpts() == 0 || d.Store.Stats().Packets != uint64(len(stream)) {
 		if time.Now().After(deadline) {
-			t.Fatalf("background cadence flushed %d of %d packets", d.Store.Stats().Packets, len(stream))
+			t.Fatalf("background cadence flushed %d of %d packets, %d checkpoint records",
+				d.Store.Stats().Packets, len(stream), countCkpts())
 		}
 		time.Sleep(time.Millisecond)
 	}
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 	if ts := d.Store.MaxTS(); ts == 0 {
 		t.Fatal("flushed store reports MaxTS 0")

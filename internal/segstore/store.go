@@ -27,6 +27,10 @@ const (
 	trailerLen = 12
 	// segSuffix is the segment file extension.
 	segSuffix = ".pint"
+	// compactSuffix marks Compact's temp file; listSegments ignores it,
+	// and recovery either deletes it (unsealed: the crash hit mid-write)
+	// or finishes the interrupted replacement (sealed: the fold committed).
+	compactSuffix = ".compact"
 )
 
 // segName formats segment file names so lexical order is sequence order.
@@ -170,6 +174,9 @@ func (s *Store) listSegments() ([]string, error) {
 // already truncated back to its last complete block — is re-sealed here,
 // so after Open every segment on disk carries a verified index.
 func (s *Store) recoverLog() (*RecoveryReport, error) {
+	if err := s.recoverCompaction(); err != nil {
+		return nil, err
+	}
 	names, err := s.listSegments()
 	if err != nil {
 		return nil, err
@@ -232,6 +239,61 @@ func (s *Store) recoverLog() (*RecoveryReport, error) {
 		return nil, err
 	}
 	return report, nil
+}
+
+// recoverCompaction finishes (or discards) a Compact interrupted by a
+// crash. A `.compact` temp that scans as a fully sealed segment passed
+// Compact's commit point: it holds every block of every segment it
+// folded, so the originals at or below its sequence — whichever of them
+// still exist — are removed and the temp renamed into place, exactly
+// what Compact would have done. A temp that does not validate never
+// committed; it is deleted and the originals (all still present — the
+// commit point precedes the first removal) recover normally.
+func (s *Store) recoverCompaction() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("segstore: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || len(name) != len(segName(0))+len(compactSuffix) ||
+			name[:4] != "seg-" || filepath.Ext(name) != compactSuffix {
+			continue
+		}
+		path := filepath.Join(s.dir, name)
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "seg-%016d"+segSuffix+compactSuffix, &seq); err != nil {
+			return fmt.Errorf("segstore: compact temp %q: %w", name, err)
+		}
+		probe := &Store{}
+		_, _, _, wasSealed, perr := probe.scanSegment(path, false, newCkptChecker())
+		if perr != nil || !wasSealed {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("segstore: dropping uncommitted compact temp: %w", err)
+			}
+			continue
+		}
+		names, err := s.listSegments()
+		if err != nil {
+			return err
+		}
+		for _, old := range names {
+			var oldSeq uint64
+			if _, err := fmt.Sscanf(old, "seg-%016d"+segSuffix, &oldSeq); err != nil {
+				return fmt.Errorf("segstore: segment name %q: %w", old, err)
+			}
+			if oldSeq > seq {
+				continue // the crashed incarnation's active segment: not folded
+			}
+			if err := os.Remove(filepath.Join(s.dir, old)); err != nil {
+				return fmt.Errorf("segstore: resuming compaction: %w", err)
+			}
+		}
+		if err := os.Rename(path, filepath.Join(s.dir, segName(seq))); err != nil {
+			return fmt.Errorf("segstore: resuming compaction: %w", err)
+		}
+	}
+	return nil
 }
 
 // sealFile appends an index footer and trailer to a recovered, unsealed
@@ -300,24 +362,24 @@ func (s *Store) scanSegment(path string, last bool, ckpt *ckptChecker) (segMeta,
 	meta := segMeta{name: name, seq: seq, size: int64(len(data))}
 
 	// A sealed segment ends with `footerOff | "PIDX"`; validate the
-	// directory against the blocks we are about to scan.
+	// directory against the blocks we are about to scan. The newest
+	// segment gets one extra grace: a torn, unsealed tail ends in four
+	// arbitrary bytes, which can coincide with the trailer magic — so a
+	// trailer that fails to validate there falls back to the unsealed
+	// torn-tail scan instead of refusing the whole log.
 	var sealedIdx *Index
 	rest := data[segHeaderLen:]
 	if n := len(data); n >= segHeaderLen+trailerLen && string(data[n-4:]) == trailerMagic {
-		footerOff := binary.LittleEndian.Uint64(data[n-trailerLen:])
-		if footerOff < segHeaderLen || footerOff >= uint64(n-trailerLen) {
-			return fail(fmt.Errorf("segstore: %s: index footer offset %d outside file", name, footerOff))
+		idx, footerOff, terr := decodeTrailer(data, name)
+		switch {
+		case terr == nil:
+			sealedIdx = &idx
+			rest = data[segHeaderLen:footerOff]
+		case last:
+			// Coincidental magic on the crash victim: scan it unsealed.
+		default:
+			return fail(terr)
 		}
-		blk, after, err := decodeBlock(data[footerOff : n-trailerLen])
-		if err != nil || blk.Kind != kindIndex || len(after) != 0 {
-			return fail(fmt.Errorf("segstore: %s: sealed trailer points at no index block", name))
-		}
-		idx, err := DecodeIndex(blk.Body)
-		if err != nil {
-			return fail(fmt.Errorf("segstore: %s: %w", name, err))
-		}
-		sealedIdx = &idx
-		rest = data[segHeaderLen:footerOff]
 	} else if !last {
 		// Only the newest segment may be unsealed (a crash mid-append);
 		// an unsealed older segment means bytes went missing after the
@@ -379,6 +441,27 @@ func (s *Store) scanSegment(path string, last bool, ckpt *ckptChecker) (segMeta,
 		}
 	}
 	return meta, entries, torn, sealedIdx != nil, nil
+}
+
+// decodeTrailer validates a trailer-bearing segment image and decodes
+// its index footer, returning the index and the footer block's offset
+// (the data-block region ends there). The caller has already matched the
+// trailing magic.
+func decodeTrailer(data []byte, name string) (Index, uint64, error) {
+	n := len(data)
+	footerOff := binary.LittleEndian.Uint64(data[n-trailerLen:])
+	if footerOff < segHeaderLen || footerOff >= uint64(n-trailerLen) {
+		return Index{}, 0, fmt.Errorf("segstore: %s: index footer offset %d outside file", name, footerOff)
+	}
+	blk, after, err := decodeBlock(data[footerOff : n-trailerLen])
+	if err != nil || blk.Kind != kindIndex || len(after) != 0 {
+		return Index{}, 0, fmt.Errorf("segstore: %s: sealed trailer points at no index block", name)
+	}
+	idx, err := DecodeIndex(blk.Body)
+	if err != nil {
+		return Index{}, 0, fmt.Errorf("segstore: %s: %w", name, err)
+	}
+	return idx, footerOff, nil
 }
 
 // absorbBlock validates one scanned block's body and updates the store's
@@ -450,13 +533,14 @@ func checkIndex(idx Index, entries []IndexEntry, meta segMeta, name string) erro
 // validated once the final cumulative deletion count is known, against
 // the bounds seen_at_round ≤ sum ≤ seen_at_round + deleted_final.
 type ckptChecker struct {
-	seen    uint64 // digest packets scanned so far
-	deleted uint64 // retention-deleted packets (cumulative, from Retain)
-	round   uint64
-	shards  int
-	got     int
-	sum     uint64
-	rounds  []completedRound
+	seen     uint64 // digest packets scanned so far
+	deleted  uint64 // retention-deleted packets (cumulative, from Retain)
+	round    uint64
+	shards   int
+	got      int
+	sum      uint64
+	reported []bool // per-shard: reported in the accumulating round?
+	rounds   []completedRound
 }
 
 // completedRound is one fully-reported checkpoint round awaiting
@@ -473,15 +557,33 @@ func (c *ckptChecker) digests(n uint64) { c.seen += n }
 func (c *ckptChecker) retain(r Retain)  { c.deleted = r.Packets }
 
 func (c *ckptChecker) checkpoint(cp Checkpoint) error {
-	if c.got > 0 && (cp.Round != c.round || cp.Shards != c.shards) {
+	if c.got > 0 && (cp.Round != c.round || cp.Shards != c.shards || c.reported[cp.Shard]) {
 		// A round abandoned mid-write (crash between shard records) is
-		// legal; just start accumulating the new round.
+		// legal; just start accumulating the new round. Round numbers
+		// restart at 1 every process lifetime, so a matching round number
+		// is not proof of the same round: a shard index reporting twice is
+		// the tell that a new incarnation's round began, and its records
+		// must never stitch onto the orphan's into a bogus "complete"
+		// round.
 		c.got, c.sum = 0, 0
 	}
+	if c.got == 0 {
+		if cap(c.reported) < cp.Shards {
+			c.reported = make([]bool, cp.Shards)
+		} else {
+			c.reported = c.reported[:cp.Shards]
+			for i := range c.reported {
+				c.reported[i] = false
+			}
+		}
+	}
 	c.round, c.shards = cp.Round, cp.Shards
+	c.reported[cp.Shard] = true
 	c.sum += cp.Packets
 	c.got++
 	if c.got == c.shards {
+		// got == shards with no shard repeating (a repeat resets above)
+		// means every index in [0, shards) reported exactly once.
 		c.rounds = append(c.rounds, completedRound{round: c.round, sum: c.sum, seen: c.seen})
 		c.got, c.sum = 0, 0
 	}
@@ -794,62 +896,105 @@ func (s *Store) MaxTS() uint64 {
 // wholly outside the window are skipped via their index bounds without
 // reading a block. Blocks alias a per-segment read buffer valid only
 // during the callback.
+//
+// The store lock is held only to snapshot the segment set: overlapping
+// sealed segments are opened (an open fd survives a concurrent
+// retention/compaction unlink) and the active segment's bytes copied,
+// then the walk — file reads and fn callbacks included — runs unlocked,
+// so a long replay never stalls the append path.
 func (s *Store) Scan(since, until uint64, fn func(Block) error) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var files []*os.File
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
 	for _, m := range s.sealed {
 		if m.maxTS < since || m.minTS > until {
 			continue
 		}
-		if err := s.scanFile(filepath.Join(s.dir, m.name), true, since, until, fn); err != nil {
+		f, err := os.Open(filepath.Join(s.dir, m.name))
+		if err != nil {
+			closeAll()
+			s.mu.Unlock()
+			return fmt.Errorf("segstore: %w", err)
+		}
+		files = append(files, f)
+	}
+	var active []byte
+	if s.blocks > 0 && !s.closed && s.maxTS >= since && s.minTS <= until {
+		var err error
+		if active, err = s.readActiveLocked(); err != nil {
+			closeAll()
+			s.mu.Unlock()
 			return err
 		}
 	}
-	if s.blocks == 0 || s.closed {
+	s.mu.Unlock()
+	defer closeAll()
+	for _, f := range files {
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return fmt.Errorf("segstore: %w", err)
+		}
+		body, err := sealedBody(data, filepath.Base(f.Name()))
+		if err != nil {
+			return err
+		}
+		if err := scanBlocks(body, since, until, fn); err != nil {
+			return err
+		}
+	}
+	if active == nil {
 		return nil
 	}
-	if s.maxTS < since || s.minTS > until {
-		return nil
-	}
-	return s.scanActiveLocked(since, until, fn)
+	return scanBlocks(active, since, until, fn)
 }
 
-// scanFile replays one sealed segment's data blocks through fn.
-func (s *Store) scanFile(path string, sealed bool, since, until uint64, fn func(Block) error) error {
+// scanFile replays one sealed segment's data blocks through fn. Compact
+// uses it under s.mu; Scan reads via fds snapshotted under the lock.
+func (s *Store) scanFile(path string, since, until uint64, fn func(Block) error) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("segstore: %w", err)
 	}
-	if len(data) < segHeaderLen || string(data[:segHeaderLen]) != segMagic {
-		return fmt.Errorf("segstore: %s: bad segment magic", filepath.Base(path))
+	body, err := sealedBody(data, filepath.Base(path))
+	if err != nil {
+		return err
 	}
-	rest := data[segHeaderLen:]
-	if sealed {
-		if len(data) < segHeaderLen+trailerLen || string(data[len(data)-4:]) != trailerMagic {
-			return fmt.Errorf("segstore: %s: sealed segment lost its trailer", filepath.Base(path))
-		}
-		footerOff := binary.LittleEndian.Uint64(data[len(data)-trailerLen:])
-		if footerOff < segHeaderLen || footerOff >= uint64(len(data)-trailerLen) {
-			return fmt.Errorf("segstore: %s: index footer offset %d outside file", filepath.Base(path), footerOff)
-		}
-		rest = data[segHeaderLen:footerOff]
-	}
-	return scanBlocks(rest, since, until, fn)
+	return scanBlocks(body, since, until, fn)
 }
 
-// scanActiveLocked replays the active segment's blocks through fn by
-// re-reading the file (the write handle is append-only).
-func (s *Store) scanActiveLocked(since, until uint64, fn func(Block) error) error {
+// sealedBody validates a sealed segment image's framing and returns its
+// data-block region (between the header and the index footer).
+func sealedBody(data []byte, name string) ([]byte, error) {
+	if len(data) < segHeaderLen || string(data[:segHeaderLen]) != segMagic {
+		return nil, fmt.Errorf("segstore: %s: bad segment magic", name)
+	}
+	if len(data) < segHeaderLen+trailerLen || string(data[len(data)-4:]) != trailerMagic {
+		return nil, fmt.Errorf("segstore: %s: sealed segment lost its trailer", name)
+	}
+	footerOff := binary.LittleEndian.Uint64(data[len(data)-trailerLen:])
+	if footerOff < segHeaderLen || footerOff >= uint64(len(data)-trailerLen) {
+		return nil, fmt.Errorf("segstore: %s: index footer offset %d outside file", name, footerOff)
+	}
+	return data[segHeaderLen:footerOff], nil
+}
+
+// readActiveLocked copies the active segment's block bytes by re-reading
+// the file (the write handle is append-only).
+func (s *Store) readActiveLocked() ([]byte, error) {
 	data := make([]byte, s.size-segHeaderLen)
 	rf, err := os.Open(s.f.Name())
 	if err != nil {
-		return fmt.Errorf("segstore: %w", err)
+		return nil, fmt.Errorf("segstore: %w", err)
 	}
 	defer rf.Close()
 	if _, err := io.ReadFull(io.NewSectionReader(rf, segHeaderLen, int64(len(data))), data); err != nil {
-		return fmt.Errorf("segstore: reading active segment: %w", err)
+		return nil, fmt.Errorf("segstore: reading active segment: %w", err)
 	}
-	return scanBlocks(data, since, until, fn)
+	return data, nil
 }
 
 func scanBlocks(data []byte, since, until uint64, fn func(Block) error) error {
@@ -875,6 +1020,13 @@ func scanBlocks(data []byte, since, until uint64, fn func(Block) error) error {
 // originals are removed. The fold preserves exactly the property
 // Recording.Merge needs downstream: each flow's digests stay in arrival
 // order, so replaying the compacted log yields the same Recordings.
+//
+// The replacement is crash-atomic. The commit point is the temp file
+// sealing (fsync + close): before it, a crash leaves an invalid
+// `.compact` file recovery deletes, the originals untouched; after it,
+// the temp holds every sealed block, and recovery (recoverCompaction)
+// finishes the replacement — removing the covered originals and renaming
+// the temp into place — no matter where in that window the crash landed.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -885,12 +1037,20 @@ func (s *Store) Compact() error {
 		return nil
 	}
 	seq := s.sealed[len(s.sealed)-1].seq
-	tmp := filepath.Join(s.dir, segName(seq)+".compact")
+	tmp := filepath.Join(s.dir, segName(seq)+compactSuffix)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("segstore: compact: %w", err)
 	}
-	defer os.Remove(tmp)
+	committed := false
+	defer func() {
+		// Pre-commit failures discard the temp (originals are intact);
+		// post-commit it is the authoritative copy and must survive for
+		// recovery to finish the replacement.
+		if !committed {
+			os.Remove(tmp)
+		}
+	}()
 	if _, err := f.Write([]byte(segMagic)); err != nil {
 		f.Close()
 		return fmt.Errorf("segstore: compact: %w", err)
@@ -900,7 +1060,7 @@ func (s *Store) Compact() error {
 	var entries []IndexEntry
 	var buf []byte
 	for _, m := range s.sealed {
-		err := s.scanFile(filepath.Join(s.dir, m.name), true, 0, ^uint64(0), func(blk Block) error {
+		err := s.scanFile(filepath.Join(s.dir, m.name), 0, ^uint64(0), func(blk Block) error {
 			buf = buf[:0]
 			var err error
 			buf, err = appendBlock(buf, blk.Kind, blk.TS, blk.Body)
@@ -955,9 +1115,12 @@ func (s *Store) Compact() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("segstore: compact: %w", err)
 	}
+	committed = true
 	out.size = size + int64(len(buf))
-	// Replace: drop the originals first (the compacted file takes the
-	// newest seq's name, which is one of them), then move into place.
+	// Replace: drop the older originals, then move the temp into place
+	// (it takes the newest seq's name, atomically displacing the last
+	// original). An error or crash from here on leaves the sealed temp
+	// behind for recoverCompaction to finish from.
 	for _, m := range s.sealed[:len(s.sealed)-1] {
 		if err := os.Remove(filepath.Join(s.dir, m.name)); err != nil {
 			return fmt.Errorf("segstore: compact: %w", err)

@@ -358,6 +358,56 @@ func TestRecoveryDoubleCountDetected(t *testing.T) {
 	}
 }
 
+// TestRecoveryCrossIncarnationCheckpoint is the orphan-round stitch
+// regression: rounds restart at 1 every process lifetime, so an orphan
+// round-1 shard-0 record left by a crash mid-round followed by the next
+// incarnation's completed round 1 must NOT merge into one bogus
+// "complete" round (whose sum would fail the conservation check and
+// brick a perfectly legal log).
+func TestRecoveryCrossIncarnationCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// Incarnation 1: 5 packets, then a crash between shard records —
+	// shard 0 of 2 reported, shard 1 never did.
+	st, _ := openTest(t, dir, Options{})
+	if err := st.AppendDigests(testDigests(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCheckpoint(Checkpoint{Round: 1, Shard: 0, Shards: 2, Packets: 3, Flows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st.Abandon()
+
+	// Incarnation 2: recovers (the orphan record alone is legal), ingests
+	// 5 more, and completes ITS round 1 — numbering restarted — covering
+	// all 10 packets the log now holds.
+	st2, rep := openTest(t, dir, Options{})
+	if rep.Packets != 5 {
+		t.Fatalf("first recovery found %d packets, want 5", rep.Packets)
+	}
+	if err := st2.AppendDigests(testDigests(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.AppendCheckpoint(Checkpoint{Round: 1, Shard: 0, Shards: 2, Packets: 6, Flows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.AppendCheckpoint(Checkpoint{Round: 1, Shard: 1, Shards: 2, Packets: 4, Flows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 3: the shard-0 repeat marks the incarnation boundary;
+	// stitching the orphan onto the completed round would claim 3+6+4=13
+	// packets... or, counting records only, complete at 3+6=9 < 10 and
+	// refuse. Either way, only the fix opens this log.
+	st3, rep3 := openTest(t, dir, Options{})
+	defer st3.Close()
+	if rep3.Packets != 10 {
+		t.Fatalf("second recovery found %d packets, want 10", rep3.Packets)
+	}
+}
+
 // TestRetentionConservation rotates under MaxSegments=1 and checks that
 // deleted packets stay accounted: surviving digests plus the cumulative
 // Retain counter always equal everything ever appended, live and across
@@ -463,6 +513,192 @@ func TestCompact(t *testing.T) {
 	defer st2.Close()
 	if rep.TornBytes != 0 || rep.Packets != 2+3+4+5 {
 		t.Fatalf("compacted log reopened as %+v", rep)
+	}
+}
+
+// TestCompactCrashRecovery drops a crash into every window of Compact's
+// replacement protocol and demands recovery converge on a conserved log:
+// an uncommitted (invalid) temp is discarded with the originals intact;
+// a committed (sealed) temp is the authoritative copy and recovery
+// finishes the replacement no matter how many originals the crash left.
+func TestCompactCrashRecovery(t *testing.T) {
+	golden := t.TempDir()
+	st, _ := openTest(t, golden, Options{})
+	for i := 0; i < 3; i++ {
+		if err := st.AppendDigests(testDigests(2+i, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("golden log has %d segments, want 3", len(names))
+	}
+	const wantPkts = 2 + 3 + 4
+
+	// Produce the committed temp's exact bytes by compacting a copy: the
+	// single surviving segment IS what the temp held at the commit point.
+	scratch := t.TempDir()
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(golden, n.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, n.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc, _ := openTest(t, scratch, Options{})
+	if err := sc.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	newest := names[len(names)-1].Name()
+	compacted, err := os.ReadFile(filepath.Join(scratch, newest))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each case is one crash point: which originals survive, what state
+	// the temp is in, and what recovery must find.
+	cases := []struct {
+		name     string
+		keep     int    // originals kept (oldest-first), counting from the full set
+		tmp      []byte // temp file contents (nil: no temp)
+		wantSegs int
+	}{
+		{"before-commit", 3, compacted[:len(compacted)/2], 3}, // torn temp: discard, originals recover
+		{"committed-no-removals", 3, compacted, 1},
+		{"committed-mid-removals", 2, compacted, 1}, // first original already unlinked
+		{"committed-last-removal", 1, compacted, 1}, // only the newest original left
+	}
+	for _, tc := range cases {
+		dir := t.TempDir()
+		skip := len(names) - tc.keep
+		for i, n := range names {
+			if i < skip && n.Name() != newest {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(golden, n.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, n.Name()), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tc.tmp != nil {
+			if err := os.WriteFile(filepath.Join(dir, newest+compactSuffix), tc.tmp, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rst, rep := openTest(t, dir, Options{})
+		if rep.Packets != wantPkts {
+			t.Fatalf("%s: recovered %d packets, want %d", tc.name, rep.Packets, wantPkts)
+		}
+		if rep.Segments != tc.wantSegs {
+			t.Fatalf("%s: recovered %d segments, want %d", tc.name, rep.Segments, tc.wantSegs)
+		}
+		if _, err := os.Stat(filepath.Join(dir, newest+compactSuffix)); !os.IsNotExist(err) {
+			t.Fatalf("%s: compact temp survived recovery (err=%v)", tc.name, err)
+		}
+		rst.Close()
+	}
+}
+
+// TestRecoveryTrailerCoincidence plants a torn, unsealed tail whose last
+// four arbitrary bytes spell the trailer magic: the bogus footer must not
+// be trusted — the newest segment falls back to the torn-tail scan and
+// recovery truncates, rather than refusing an otherwise-legal log.
+func TestRecoveryTrailerCoincidence(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTest(t, dir, Options{})
+	if err := st.AppendDigests(testDigests(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendDigests(testDigests(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st.Abandon()
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := filepath.Join(dir, names[len(names)-1].Name())
+	// A torn frame: a plausible length prefix (100-byte payload, mostly
+	// missing) whose crc bytes push the would-be footer offset far outside
+	// the file, and whose last four bytes happen to spell the magic.
+	garbage := append([]byte{100, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}, trailerMagic...)
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rep := openTest(t, dir, Options{})
+	defer st2.Close()
+	if rep.Packets != 5 {
+		t.Fatalf("recovered %d packets, want 5", rep.Packets)
+	}
+	if rep.TornBytes != int64(len(garbage)) {
+		t.Fatalf("reported %d torn bytes, want %d", rep.TornBytes, len(garbage))
+	}
+}
+
+// TestScanUnlocked pins the backpressure fix: Scan snapshots the segment
+// set under the store lock but runs the walk — fn included — without it,
+// so a long replay (the /snapshot?since= path) cannot stall appends. The
+// callback exercising locking methods would self-deadlock otherwise.
+func TestScanUnlocked(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTest(t, dir, Options{})
+	defer st.Close()
+	if err := st.AppendDigests(testDigests(3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendDigests(testDigests(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	blocks := 0
+	err := st.Scan(0, ^uint64(0), func(b Block) error {
+		blocks++
+		// Lock-taking store methods from inside the callback: each of
+		// these self-deadlocked when Scan held s.mu across the walk.
+		if st.Stats().Packets < 5 || st.MaxTS() == 0 {
+			t.Fatal("store accounting wrong under scan")
+		}
+		// Appending mid-scan is legal (the walk reads a snapshot) and must
+		// not deadlock; the new blocks are invisible to this scan.
+		return st.AppendDigests(testDigests(1, 9))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocks != 2 {
+		t.Fatalf("scan visited %d blocks, want 2", blocks)
+	}
+	if st.Stats().Packets != 5+2 {
+		t.Fatalf("mid-scan appends lost: %d packets", st.Stats().Packets)
 	}
 }
 
