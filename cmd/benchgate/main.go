@@ -24,11 +24,16 @@
 // Medians (not means) absorb scheduler noise in -count=N runs, and the
 // geomean across benchmarks keeps one noisy microbenchmark from failing
 // the job on its own while still catching a broad hot-path regression.
-// CPU-count suffixes ("-8") are stripped from benchmark names so a
-// baseline recorded on one machine class still keys against another;
-// the absolute numbers only gate against their own machine's baseline,
-// so refresh the baseline (see .github/workflows/ci.yml) whenever the
-// runner class changes.
+//
+// CPU-count suffixes ("-8") get two treatments. A benchmark that appears
+// with only one cpu variant per file keys by its bare name, so a
+// baseline recorded on one machine class still matches another (the
+// absolute numbers only ever gate against their own machine's baseline;
+// refresh it — see .github/workflows/ci.yml — when the runner class
+// changes). A benchmark run at several -cpu values (the parallel-ingest
+// scaling curves) keeps one gate cell per cpu count instead, so a
+// regression that only shows up under contention cannot hide behind a
+// healthy single-core median.
 package main
 
 import (
@@ -47,16 +52,17 @@ import (
 // benchLine matches one benchmark result line, e.g.
 //
 //	BenchmarkHotPath_BatchEncodeExtract-8   3936970   304.5 ns/op   0 B/op ...
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
 
-// parse reads a bench output file into name → ns/op samples.
-func parse(path string) (map[string][]float64, error) {
+// parse reads a bench output file into base name → cpu suffix → ns/op
+// samples. The cpu suffix is "" when go test omitted it (GOMAXPROCS=1).
+func parse(path string) (map[string]map[string][]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string][]float64{}
+	out := map[string]map[string][]float64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -64,11 +70,14 @@ func parse(path string) (map[string][]float64, error) {
 		if m == nil {
 			continue
 		}
-		v, err := strconv.ParseFloat(m[2], 64)
+		v, err := strconv.ParseFloat(m[3], 64)
 		if err != nil || v <= 0 {
 			continue
 		}
-		out[m[1]] = append(out[m[1]], v)
+		if out[m[1]] == nil {
+			out[m[1]] = map[string][]float64{}
+		}
+		out[m[1]][m[2]] = append(out[m[1]][m[2]], v)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -77,6 +86,39 @@ func parse(path string) (map[string][]float64, error) {
 		return nil, fmt.Errorf("benchgate: no benchmark lines in %s", path)
 	}
 	return out, nil
+}
+
+// flatten reduces the two parsed files to gate keys. A base name with at
+// most one cpu variant in each file collapses to the bare name (robust
+// against machine-class suffix drift, "-8" vs "-4"); a base name run at
+// several -cpu values in either file keeps its suffix, one gate cell per
+// cpu count, with the suffixless GOMAXPROCS=1 row rendered as "-1".
+func flatten(a, b map[string]map[string][]float64) (map[string][]float64, map[string][]float64) {
+	multi := map[string]bool{}
+	for _, file := range []map[string]map[string][]float64{a, b} {
+		for base, cpus := range file {
+			if len(cpus) > 1 {
+				multi[base] = true
+			}
+		}
+	}
+	flat := func(file map[string]map[string][]float64) map[string][]float64 {
+		out := map[string][]float64{}
+		for base, cpus := range file {
+			for cpu, samples := range cpus {
+				key := base
+				if multi[base] {
+					if cpu == "" {
+						cpu = "-1"
+					}
+					key = base + cpu
+				}
+				out[key] = append(out[key], samples...)
+			}
+		}
+		return out
+	}
+	return flat(a), flat(b)
 }
 
 func median(xs []float64) float64 {
@@ -110,17 +152,18 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	oldB, err := parse(*oldPath)
+	oldP, err := parse(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	newB, err := parse(*newPath)
+	newP, err := parse(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	oldB, newB := flatten(oldP, newP)
 	names := make([]string, 0, len(oldB))
 	for name := range oldB {
 		if _, ok := newB[name]; ok {

@@ -14,6 +14,10 @@
 //	                                                   federated: route each flow to its
 //	                                                   consistent-hash home; all daemons
 //	                                                   must run the same -epoch
+//	pintload -addr :9777 -duration 10s                 steady state: replay at full rate
+//	                                                   for 10s, report per-connection and
+//	                                                   aggregate Mpkt/s
+//	pintload -addr :9777 -duration 10s -coalesce 16384 coalesce frames into >=16kB writes
 //
 // With a comma-separated -addr list every simulated switch opens one
 // session per fleet member and routes each flow to its home collector by
@@ -47,6 +51,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "testbench plan seed (must match pintd)")
 	k := flag.Int("k", 5, "flow hop count (must match pintd)")
 	epoch := flag.Uint64("epoch", 0, "cluster partitioning epoch (must match every pintd; 0 = standalone)")
+	duration := flag.Duration("duration", 0, "steady-state mode: replay the pre-encoded deployment at full rate for this long (0 = one-shot)")
+	coalesce := flag.Int("coalesce", 0, "write-coalescing threshold in bytes per session (0 = TCP_NODELAY immediate writes)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -66,6 +72,10 @@ func main() {
 	}
 	fmt.Printf("pintload: %d exporters x %d flows x %d packets -> %s (plan 0x%016x, epoch %d)\n",
 		*exporters, *flows, *pkts, strings.Join(addrs, " + "), tb.Engine.PlanHash(), *epoch)
+	if *duration > 0 {
+		runSteadyState(tb, addrs, part, *epoch, *exporters, *flows, *pkts, *batch, *coalesce, *duration)
+		return
+	}
 	start := time.Now()
 	packets, bytes, err := tb.StreamFleetDeployment(addrs, part.Home, *epoch, *exporters, *flows, *pkts, *batch)
 	if err != nil {
@@ -75,4 +85,33 @@ func main() {
 	fmt.Printf("pintload: sent %d packets (%d wire bytes) in %v\n", packets, bytes, elapsed.Round(time.Millisecond))
 	fmt.Printf("pintload: %.0f pkts/s, %.2f bytes/pkt on the wire\n",
 		float64(packets)/elapsed.Seconds(), float64(bytes)/float64(packets))
+}
+
+// runSteadyState is -duration mode: every exporter replays its
+// pre-encoded flows at full rate until the deadline, and the report
+// breaks the aggregate down per connection — the numbers that show
+// whether the collector's parallel ingest keeps every pipe busy or one
+// hot shard is back-pressuring a subset of them.
+func runSteadyState(tb *collector.Testbench, addrs []string, part *federation.Partitioner, epoch uint64,
+	exporters, flows, pkts, batch, coalesce int, duration time.Duration) {
+	fmt.Printf("pintload: steady state for %v (coalesce %d bytes)\n", duration, coalesce)
+	loads, err := tb.StreamSteadyState(addrs, part.Home, epoch, exporters, flows, pkts, batch, coalesce, duration)
+	if err != nil {
+		log.Fatalf("pintload: %v", err)
+	}
+	var packets, bytes uint64
+	var longest time.Duration
+	for _, l := range loads {
+		fmt.Printf("pintload:   conn %-3d %12d pkts  %14d bytes  %8.3f Mpkt/s\n",
+			l.Exporter, l.Packets, l.Bytes, l.Mpkts())
+		packets += l.Packets
+		bytes += l.Bytes
+		if l.Elapsed > longest {
+			longest = l.Elapsed
+		}
+	}
+	fmt.Printf("pintload: aggregate %d packets (%d wire bytes) in %v\n",
+		packets, bytes, longest.Round(time.Millisecond))
+	fmt.Printf("pintload: %.3f Mpkt/s aggregate, %.2f bytes/pkt on the wire\n",
+		float64(packets)/longest.Seconds()/1e6, float64(bytes)/float64(packets))
 }

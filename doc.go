@@ -11,8 +11,12 @@
 // path, the streaming collector (bounded flow state, digest wire format,
 // snapshot queries), the networked collector daemon
 // (internal/collector, run by cmd/pintd with cmd/pintload as its load
-// generator — framed TCP ingest from many exporters, handshake-guarded
-// plans, HTTP/JSON snapshots, graceful drain), the federated collector
+// generator — framed TCP ingest from many exporters, each connection a
+// parallel ingest pipeline that fused-decodes frames straight into
+// per-shard staging buffers with per-flow ordering and bit-identical
+// answers at any concurrency — see README.md's "Ingest concurrency"
+// section — handshake-guarded plans, HTTP/JSON snapshots with
+// per-connection counters, graceful drain), the federated collector
 // tier (internal/federation, fronted by cmd/pintgate — a fleet of
 // daemons behind a consistent-hash flow partitioner with epoch-fenced
 // sessions and a merging query frontend whose answers stay byte-identical

@@ -17,10 +17,15 @@
 //     (checksum mismatch, bound violation, malformed batch) tears down
 //     only that connection, after ingesting nothing from the bad frame —
 //     the sink never sees a byte that did not checksum;
-//   - backpressure: connections ingest under one mutex into the sink,
-//     whose bounded worker queues block the ingesting reader when the
-//     workers fall behind; the reader stops draining its socket and TCP
-//     flow control pushes the pressure back to the exporter;
+//   - parallel ingest: every session decodes frames straight into a
+//     private pipeline.Stage (wire's fused decode-and-shard pass) and
+//     lands them under the sink's per-shard locks, so connections ingest
+//     concurrently — the only serialization is between connections
+//     feeding the same shard at the same instant;
+//   - backpressure: the sink's bounded worker queues block a session's
+//     stage hand-off when its shard's worker falls behind; that reader
+//     stops draining its socket and TCP flow control pushes the pressure
+//     back to exactly the exporters feeding the hot shard;
 //   - graceful drain: Shutdown stops accepting, gives in-flight sessions
 //     a grace period to finish, then flushes and barriers the sink so
 //     every ingested packet is queryable before the process exits.
@@ -51,9 +56,9 @@ type Config struct {
 	// Engine is the compiled execution plan the collector expects every
 	// exporter to share; its PlanHash gates the session handshake.
 	Engine *core.Engine
-	// Sink receives every decoded digest batch. The server serializes
-	// ingestion across connections (the sink's single-ingester contract),
-	// and Shutdown flushes and barriers it; the caller still owns Close.
+	// Sink receives every decoded digest batch. Each connection ingests
+	// concurrently through its own pipeline.Stage; Shutdown flushes and
+	// barriers the sink; the caller still owns Close.
 	Sink *pipeline.Sink
 	// Queries lists the engine's queries for the HTTP snapshot endpoints.
 	Queries []core.Query
@@ -128,10 +133,16 @@ type Server struct {
 	stopCkpt     chan struct{}
 	stopCkptOnce sync.Once
 
-	// ingestMu serializes sink ingestion across connection handlers: the
-	// sink has a single-ingester contract, and the paper's sink is
-	// likewise one tap point.
-	ingestMu sync.Mutex
+	// ingestGate orders concurrent ingest against whole-sink operations.
+	// Connection handlers hold the read side per frame (their stage
+	// hand-offs already serialize per shard inside the sink); Checkpoint,
+	// the historical-window endpoint, and Shutdown's final drain take the
+	// write side, so every in-flight hand-off completes before the
+	// barrier runs — which is what keeps the durable tier's per-round
+	// conservation law exact under concurrent ingest.
+	ingestGate sync.RWMutex
+	// sess tracks live sessions for the /stats per-connection section.
+	sess sessionSet
 
 	sessions   atomic.Uint64
 	active     atomic.Int64
@@ -326,14 +337,25 @@ func (s *Server) handleConn(conn net.Conn) {
 	// is what lets a query frontend poll /stats and then trust /snapshot
 	// to be complete without draining the daemon.
 	defer func() {
-		s.ingestMu.Lock()
+		s.ingestGate.RLock()
 		s.cfg.Sink.Flush()
-		s.ingestMu.Unlock()
+		s.ingestGate.RUnlock()
 	}()
 	s.logf("collector: %s: exporter %d (%s) session open", conn.RemoteAddr(), hello.Exporter, hello.Name)
 
+	sess := &session{exporter: hello.Exporter, name: hello.Name,
+		remote: conn.RemoteAddr().String()}
+	s.sess.add(sess)
+	defer s.sess.remove(sess)
+
+	// The per-connection pipeline: this goroutine decodes each frame
+	// straight into its private stage (computing flow→shard routing
+	// during unmarshal) and lands the staged chunks under the sink's
+	// per-shard locks. No cross-connection mutex — sessions feeding
+	// disjoint shards never contend at all.
 	fr := wire.NewFrameReader(conn, s.cfg.MaxFramePayload)
-	var rx []core.PacketDigest
+	st := s.cfg.Sink.NewStage()
+	bufs := st.Buffers()
 	for {
 		payload, err := fr.Next()
 		if err != nil {
@@ -349,19 +371,32 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		// Decode before touching the sink: a malformed batch inside a
-		// valid frame still poisons nothing.
-		rx, err = wire.AppendUnmarshal(rx[:0], payload)
+		// valid frame still poisons nothing — a failed fused decode may
+		// leave a prefix staged, and Reset discards it before teardown.
+		n, err := wire.AppendUnmarshalSharded(bufs, payload)
 		if err != nil {
+			st.Reset()
 			s.connErrors.Add(1)
 			s.logf("collector: exporter %d (%s) dropped: %v", hello.Exporter, hello.Name, err)
 			return
 		}
 		s.frames.Add(1)
 		s.bytes.Add(uint64(wire.FrameHeaderLen + len(payload)))
-		s.packets.Add(uint64(len(rx)))
-		s.ingestMu.Lock()
-		s.cfg.Sink.Ingest(rx)
-		s.ingestMu.Unlock()
+		s.packets.Add(uint64(n))
+		sess.frames.Add(1)
+		sess.bytes.Add(uint64(wire.FrameHeaderLen + len(payload)))
+		sess.packets.Add(uint64(n))
+		if n == 0 {
+			continue
+		}
+		sess.staged.Store(int64(n))
+		s.ingestGate.RLock()
+		start := time.Now()
+		s.cfg.Sink.IngestStage(st)
+		sess.stallNs.Add(uint64(time.Since(start)))
+		s.ingestGate.RUnlock()
+		sess.staged.Store(0)
+		sess.batches.Add(1)
 	}
 }
 
@@ -430,8 +465,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		return err
 	}
-	// All handlers are gone; this goroutine is the only ingester.
-	s.ingestMu.Lock()
+	// All handlers are gone; the write side of the gate still fences any
+	// straggling hand-off and the background checkpoint cadence.
+	s.ingestGate.Lock()
 	s.cfg.Sink.Flush()
 	s.cfg.Sink.Barrier()
 	if s.cfg.Durable != nil {
@@ -442,7 +478,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = cerr
 		}
 	}
-	s.ingestMu.Unlock()
+	s.ingestGate.Unlock()
 	close(s.drained)
 	return err
 }

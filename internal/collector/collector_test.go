@@ -143,11 +143,11 @@ func TestHTTPEndpoints(t *testing.T) {
 	waitForPackets(t, srv, 300)
 	// Barrier via a drainless route: snapshot visibility only needs the
 	// dispatched batches, and ingest dispatches full buffers; flush the
-	// remainder through the ingest mutex like a handler would.
-	srv.ingestMu.Lock()
+	// remainder under the ingest gate like the shutdown drain would.
+	srv.ingestGate.Lock()
 	sink.Flush()
 	sink.Barrier()
-	srv.ingestMu.Unlock()
+	srv.ingestGate.Unlock()
 
 	h := srv.Handler()
 	get := func(path string) string {
@@ -177,6 +177,83 @@ func TestHTTPEndpoints(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/snapshot?flow=bogus", nil))
 	if rec.Code != 400 {
 		t.Fatalf("bad flow param: %d", rec.Code)
+	}
+	shutdownServer(t, srv)
+}
+
+// TestPerConnStats checks the /stats "conns" section against two live
+// exporter sessions: each connection's counters are populated while it
+// is connected, and the entries leave the registry when it closes (the
+// totals stay in the server-wide counters).
+func TestPerConnStats(t *testing.T) {
+	tb := mustTestbench(t, 17)
+	_, srv := newServedSink(t, tb, 2)
+	exA, err := Dial(srv.Addr().String(), HelloFor(tb.Engine, 1, "conn-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exB, err := Dial(srv.Addr().String(), HelloFor(tb.Engine, 2, "conn-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exA.Send(tb.FlowBatch(1, 0, 200, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := exB.Send(tb.FlowBatch(2, 0, 100, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	waitForPackets(t, srv, 300)
+
+	conns := srv.ConnStats()
+	if len(conns) != 2 {
+		t.Fatalf("live sessions: got %d, want 2: %+v", len(conns), conns)
+	}
+	if conns[0].Exporter != 1 || conns[1].Exporter != 2 {
+		t.Fatalf("conns not sorted by exporter: %+v", conns)
+	}
+	if conns[0].Name != "conn-a" || conns[1].Name != "conn-b" {
+		t.Fatalf("session names: %+v", conns)
+	}
+	for i, c := range conns {
+		want := uint64(200 - 100*i)
+		if c.Packets != want {
+			t.Fatalf("conn %d packets = %d, want %d", i, c.Packets, want)
+		}
+		if c.Frames == 0 || c.Batches == 0 || c.Bytes == 0 {
+			t.Fatalf("conn %d counters not populated: %+v", i, c)
+		}
+		if c.Remote == "" {
+			t.Fatalf("conn %d has no remote address", i)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /stats: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"conns"`, `"conn-a"`, `"conn-b"`, `"stall_ns"`, `"staged_depth"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/stats lacks %s: %s", want, body)
+		}
+	}
+
+	if err := exA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(srv.ConnStats()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions lingered after close: %+v", srv.ConnStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Stats().Packets; got != 300 {
+		t.Fatalf("server-wide packets after sessions ended = %d, want 300", got)
 	}
 	shutdownServer(t, srv)
 }

@@ -135,8 +135,9 @@ func ReplayInto(store *segstore.Store, sink *pipeline.Sink) (uint64, error) {
 
 // Checkpoint runs one full durability interval: a sink checkpoint
 // barrier (every shard drains and reports), then a writer flush+fsync.
-// It shares the sink's single-ingester contract — the Server runs it
-// under ingestMu.
+// It requires a quiescent ingest surface — the Server runs it under the
+// write side of its ingest gate, so no connection's stage hand-off can
+// straddle the round and the per-round conservation law stays exact.
 func (d *DurableSink) Checkpoint() error {
 	d.Sink.Checkpoint()
 	return d.Writer.Sync()
@@ -248,9 +249,9 @@ func (s *Server) runCheckpoints(every time.Duration) {
 		case <-s.stopCkpt:
 			return
 		case <-t.C:
-			s.ingestMu.Lock()
+			s.ingestGate.Lock()
 			err := s.cfg.Durable.Checkpoint()
-			s.ingestMu.Unlock()
+			s.ingestGate.Unlock()
 			if err != nil {
 				s.logf("collector: checkpoint: %v", err)
 			}

@@ -3,6 +3,7 @@ package collector
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/wire"
@@ -63,6 +64,17 @@ func DialFleet(addrs []string, hello wire.Hello, route func(core.FlowKey) int, b
 // Members returns the fleet size.
 func (f *FleetExporter) Members() int { return len(f.exps) }
 
+// SetCoalesce sets every member session's write-coalescing threshold
+// (see Exporter.SetCoalesce for the latency/throughput trade-off).
+// Fleet Flush and Close drain member coalescing buffers too.
+func (f *FleetExporter) SetCoalesce(n int) {
+	for _, ex := range f.exps {
+		if ex != nil {
+			ex.SetCoalesce(n)
+		}
+	}
+}
+
 // Send routes every packet of batch to its flow's home member, framing
 // and transmitting each member's buffer whenever it fills. Packet order
 // is preserved per flow (a flow has exactly one home and one TCP stream),
@@ -84,16 +96,23 @@ func (f *FleetExporter) Send(batch []core.PacketDigest) error {
 	return nil
 }
 
-// Flush transmits every member's partial buffer.
+// Flush transmits every member's partial routing buffer, then drains
+// each session's coalescing buffer, so everything routed so far is on
+// the wire when Flush returns.
 func (f *FleetExporter) Flush() error {
 	for n := range f.bufs {
-		if len(f.bufs[n]) == 0 || f.exps[n] == nil {
+		if f.exps[n] == nil {
 			continue
 		}
-		if err := f.exps[n].Send(f.bufs[n]); err != nil {
+		if len(f.bufs[n]) > 0 {
+			if err := f.exps[n].Send(f.bufs[n]); err != nil {
+				return err
+			}
+			f.bufs[n] = f.bufs[n][:0]
+		}
+		if err := f.exps[n].Flush(); err != nil {
 			return err
 		}
-		f.bufs[n] = f.bufs[n][:0]
 	}
 	return nil
 }
@@ -133,6 +152,95 @@ func (f *FleetExporter) Close() error {
 		}
 	}
 	return err
+}
+
+// ExporterLoad is one connection's contribution to a steady-state run:
+// what it sent, and over how long, so callers can report per-connection
+// and aggregate rates.
+type ExporterLoad struct {
+	Exporter uint64
+	Packets  uint64
+	Bytes    uint64
+	Elapsed  time.Duration
+}
+
+// Mpkts returns the connection's packet rate in Mpkt/s.
+func (l ExporterLoad) Mpkts() float64 {
+	if l.Elapsed <= 0 {
+		return 0
+	}
+	return float64(l.Packets) / l.Elapsed.Seconds() / 1e6
+}
+
+// StreamSteadyState drives nExporters connections at full rate for (at
+// least) the given duration: each exporter pre-encodes its flows' digest
+// batches once, then replays them over its fleet session until the
+// deadline, so the timed loop measures the transmit + ingest path, not
+// encoding. coalesce > 0 sets each session's write-coalescing threshold
+// in bytes (see Exporter.SetCoalesce). Every exporter finishes its
+// current sweep before stopping — the deadline is checked between
+// frames — and flushes before its counters are read, so the returned
+// loads are exact. Results are ordered by exporter ID.
+func (tb *Testbench) StreamSteadyState(addrs []string, route func(core.FlowKey) int, epoch uint64,
+	nExporters, flowsPer, pktsPer, batch, coalesce int, duration time.Duration) ([]ExporterLoad, error) {
+	if err := ValidateShape(nExporters, flowsPer, pktsPer); err != nil {
+		return nil, err
+	}
+	if batch < 1 || batch > pktsPer {
+		batch = pktsPer
+	}
+	deadline := time.Now().Add(duration)
+	loads := make([]ExporterLoad, nExporters)
+	expErrs := make([]error, nExporters)
+	var wg sync.WaitGroup
+	for e := 0; e < nExporters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			expErrs[e] = func() error {
+				exp := uint64(e) + 1
+				hello := HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp))
+				hello.Epoch = epoch
+				fe, err := DialFleet(addrs, hello, route, batch)
+				if err != nil {
+					return err
+				}
+				fe.SetCoalesce(coalesce)
+				flows := make([][]core.PacketDigest, flowsPer)
+				vals := make([]core.HopValues, pktsPer)
+				for f := 0; f < flowsPer; f++ {
+					flows[f] = tb.FlowBatch(exp, f, pktsPer, nil, vals)
+				}
+				start := time.Now()
+				for ok := true; ok; ok = time.Now().Before(deadline) {
+					for _, pkts := range flows {
+						if err := fe.Send(pkts); err != nil {
+							fe.Close()
+							return err
+						}
+					}
+				}
+				if err := fe.Flush(); err != nil {
+					fe.Close()
+					return err
+				}
+				loads[e] = ExporterLoad{
+					Exporter: exp,
+					Packets:  fe.Packets(),
+					Bytes:    fe.Bytes(),
+					Elapsed:  time.Since(start),
+				}
+				return fe.Close()
+			}()
+		}(e)
+	}
+	wg.Wait()
+	for e, err := range expErrs {
+		if err != nil {
+			return loads, fmt.Errorf("collector: exporter %d: %w", e+1, err)
+		}
+	}
+	return loads, nil
 }
 
 // StreamFleetDeployment is the fleet mode of StreamDeployment: the same

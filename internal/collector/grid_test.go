@@ -1,0 +1,51 @@
+package collector
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestIngestGridBitIdentical is the acceptance grid for parallel ingest:
+// loopback TCP answers must be byte-identical to the in-process serial
+// path for every query kind at conns {1,4,16} × shards {1,4,16} ×
+// GOMAXPROCS {1,4}. The flow population grows with the connection count
+// (each exporter owns its flows), so the in-process reference is
+// recomputed per conns value; across shard counts and scheduler widths
+// the answers must not move by a byte. Run under -race this is also the
+// collector's concurrent-ingest race test.
+func TestIngestGridBitIdentical(t *testing.T) {
+	tb := mustTestbench(t, 11)
+	const (
+		flowsPer = 2
+		pktsPer  = 200
+		batch    = 64
+	)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, conns := range []int{1, 4, 16} {
+			local, err := tb.RunInProcess(1, conns, flowsPer, pktsPer)
+			if err != nil {
+				t.Fatalf("procs=%d conns=%d: in-process: %v", procs, conns, err)
+			}
+			ref := answersJSON(t, local.Answers)
+			for _, shards := range []int{1, 4, 16} {
+				t.Run(fmt.Sprintf("procs=%d/conns=%d/shards=%d", procs, conns, shards), func(t *testing.T) {
+					remote, err := tb.RunLoopback(shards, conns, flowsPer, pktsPer, batch)
+					if err != nil {
+						t.Fatalf("loopback: %v", err)
+					}
+					if remote.Packets != uint64(conns*flowsPer*pktsPer) {
+						t.Fatalf("collector saw %d packets, want %d",
+							remote.Packets, conns*flowsPer*pktsPer)
+					}
+					if got := answersJSON(t, remote.Answers); !bytes.Equal(got, ref) {
+						t.Fatalf("answers diverged from serial reference:\nremote: %s\nserial: %s", got, ref)
+					}
+				})
+			}
+		}
+	}
+}

@@ -132,7 +132,7 @@ func SnapshotAnswers(snap *pipeline.Snapshot, queries []core.Query, flows []core
 // Handler serves the collector's observability surface:
 //
 //	GET /healthz         {"ok":true,"plan_hash":"0x…"}
-//	GET /stats           server counters + per-shard sink counters
+//	GET /stats           server counters + per-shard sink + per-connection ingest counters
 //	GET /snapshot        all flows' query answers from a fresh snapshot
 //	GET /snapshot?flow=N one flow (repeatable)
 //
@@ -152,6 +152,10 @@ func (s *Server) Handler() http.Handler {
 			"server":     s.Stats(),
 			"sink":       total,
 			"sink_shard": perShard,
+			// Per-connection ingest counters: which session is feeding
+			// which volume, and whose hand-offs are stalling on hot
+			// shards (stall_ns). Empty when no session is live.
+			"conns": s.ConnStats(),
 		}
 		if d := s.cfg.Durable; d != nil {
 			body["durable"] = map[string]any{
@@ -252,9 +256,10 @@ func (s *Server) serveWindow(w http.ResponseWriter, r *http.Request, flows []cor
 		return
 	}
 	// Make the live tail durable so the log alone answers the window.
-	s.ingestMu.Lock()
+	// Write side of the gate: no hand-off may straddle the round.
+	s.ingestGate.Lock()
 	cerr := d.Checkpoint()
-	s.ingestMu.Unlock()
+	s.ingestGate.Unlock()
 	if cerr != nil {
 		http.Error(w, cerr.Error(), http.StatusInternalServerError)
 		return

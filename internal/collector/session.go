@@ -1,0 +1,110 @@
+package collector
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file tracks per-connection ingest state. Each exporter session
+// owns a pipeline.Stage and decodes frames straight into it (the fused
+// decode-and-shard pass), so the only cross-connection coupling left is
+// the sink's per-shard locks — and these counters, which let /stats show
+// where each connection's time and bytes went.
+
+// ConnStats is one exporter session's ingest counters, served under
+// "conns" in /stats. Counters are cumulative over the session's life;
+// the entry disappears when the session ends (its totals remain in the
+// server-wide counters).
+type ConnStats struct {
+	Exporter uint64 `json:"exporter"`
+	Name     string `json:"name"`
+	Remote   string `json:"remote"`
+	// Frames counts checksummed frames decoded; Batches counts staged
+	// hand-offs to the sink (one per frame that carried packets).
+	Frames  uint64 `json:"frames"`
+	Batches uint64 `json:"batches"`
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	// StallNs is cumulative time spent inside IngestStage — handing
+	// staged packets to shard workers, including any blocking on full
+	// worker queues. A connection whose StallNs grows much faster than
+	// its peers' is feeding the hot shard; TCP backpressure is reaching
+	// its exporter.
+	StallNs uint64 `json:"stall_ns"`
+	// StagedDepth is the number of packets currently decoded but not yet
+	// handed to the sink (a point-in-time read of the session's stage).
+	StagedDepth int64 `json:"staged_depth"`
+}
+
+// session is the live counter block behind one ConnStats entry, written
+// by the connection handler and read by /stats at any time.
+type session struct {
+	exporter uint64
+	name     string
+	remote   string
+	frames   atomic.Uint64
+	batches  atomic.Uint64
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
+	stallNs  atomic.Uint64
+	staged   atomic.Int64
+}
+
+func (c *session) stats() ConnStats {
+	return ConnStats{
+		Exporter:    c.exporter,
+		Name:        c.name,
+		Remote:      c.remote,
+		Frames:      c.frames.Load(),
+		Batches:     c.batches.Load(),
+		Packets:     c.packets.Load(),
+		Bytes:       c.bytes.Load(),
+		StallNs:     c.stallNs.Load(),
+		StagedDepth: c.staged.Load(),
+	}
+}
+
+// sessionSet is the registry of live sessions.
+type sessionSet struct {
+	mu   sync.Mutex
+	live map[*session]struct{}
+}
+
+func (ss *sessionSet) add(c *session) {
+	ss.mu.Lock()
+	if ss.live == nil {
+		ss.live = map[*session]struct{}{}
+	}
+	ss.live[c] = struct{}{}
+	ss.mu.Unlock()
+}
+
+func (ss *sessionSet) remove(c *session) {
+	ss.mu.Lock()
+	delete(ss.live, c)
+	ss.mu.Unlock()
+}
+
+func (ss *sessionSet) snapshot() []ConnStats {
+	ss.mu.Lock()
+	out := make([]ConnStats, 0, len(ss.live))
+	for c := range ss.live {
+		out = append(out, c.stats())
+	}
+	ss.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Exporter != out[j].Exporter {
+			return out[i].Exporter < out[j].Exporter
+		}
+		return out[i].Remote < out[j].Remote
+	})
+	return out
+}
+
+// ConnStats returns a point-in-time view of every live session's ingest
+// counters, sorted by exporter ID (ties broken by remote address). Safe
+// from any goroutine at any time.
+func (s *Server) ConnStats() []ConnStats {
+	return s.sess.snapshot()
+}

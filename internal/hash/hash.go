@@ -47,6 +47,17 @@ func Mix64(x uint64) uint64 {
 	return x
 }
 
+// ShardOf maps a flow key to a shard index in [0, shards). It is THE
+// flow→shard routing function of the collector tier: pipeline.Sink routes
+// ingest with it and wire's fused decode-and-shard pass computes it during
+// unmarshal, so the two must never diverge — a packet staged under one
+// rule and recorded under another would split a flow across shards.
+// Mix64 keeps sequential flow keys balanced; any pure function of the
+// flow key preserves determinism.
+func ShardOf(flow, shards uint64) uint64 {
+	return Mix64(flow) % shards
+}
+
 // Hash1 hashes a single 64-bit word under the seed.
 func (s Seed) Hash1(a uint64) uint64 {
 	return Mix64(uint64(s) ^ Mix64(a*golden+1))

@@ -18,9 +18,20 @@ import (
 //
 // Contract:
 //
-//   - PersistIngest runs on the ingester goroutine for every batch, in
-//     arrival order, before any of the batch reaches a worker. The slice
-//     is only valid during the call — implementations copy.
+//   - PersistIngest runs on an ingester goroutine for every chunk of
+//     packets bound for one shard, under that shard's stripe lock and
+//     before any of the chunk reaches a worker. The lock makes the
+//     guarantee *per-shard order*: restrict the sequence of PersistIngest
+//     calls to any one shard's packets and you get exactly the order that
+//     shard's worker records them in. That is deliberately weaker than
+//     the global-arrival-order property the serial sink used to provide —
+//     with many connections ingesting concurrently there is no global
+//     order — and it is still exactly what recovery needs: replaying the
+//     log re-routes every packet to the same shard (routing is a pure
+//     function of the flow key) and reproduces each shard's stream, and
+//     with it every flow's stream, verbatim. Implementations must accept
+//     concurrent calls (segstore.Writer's bounded channel already does);
+//     the slice is only valid during the call — implementations copy.
 //   - PersistEvict runs on the owning shard's worker goroutine under the
 //     same rules as Config.OnEvict (rec still holds the flow; do not
 //     retain rec; do not call Sink methods), immediately before OnEvict.
@@ -84,15 +95,18 @@ type ckptReq struct {
 // returns, every packet ingested before the call is recorded AND its
 // checkpoint record is ordered after all of those packets' PersistIngest
 // events — the ordering the recovery cross-check relies on. It shares
-// Ingest's single-ingester contract and returns the round number. After
-// Close it is a no-op.
+// Ingest's single-ingester contract, and callers wanting the cross-check
+// property must also quiesce concurrent IngestStage callers for the
+// duration (the collector holds its ingest gate exclusively): a chunk
+// landing mid-barrier would count toward no round. Returns the round
+// number. After Close it is a no-op.
 func (s *Sink) Checkpoint() uint64 {
 	if s.closed {
 		return s.ckptRound
 	}
 	s.ckptRound++
 	for _, sh := range s.shards {
-		sh.dispatch(s.cfg.OnStall)
+		s.flushShard(sh)
 	}
 	// Fan out first so the shards drain and persist concurrently.
 	for _, sh := range s.shards {

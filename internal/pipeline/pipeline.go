@@ -14,14 +14,17 @@
 //     batches internal/wire marshals, so a remote tap's stream replays
 //     into the sink unchanged.
 //
-// Determinism argument: a flow's key maps to exactly one shard, each shard
-// is a single worker draining a FIFO, and Ingest preserves arrival order,
-// so every flow's digests are recorded in arrival order by one goroutine.
-// core.Recording derives all sketch randomness from a (query, flow, hop)
-// seed rather than arrival order, so a flow's state depends only on its
-// own digest stream and the shared seed base — not on how flows interleave
-// or how many shards exist. Hence Sink(n shards) ≡ Sink(1) ≡ serial
-// Recording, bit for bit, for any n.
+// Determinism argument: a flow's key maps to exactly one shard
+// (hash.ShardOf), each shard is a single worker draining a FIFO, and both
+// ingest surfaces — the serial Ingest/Record tap and the concurrent
+// per-connection Stage/IngestStage path (stage.go) — append a flow's
+// digests to its shard in the order the ingester saw them. core.Recording
+// derives all sketch randomness from a (query, flow, hop) seed rather
+// than arrival order, so a flow's state depends only on its own digest
+// stream and the shared seed base — not on how flows interleave, how many
+// shards exist, or how many connections fed the sink. Hence Sink(n
+// shards, m ingesters) ≡ Sink(1) ≡ serial Recording, bit for bit, for
+// any n and m.
 package pipeline
 
 import (
@@ -97,6 +100,10 @@ type Sink struct {
 	// barrier is the reusable Barrier reply channel; Barrier shares the
 	// single-ingester contract with Ingest, so reuse is race-free.
 	barrier chan struct{}
+	// istage backs the serial Ingest path: routing through a sink-owned
+	// Stage lets Ingest share stage.go's per-shard locking, so one serial
+	// ingester may run alongside any number of IngestStage callers.
+	istage *Stage
 	// persist is the attached durability hook (see persist.go); nil-when-
 	// detached costs the hot path one atomic load per batch.
 	persist atomic.Pointer[persistBox]
@@ -112,6 +119,11 @@ type shard struct {
 	sync chan chan<- struct{}
 	ckpt chan ckptReq
 	rec  *core.Recording
+	// mu is the shard's ingest stripe lock: it guards buf and the
+	// dispatch hand-off, serializing concurrent IngestStage callers (and
+	// the serial Ingest path) per shard. The worker never takes it — the
+	// worker owns everything past the channel.
+	mu   sync.Mutex
 	buf  []core.PacketDigest
 	pol  EvictionPolicy
 	now  uint64
@@ -184,6 +196,7 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 		}
 		s.shards[i] = sh
 	}
+	s.istage = s.NewStage()
 	s.start()
 	return s, nil
 }
@@ -191,10 +204,10 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 // ShardCount returns the number of shards/workers.
 func (s *Sink) ShardCount() int { return len(s.shards) }
 
-// shardOf maps a flow to its owning shard. Mix64 keeps sequential test
-// keys balanced; any pure function of the flow key preserves determinism.
+// shardOf maps a flow to its owning shard via hash.ShardOf — the one
+// routing function shared with wire's fused decode-and-shard pass.
 func (s *Sink) shardOf(flow core.FlowKey) *shard {
-	return s.shards[hash.Mix64(uint64(flow))%uint64(len(s.shards))]
+	return s.shards[hash.ShardOf(uint64(flow), uint64(len(s.shards)))]
 }
 
 // Record buffers one packet for its flow's shard.
@@ -204,14 +217,16 @@ func (s *Sink) Record(flow core.FlowKey, k int, pktID, digest uint64) {
 
 // Ingest buffers a batch of packets, routing each to its flow's shard and
 // dispatching any shard buffer that fills. It must not be called
-// concurrently with itself, Record, Flush, or Close (one ingester thread,
-// many worker threads — the paper's sink is likewise a single tap point).
-// Snapshot, by contrast, may run concurrently from any goroutine.
+// concurrently with itself, Record, Flush, or Close (one serial tap
+// point), but it IS safe alongside any number of IngestStage callers:
+// internally it stages into a sink-owned Stage and lands per-shard chunks
+// under the same striped locks (stage.go). Snapshot may run concurrently
+// from any goroutine.
 //
 // The loop is the collector's per-packet toll, so the closed check is
 // hoisted out of it and the single-shard layout (where routing is the
-// identity) skips the per-packet flow hash entirely, moving the batch in
-// buffer-sized copies.
+// identity) skips both the per-packet flow hash and the staging copy,
+// moving the batch in buffer-sized copies.
 func (s *Sink) Ingest(batch []core.PacketDigest) {
 	if len(batch) == 0 {
 		return
@@ -219,57 +234,33 @@ func (s *Sink) Ingest(batch []core.PacketDigest) {
 	if s.closed {
 		panic("pipeline: Ingest after Close")
 	}
-	// Log the batch before any of it is routed: the persister sees the
-	// global arrival order, which is exactly what a recovery replay needs
-	// to reproduce every shard's state (routing is a pure function of the
-	// flow key, so order within the log implies order within each shard).
-	if p := s.persister(); p != nil {
-		p.PersistIngest(batch)
-	}
 	if len(s.shards) == 1 {
-		sh := s.shards[0]
-		for len(batch) > 0 {
-			n := copy(sh.buf[len(sh.buf):cap(sh.buf)], batch)
-			sh.buf = sh.buf[:len(sh.buf)+n]
-			batch = batch[n:]
-			if len(sh.buf) == cap(sh.buf) {
-				sh.dispatch(s.cfg.OnStall)
-			}
-		}
+		s.ingestShard(s.shards[0], batch)
 		return
 	}
-	shards := s.shards
-	mod := uint64(len(shards))
+	st := s.istage
+	mod := uint64(len(st.bufs))
 	for i := range batch {
-		sh := shards[hash.Mix64(uint64(batch[i].Flow))%mod]
-		sh.buf = append(sh.buf, batch[i])
-		if len(sh.buf) == cap(sh.buf) {
-			sh.dispatch(s.cfg.OnStall)
-		}
+		sh := hash.ShardOf(uint64(batch[i].Flow), mod)
+		st.bufs[sh] = append(st.bufs[sh], batch[i])
 	}
+	s.IngestStage(st)
 }
 
 func (s *Sink) ingestOne(pkt core.PacketDigest) {
 	if s.closed {
 		panic("pipeline: Ingest after Close")
 	}
-	if p := s.persister(); p != nil {
-		one := [1]core.PacketDigest{pkt}
-		p.PersistIngest(one[:])
-	}
-	sh := s.shardOf(pkt.Flow)
-	sh.buf = append(sh.buf, pkt)
-	if len(sh.buf) == cap(sh.buf) {
-		sh.dispatch(s.cfg.OnStall)
-	}
+	one := [1]core.PacketDigest{pkt}
+	s.ingestShard(s.shardOf(pkt.Flow), one[:])
 }
 
-// dispatch hands the filled buffer to the worker and replaces it with a
-// recycled one (workers return drained buffers on sh.free), so the
+// dispatchLocked hands the filled buffer to the worker and replaces it
+// with a recycled one (workers return drained buffers on sh.free), so the
 // steady-state ingest path allocates nothing. A full queue counts as one
 // stall (and fires onStall) before blocking — the ingester-side
-// backpressure signal.
-func (sh *shard) dispatch(onStall func(int)) {
+// backpressure signal. The caller holds sh.mu.
+func (sh *shard) dispatchLocked(onStall func(int)) {
 	if len(sh.buf) == 0 {
 		return
 	}
@@ -293,11 +284,18 @@ func (sh *shard) dispatch(onStall func(int)) {
 	}
 }
 
+// flushShard dispatches one shard's partial buffer under its stripe lock.
+func (s *Sink) flushShard(sh *shard) {
+	sh.mu.Lock()
+	sh.dispatchLocked(s.cfg.OnStall)
+	sh.mu.Unlock()
+}
+
 // Flush dispatches every shard's partial buffer to its worker without
 // waiting for the workers to drain.
 func (s *Sink) Flush() {
 	for _, sh := range s.shards {
-		sh.dispatch(s.cfg.OnStall)
+		s.flushShard(sh)
 	}
 }
 
@@ -315,7 +313,7 @@ func (s *Sink) Barrier() {
 		return
 	}
 	for _, sh := range s.shards {
-		sh.dispatch(s.cfg.OnStall)
+		s.flushShard(sh)
 	}
 	// Fan out first so the shards drain concurrently.
 	for _, sh := range s.shards {
@@ -539,7 +537,7 @@ func (s *Sink) Close() error {
 	}
 	s.closed = true
 	for _, sh := range s.shards {
-		sh.dispatch(s.cfg.OnStall)
+		s.flushShard(sh)
 	}
 	for _, sh := range s.shards {
 		close(sh.ch)

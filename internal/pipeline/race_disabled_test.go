@@ -1,0 +1,5 @@
+//go:build !race
+
+package pipeline
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled mirrors the -race flag for tests whose assertions the race
+// runtime itself invalidates (allocation-count pins: the race runtime
+// instruments allocations and shadows them, inflating AllocsPerRun).
+const raceEnabled = true

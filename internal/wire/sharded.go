@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// This file is the fused decode-and-shard pass of the parallel collector
+// ingest path: one unmarshal that lands every record directly in its
+// flow's shard staging buffer, computing the flow→shard hash while the
+// deltas are still in registers. Compared to AppendUnmarshal followed by
+// a routing loop it eliminates the intermediate whole-batch slice and
+// the second pass over the decoded packets — the two per-frame costs the
+// single-ingester collector paid on every connection.
+
+// AppendUnmarshalSharded decodes a marshaled batch, appending each packet
+// to dsts[hash.ShardOf(flow, len(dsts))] — the same routing function
+// pipeline.Sink uses — and returns the packet count. dsts must be
+// non-empty; with a single destination the per-packet hash is skipped
+// entirely (routing is the identity).
+//
+// The acceptance set and error text are exactly AppendUnmarshal's: both
+// decoders share the header checks, the strict canonical-varint readers
+// (with the same 1/2-byte fast paths), and the PathLen domain check, so a
+// frame either decodes identically under both or fails identically under
+// both (the property FuzzUnmarshalSharded pins). On error the contents of
+// dsts are unspecified — packets decoded before the error may already be
+// staged — so callers must discard the staged state (Stage.Reset, or a
+// connection teardown) instead of ingesting it.
+func AppendUnmarshalSharded(dsts [][]core.PacketDigest, data []byte) (int, error) {
+	if len(dsts) == 0 {
+		return 0, fmt.Errorf("wire: sharded unmarshal needs at least one destination")
+	}
+	if len(data) < headerLen {
+		return 0, fmt.Errorf("wire: %d-byte input shorter than the %d-byte header", len(data), headerLen)
+	}
+	if data[0] != magic[0] || data[1] != magic[1] {
+		return 0, fmt.Errorf("wire: bad magic %#02x%02x", data[0], data[1])
+	}
+	if data[2] != Version {
+		return 0, fmt.Errorf("wire: unsupported version %d (have %d)", data[2], Version)
+	}
+	rest := data[3:]
+	count, n, err := uvarint(rest)
+	if err != nil {
+		return 0, fmt.Errorf("wire: batch count: %w", err)
+	}
+	rest = rest[n:]
+	// Bound the claimed count by the bytes present before staging
+	// anything, so a hostile header cannot force large appends.
+	if count > uint64(len(rest)/minRecordLen) {
+		return 0, fmt.Errorf("wire: count %d exceeds the %d remaining bytes", count, len(rest))
+	}
+	mod := uint64(len(dsts))
+	var prevFlow, prevID uint64
+	var prevLen int64
+	for i := uint64(0); i < count; i++ {
+		dFlow, n, err := varintFast(rest)
+		if err != nil {
+			return 0, fmt.Errorf("wire: packet %d flow: %w", i, err)
+		}
+		rest = rest[n:]
+		dID, n, err := varintFast(rest)
+		if err != nil {
+			return 0, fmt.Errorf("wire: packet %d id: %w", i, err)
+		}
+		rest = rest[n:]
+		dLen, n, err := varintFast(rest)
+		if err != nil {
+			return 0, fmt.Errorf("wire: packet %d path length: %w", i, err)
+		}
+		rest = rest[n:]
+		digest, n, err := uvarintFast(rest)
+		if err != nil {
+			return 0, fmt.Errorf("wire: packet %d digest: %w", i, err)
+		}
+		rest = rest[n:]
+		prevFlow += uint64(dFlow)
+		prevID += uint64(dID)
+		prevLen += dLen
+		if prevLen < 1 || prevLen > MaxPathLen {
+			return 0, fmt.Errorf("wire: packet %d path length %d outside [1, %d]", i, prevLen, MaxPathLen)
+		}
+		shard := uint64(0)
+		if mod > 1 {
+			shard = hash.ShardOf(prevFlow, mod)
+		}
+		dsts[shard] = append(dsts[shard], core.PacketDigest{
+			Flow:    core.FlowKey(prevFlow),
+			PktID:   prevID,
+			PathLen: int(prevLen),
+			Digest:  digest,
+		})
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes after the last record", len(rest))
+	}
+	return int(count), nil
+}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+// FuzzUnmarshalSharded pins the fused decode-and-shard pass to the unfused
+// reference — AppendUnmarshal followed by a separate hash.ShardOf routing
+// pass — over arbitrary inputs and shard counts. The contract:
+//
+//   - both decoders accept exactly the same byte strings,
+//   - on rejection the error text is identical (the collector logs it when
+//     it kills a connection, and the message must not depend on the path),
+//   - on success every shard's staged sequence matches the reference,
+//     in order, and the returned counts agree.
+//
+// The committed seed corpus under testdata/fuzz/FuzzUnmarshalSharded covers
+// valid batches across shard counts, truncations, and every header error
+// class; `go test -run='^Fuzz'` replays it in CI.
+func FuzzUnmarshalSharded(f *testing.F) {
+	seed := func(shards uint8, batch []core.PacketDigest) {
+		data, err := Marshal(batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(shards, data)
+		if len(data) > headerLen {
+			f.Add(shards, data[:len(data)-1]) // truncated record
+			f.Add(shards, append(append([]byte(nil), data...), 0x00))
+		}
+	}
+	seed(1, nil)
+	seed(4, []core.PacketDigest{{Flow: 7, PktID: 99, PathLen: 12, Digest: 0xABCD}})
+	seed(16, sampleBatch(64))
+	seed(3, []core.PacketDigest{
+		{Flow: ^core.FlowKey(0), PktID: ^uint64(0), PathLen: MaxPathLen, Digest: ^uint64(0)},
+		{Flow: 0, PktID: 0, PathLen: 1, Digest: 0},
+	})
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(2), []byte{'P', 'D', Version, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add(uint8(2), []byte{'P', 'D', Version, 1, 0x80, 0x00, 0, 0, 0})
+	f.Add(uint8(8), []byte{'X', 'D', Version, 0})
+
+	f.Fuzz(func(t *testing.T, shards uint8, data []byte) {
+		n := int(shards%32) + 1 // 1..32 destinations; zero is tested separately
+		flat, refErr := AppendUnmarshal(nil, data)
+		dsts := make([][]core.PacketDigest, n)
+		count, gotErr := AppendUnmarshalSharded(dsts, data)
+		if refErr != nil {
+			if gotErr == nil {
+				t.Fatalf("reference rejected (%v), fused accepted", refErr)
+			}
+			if refErr.Error() != gotErr.Error() {
+				t.Fatalf("error text diverged:\n reference %q\n fused     %q", refErr, gotErr)
+			}
+			return
+		}
+		if gotErr != nil {
+			t.Fatalf("reference accepted, fused rejected: %v", gotErr)
+		}
+		if count != len(flat) {
+			t.Fatalf("fused count %d, reference decoded %d packets", count, len(flat))
+		}
+		want := make([][]core.PacketDigest, n)
+		for i := range flat {
+			sh := hash.ShardOf(uint64(flat[i].Flow), uint64(n))
+			want[sh] = append(want[sh], flat[i])
+		}
+		for sh := range dsts {
+			if len(dsts[sh]) != len(want[sh]) {
+				t.Fatalf("shard %d/%d: fused staged %d packets, reference %d",
+					sh, n, len(dsts[sh]), len(want[sh]))
+			}
+			for i := range dsts[sh] {
+				if dsts[sh][i] != want[sh][i] {
+					t.Fatalf("shard %d/%d packet %d: fused %+v, reference %+v",
+						sh, n, i, dsts[sh][i], want[sh][i])
+				}
+			}
+		}
+	})
+}
