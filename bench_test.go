@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/admit"
 	"repro/internal/coding"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -844,5 +845,39 @@ func BenchmarkScenarioRunner(b *testing.B) {
 			}
 			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N), "s/catalog")
 		})
+	}
+}
+
+// BenchmarkAdmitDecision is the QoS tier's per-frame tax: one admission
+// decision — token-bucket refill, quota shaping, AIMD capacity grant —
+// under an injected clock, in the regime where the tenant is over quota
+// (the expensive branch: sampling probability + threshold computed).
+// The decision runs once per frame, not per packet, but it sits on the
+// session goroutine's frame loop, so it must stay allocation-free and
+// in the tens of nanoseconds.
+func BenchmarkAdmitDecision(b *testing.B) {
+	var now uint64
+	policy, err := admit.ParsePolicy("bench=1e6/1e5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy.Capacity.Initial = 5e6
+	policy.Clock = func() uint64 { now += 1000; return now }
+	a, err := admit.NewAdmitter(policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn := a.Tenant("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var admitted int
+	for i := 0; i < b.N; i++ {
+		if tn.Decide(256).Admit() {
+			admitted++
+		}
+	}
+	b.StopTimer()
+	if admitted == b.N && b.N > 1000 {
+		b.Fatal("bench tenant never went over quota")
 	}
 }

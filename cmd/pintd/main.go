@@ -12,6 +12,8 @@
 //	pintd -grace 10s                         SIGTERM drain grace period
 //	pintd -pprof                             mount /debug/pprof/ on the HTTP address
 //	pintd -data-dir /var/lib/pint            durable segment log with crash recovery
+//	pintd -quotas 'hog=50000,*=1e6'          per-tenant admission quotas (packets/s)
+//	pintd -capacity 5e5                      adaptive (AIMD) admission from sink stall feedback
 //
 // The daemon compiles the canonical testbench plan (collector.NewTestbench)
 // from -seed and -k; exporters must be compiled identically — the session
@@ -40,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/collector"
 	"repro/internal/pipeline"
 )
@@ -60,6 +63,9 @@ func main() {
 	segBytes := flag.Int64("seg-bytes", 0, "segment rotation size in bytes (0 = 4 MiB default)")
 	retain := flag.Int("retain", 0, "sealed segments to keep; older ones are deleted (0 = keep all)")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
+	quotas := flag.String("quotas", "", "per-tenant admission quotas: name=rate[/burst[/minsample]],... ('*' = default; '' disables QoS)")
+	capacity := flag.Float64("capacity", 0, "initial AIMD capacity estimate in packets/s for adaptive admission (0 disables)")
+	qosSeed := flag.Uint64("qos-seed", 1, "seed for the QoS shedding hash (runs sharing a seed shed identical packets)")
 	verbose := flag.Bool("v", false, "log per-session events")
 	flag.Parse()
 
@@ -98,19 +104,25 @@ func main() {
 			log.Fatalf("pintd: %v", err)
 		}
 	}
-	cfg := collector.Config{
-		Engine:          tb.Engine,
-		Sink:            sink,
-		Queries:         tb.Queries(),
-		MaxFramePayload: *maxFrame,
-		Epoch:           *epoch,
-		Durable:         durable,
-		CheckpointEvery: *ckptEvery,
+	policy, err := admit.ParsePolicy(*quotas)
+	if err != nil {
+		log.Fatalf("pintd: %v", err)
+	}
+	policy.Capacity.Initial = *capacity
+	policy.Seed = *qosSeed
+	opts := []collector.Option{
+		collector.WithSink(sink),
+		collector.WithQueries(tb.Queries()...),
+		collector.WithMaxFramePayload(*maxFrame),
+		collector.WithEpoch(*epoch),
+		collector.WithDurable(durable),
+		collector.WithCheckpointEvery(*ckptEvery),
+		collector.WithTenantPolicy(policy),
 	}
 	if *verbose {
-		cfg.Logf = log.Printf
+		opts = append(opts, collector.WithLogf(log.Printf))
 	}
-	srv, err := collector.New(cfg)
+	srv, err := collector.New(tb.Engine, opts...)
 	if err != nil {
 		log.Fatalf("pintd: %v", err)
 	}

@@ -18,6 +18,7 @@
 //	                                                   for 10s, report per-connection and
 //	                                                   aggregate Mpkt/s
 //	pintload -addr :9777 -duration 10s -coalesce 16384 coalesce frames into >=16kB writes
+//	pintload -addr :9777 -tenant team-a                label every session with a QoS tenant
 //
 // With a comma-separated -addr list every simulated switch opens one
 // session per fleet member and routes each flow to its home collector by
@@ -53,6 +54,7 @@ func main() {
 	epoch := flag.Uint64("epoch", 0, "cluster partitioning epoch (must match every pintd; 0 = standalone)")
 	duration := flag.Duration("duration", 0, "steady-state mode: replay the pre-encoded deployment at full rate for this long (0 = one-shot)")
 	coalesce := flag.Int("coalesce", 0, "write-coalescing threshold in bytes per session (0 = TCP_NODELAY immediate writes)")
+	tenant := flag.String("tenant", "", "QoS tenant label carried in every session handshake ('' = default tenant, v2 handshake)")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -60,6 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("pintload: %v", err)
 	}
+	tb.Tenant = *tenant
 	var addrs []string
 	for _, a := range strings.Split(*addr, ",") {
 		if a = strings.TrimSpace(a); a != "" {

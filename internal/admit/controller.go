@@ -1,0 +1,265 @@
+package admit
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// CapacityConfig shapes the AIMD capacity controller: a congestion
+// window over the sink's ingest rate, probed upward additively while the
+// sink keeps up and cut multiplicatively when stall feedback arrives —
+// TCP's CWND discipline applied to admission instead of transmission.
+type CapacityConfig struct {
+	// Initial is the starting capacity estimate in packets/second.
+	// 0 disables the controller entirely (quotas still apply).
+	Initial float64
+	// Min and Max clamp the estimate. Min defaults to Initial/64 (the
+	// deepest a congestion collapse can cut), Max to 64×Initial.
+	Min, Max float64
+	// Probe is the additive increase in packets/second applied after
+	// every stall-free ProbeEvery interval. Defaults to Initial/16.
+	Probe float64
+	// Beta is the multiplicative decrease applied on stall feedback,
+	// in (0,1). Defaults to 0.5.
+	Beta float64
+	// ProbeEvery is the additive-increase cadence. Defaults to 1s.
+	ProbeEvery time.Duration
+	// Window is the stall-feedback sliding window: at most one backoff
+	// per window, and probing resumes only after a stall-free window.
+	// Defaults to ProbeEvery.
+	Window time.Duration
+	// Burst is the admission bucket depth in seconds of capacity — how
+	// much of an idle period's unused budget may be spent at once.
+	// Defaults to 0.1s.
+	Burst float64
+}
+
+func (c CapacityConfig) enabled() bool { return c.Initial > 0 }
+
+func (c CapacityConfig) valid() (CapacityConfig, error) {
+	if !c.enabled() {
+		if c != (CapacityConfig{}) && c.Initial <= 0 {
+			return c, fmt.Errorf("admit: capacity config without a positive Initial")
+		}
+		return c, nil
+	}
+	if math.IsNaN(c.Initial) || math.IsInf(c.Initial, 0) {
+		return c, fmt.Errorf("admit: capacity initial %v out of range", c.Initial)
+	}
+	if c.Min == 0 {
+		c.Min = c.Initial / 64
+	}
+	if c.Max == 0 {
+		c.Max = c.Initial * 64
+	}
+	if c.Probe == 0 {
+		c.Probe = c.Initial / 16
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.5
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = time.Second
+	}
+	if c.Window == 0 {
+		c.Window = c.ProbeEvery
+	}
+	if c.Burst == 0 {
+		c.Burst = 0.1
+	}
+	switch {
+	case c.Min <= 0 || c.Max < c.Min || c.Initial < c.Min || c.Initial > c.Max:
+		return c, fmt.Errorf("admit: capacity bounds min=%v initial=%v max=%v inconsistent", c.Min, c.Initial, c.Max)
+	case c.Probe <= 0:
+		return c, fmt.Errorf("admit: capacity probe %v must be positive", c.Probe)
+	case c.Beta <= 0 || c.Beta >= 1:
+		return c, fmt.Errorf("admit: capacity beta %v outside (0,1)", c.Beta)
+	case c.ProbeEvery <= 0 || c.Window <= 0:
+		return c, fmt.Errorf("admit: capacity probe/window cadence must be positive")
+	case c.Burst <= 0:
+		return c, fmt.Errorf("admit: capacity burst %v must be positive", c.Burst)
+	}
+	return c, nil
+}
+
+// Controller is the AIMD capacity estimator plus its admission bucket.
+// All methods are safe for concurrent use; every session feeding the
+// collector shares one Controller.
+//
+// The invariant its property test pins: over any run, the total expected
+// packets granted never exceeds the integral of the capacity estimate
+// over time plus one bucket depth — whatever the offered load and
+// whatever the stall pattern, admission is bounded by the estimate.
+type Controller struct {
+	cfg   CapacityConfig
+	clock Clock
+
+	mu          sync.Mutex
+	capacity    float64 // current estimate, packets/second
+	tokens      float64 // admission bucket, packets
+	last        uint64  // last refill instant
+	lastProbe   uint64  // last additive increase
+	lastBackoff uint64  // last multiplicative decrease
+	lastStall   uint64  // last stall observed (backoff or not)
+	stalls      uint64
+	probes      uint64
+	backoffs    uint64
+	granted     float64 // cumulative expected packets admitted
+}
+
+// NewController builds a controller from a validated config. Returns
+// nil when the config disables the controller.
+func NewController(cfg CapacityConfig, clock Clock) (*Controller, error) {
+	cfg, err := cfg.valid()
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.enabled() {
+		return nil, nil
+	}
+	if clock == nil {
+		clock = defaultClock
+	}
+	now := clock()
+	return &Controller{
+		cfg:      cfg,
+		clock:    clock,
+		capacity: cfg.Initial,
+		tokens:   cfg.Initial * cfg.Burst,
+		last:     now, lastProbe: now, lastBackoff: now, lastStall: now,
+	}, nil
+}
+
+// refill advances the bucket and runs the additive-increase probe; the
+// caller holds mu.
+func (c *Controller) refill(now uint64) {
+	if now <= c.last {
+		return
+	}
+	dt := float64(now-c.last) / 1e9
+	c.last = now
+	// Probe upward only after a full stall-free window, at the probe
+	// cadence — additive increase, gated on quiet. The gate watches the
+	// last stall, not the last backoff: a stall absorbed inside the
+	// backoff window still means the sink was behind, and probing into
+	// it would oscillate.
+	if now-c.lastStall >= uint64(c.cfg.Window) && now-c.lastProbe >= uint64(c.cfg.ProbeEvery) {
+		if c.capacity += c.cfg.Probe; c.capacity > c.cfg.Max {
+			c.capacity = c.cfg.Max
+		}
+		c.lastProbe = now
+		c.probes++
+	}
+	if c.tokens += c.capacity * dt; c.tokens > c.capacity*c.cfg.Burst {
+		c.tokens = c.capacity * c.cfg.Burst
+	}
+}
+
+// Observe feeds one sink hand-off's stall verdict back into the
+// estimate. A stalled hand-off inside the feedback window cuts capacity
+// multiplicatively — but at most once per window, so a burst of stalls
+// from many concurrent sessions registers as one congestion event, not a
+// collapse to the floor.
+func (c *Controller) Observe(stalled bool) {
+	if c == nil {
+		return
+	}
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stalled {
+		// Record the stall before the refill runs so a probe cannot fire
+		// at the very instant congestion is being reported.
+		c.stalls++
+		c.lastStall = now
+	}
+	c.refill(now)
+	if !stalled {
+		return
+	}
+	if now-c.lastBackoff < uint64(c.cfg.Window) {
+		return
+	}
+	c.capacity = math.Max(c.cfg.Min, c.capacity*c.cfg.Beta)
+	c.lastBackoff = now
+	c.lastProbe = now
+	c.backoffs++
+	c.tokens = math.Min(c.tokens, c.capacity*c.cfg.Burst)
+}
+
+// Grant asks the controller for permission to admit n expected packets
+// and returns the granted fraction in [0,1]: 1 when the bucket covers
+// the frame, the covered fraction otherwise. The expectation n*g is
+// drawn from the bucket, so total expected admission is bounded by the
+// capacity integral regardless of offered load. A nil controller grants
+// everything.
+func (c *Controller) Grant(n float64) float64 {
+	if c == nil || n <= 0 {
+		return 1
+	}
+	return c.grantAt(c.clock(), n)
+}
+
+// grantAt is Grant with the clock already read — the per-frame path
+// reads it once in Tenant.Decide and shares it (both sides run the same
+// injected Clock, so the shared read changes nothing observable).
+func (c *Controller) grantAt(now uint64, n float64) float64 {
+	c.mu.Lock()
+	c.refill(now)
+	g := 1.0
+	if c.tokens >= n {
+		c.tokens -= n
+	} else {
+		g = c.tokens / n
+		c.tokens = 0
+	}
+	c.granted += n * g
+	c.mu.Unlock()
+	return g
+}
+
+// CapacityStats is the controller's point-in-time telemetry, served
+// under /stats.
+type CapacityStats struct {
+	// Capacity is the current AIMD estimate in packets/second.
+	Capacity float64 `json:"capacity"`
+	// Stalls counts stalled hand-offs observed; Backoffs counts the
+	// multiplicative decreases they triggered (≤ one per window);
+	// Probes counts additive increases.
+	Stalls   uint64 `json:"stalls"`
+	Backoffs uint64 `json:"backoffs"`
+	Probes   uint64 `json:"probes"`
+}
+
+// Stats returns the controller's telemetry; zero for a nil controller.
+func (c *Controller) Stats() CapacityStats {
+	if c == nil {
+		return CapacityStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CapacityStats{Capacity: c.capacity, Stalls: c.stalls, Backoffs: c.backoffs, Probes: c.probes}
+}
+
+// Capacity returns the current estimate in packets/second (0 for nil).
+func (c *Controller) Capacity() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// Granted returns the cumulative expected packets admitted — the left
+// side of the capacity-bound invariant, exposed for the property test.
+func (c *Controller) Granted() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.granted
+}

@@ -46,12 +46,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/wire"
 )
 
-// Config shapes a collector Server.
+// Config is the Server's resolved configuration — the form the
+// functional options (see options.go) populate and New validates.
+// Construct servers with New(engine, opts...); Config stays exported as
+// the documented resolved shape.
 type Config struct {
 	// Engine is the compiled execution plan the collector expects every
 	// exporter to share; its PlanHash gates the session handshake.
@@ -88,9 +92,14 @@ type Config struct {
 	// Logf, when non-nil, receives one line per session event (open,
 	// close, error). Nil means silent.
 	Logf func(format string, args ...any)
+	// TenantPolicy configures the multi-tenant QoS layer (see
+	// WithTenantPolicy). The zero policy disables it.
+	TenantPolicy admit.Policy
 }
 
-// Stats is a point-in-time view of the server's counters.
+// Stats is a point-in-time view of the server's counters. Packets
+// counts every decoded (offered) packet; Shed counts those the QoS
+// layer sampled away, so Packets-Shed is what reached the sink.
 type Stats struct {
 	Sessions   uint64 `json:"sessions"`
 	Active     int64  `json:"active"`
@@ -98,6 +107,7 @@ type Stats struct {
 	Frames     uint64 `json:"frames"`
 	Packets    uint64 `json:"packets"`
 	Bytes      uint64 `json:"bytes"`
+	Shed       uint64 `json:"shed"`
 	ConnErrors uint64 `json:"conn_errors"`
 }
 
@@ -110,6 +120,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Frames += o.Frames
 	s.Packets += o.Packets
 	s.Bytes += o.Bytes
+	s.Shed += o.Shed
 	s.ConnErrors += o.ConnErrors
 }
 
@@ -118,6 +129,9 @@ func (s *Stats) Accumulate(o Stats) {
 type Server struct {
 	cfg      Config
 	planHash uint64
+	// admitter is the QoS front (nil when no tenant policy is
+	// configured — the admit-everything fast path).
+	admitter *admit.Admitter
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -150,11 +164,13 @@ type Server struct {
 	frames     atomic.Uint64
 	packets    atomic.Uint64
 	bytes      atomic.Uint64
+	shed       atomic.Uint64
 	connErrors atomic.Uint64
 }
 
-// New builds a Server over an engine and its sink.
-func New(cfg Config) (*Server, error) {
+// newServer builds a Server over a resolved Config; New (options.go) is
+// the public constructor.
+func newServer(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, fmt.Errorf("collector: nil engine")
 	}
@@ -177,9 +193,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
 	}
+	admitter, err := admit.NewAdmitter(cfg.TenantPolicy)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		planHash: cfg.Engine.PlanHash(),
+		admitter: admitter,
 		conns:    map[net.Conn]struct{}{},
 		drained:  make(chan struct{}),
 	}
@@ -204,6 +225,7 @@ func (s *Server) Stats() Stats {
 		Frames:     s.frames.Load(),
 		Packets:    s.packets.Load(),
 		Bytes:      s.bytes.Load(),
+		Shed:       s.shed.Load(),
 		ConnErrors: s.connErrors.Load(),
 	}
 }
@@ -343,8 +365,19 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	s.logf("collector: %s: exporter %d (%s) session open", conn.RemoteAddr(), hello.Exporter, hello.Name)
 
+	// Resolve the session's tenant meter (nil without a tenant policy —
+	// the admit-everything fast path). Meters outlive sessions, so the
+	// tenant's accounting survives reconnects.
+	tenant := s.admitter.Tenant(hello.Tenant)
+	tenant.AddSession(1)
+	defer tenant.AddSession(-1)
+	tenantName := hello.Tenant
+	if tenantName == "" {
+		tenantName = admit.DefaultTenant
+	}
+
 	sess := &session{exporter: hello.Exporter, name: hello.Name,
-		remote: conn.RemoteAddr().String()}
+		tenant: tenantName, remote: conn.RemoteAddr().String()}
 	s.sess.add(sess)
 	defer s.sess.remove(sess)
 
@@ -389,15 +422,67 @@ func (s *Server) handleConn(conn net.Conn) {
 		if n == 0 {
 			continue
 		}
-		sess.staged.Store(int64(n))
+		// QoS admission: one decision per frame, applied packet-by-packet
+		// to the staged buffers in place. The decision is a pure function
+		// of (policy, tenant, clock), and Keep of (seed, flow, pktID) —
+		// identical runs shed identical packets.
+		kept := n
+		if tenant != nil {
+			if d := tenant.Decide(n); !d.Admit() {
+				kept = shedStaged(bufs, tenant, d)
+				dropped := uint64(n - kept)
+				sess.shed.Add(dropped)
+				s.shed.Add(dropped)
+			}
+			tenant.Account(kept, n)
+			if kept == 0 {
+				// Everything shed: the buffers are already empty, skip the
+				// sink hand-off entirely.
+				sess.batches.Add(1)
+				continue
+			}
+		}
+		sess.staged.Store(int64(kept))
 		s.ingestGate.RLock()
 		start := time.Now()
 		s.cfg.Sink.IngestStage(st)
-		sess.stallNs.Add(uint64(time.Since(start)))
+		dur := time.Since(start)
+		sess.stallNs.Add(uint64(dur))
 		s.ingestGate.RUnlock()
 		sess.staged.Store(0)
 		sess.batches.Add(1)
+		if s.admitter != nil {
+			// Feed the hand-off latency back to the capacity controller: a
+			// slow hand-off means the shard worker's queue blocked us —
+			// the sink is behind and admission should back off.
+			s.admitter.ReportStall(dur >= stallThreshold)
+		}
 	}
+}
+
+// stallThreshold is the sink hand-off latency above which a frame's
+// ingest counts as a stall for the AIMD capacity controller. A healthy
+// hand-off is a few microseconds of per-shard lock work; a millisecond
+// means the shard worker's bounded queue blocked the session.
+const stallThreshold = time.Millisecond
+
+// shedStaged filters every staged per-shard buffer in place through the
+// tenant's seeded per-packet test, returning how many packets survived.
+// Stage.Buffers returns the stage's own slices, so the filtered buffers
+// are exactly what the subsequent IngestStage lands.
+func shedStaged(bufs [][]core.PacketDigest, t *admit.Tenant, d admit.Decision) int {
+	kept := 0
+	for i := range bufs {
+		buf := bufs[i][:0]
+		for _, pd := range bufs[i] {
+			if t.Keep(d, uint64(pd.Flow), pd.PktID) {
+				buf = append(buf, pd)
+			}
+		}
+		bufs[i] = buf
+		kept += len(buf)
+	}
+	return kept
 }
 
 func isDeadlineErr(err error) bool {

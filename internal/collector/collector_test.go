@@ -16,18 +16,14 @@ import (
 // newServedSink builds a sink + served collector on an ephemeral
 // loopback listener. The sink closes at test cleanup; the server is the
 // test's to Shutdown.
-func newServedSink(t *testing.T, tb *Testbench, shards int, opts ...func(*Config)) (*pipeline.Sink, *Server) {
+func newServedSink(t *testing.T, tb *Testbench, shards int, opts ...Option) (*pipeline.Sink, *Server) {
 	t.Helper()
 	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{Shards: shards, Base: tb.Base})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sink.Close() })
-	cfg := Config{Engine: tb.Engine, Sink: sink, Queries: tb.Queries()}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
-	srv, err := New(cfg)
+	srv, err := New(tb.Engine, append([]Option{WithSink(sink), WithQueries(tb.Queries()...)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

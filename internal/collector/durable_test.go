@@ -160,10 +160,8 @@ func newDurableServer(t *testing.T, tb *Testbench, dir string, opts DurableOptio
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { d.Close() })
-	srv, err := New(Config{
-		Engine: tb.Engine, Sink: d.Sink, Queries: tb.Queries(),
-		Durable: d, CheckpointEvery: -1,
-	})
+	srv, err := New(tb.Engine, WithSink(d.Sink), WithQueries(tb.Queries()...),
+		WithDurable(d), WithCheckpointEvery(-1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +260,7 @@ func TestSnapshotWindowErrorPaths(t *testing.T) {
 
 	// Without a durable store the window surface is an explicit 400.
 	rec = httptest.NewRecorder()
-	srvPlain, err := New(Config{Engine: tb.Engine, Sink: mustPlainSink(t, tb), Queries: tb.Queries()})
+	srvPlain, err := New(tb.Engine, WithSink(mustPlainSink(t, tb)), WithQueries(tb.Queries()...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,10 +297,8 @@ func TestDurableCheckpointTicker(t *testing.T) {
 	// Ingest before the server exists: the ticker goroutine must be the
 	// only checkpoint caller (single-ingester contract).
 	stream := ingestWaves(t, tb, d, 1, 3, 100)
-	srv, err := New(Config{
-		Engine: tb.Engine, Sink: d.Sink, Queries: tb.Queries(),
-		Durable: d, CheckpointEvery: 2 * time.Millisecond,
-	})
+	srv, err := New(tb.Engine, WithSink(d.Sink), WithQueries(tb.Queries()...),
+		WithDurable(d), WithCheckpointEvery(2*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

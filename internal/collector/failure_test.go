@@ -248,7 +248,7 @@ func TestSlowConsumerBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sink.Close()
-	srv, err := New(Config{Engine: tb.Engine, Sink: sink, Queries: tb.Queries()})
+	srv, err := New(tb.Engine, WithSink(sink), WithQueries(tb.Queries()...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestShutdownForceClosesHungExporter(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sink.Close()
-	srv, err := New(Config{Engine: tb.Engine, Sink: sink})
+	srv, err := New(tb.Engine, WithSink(sink))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -201,6 +201,7 @@ func (tb *Testbench) StreamSteadyState(addrs []string, route func(core.FlowKey) 
 				exp := uint64(e) + 1
 				hello := HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp))
 				hello.Epoch = epoch
+				hello.Tenant = tb.Tenant
 				fe, err := DialFleet(addrs, hello, route, batch)
 				if err != nil {
 					return err
@@ -268,6 +269,7 @@ func (tb *Testbench) StreamFleetDeployment(addrs []string, route func(core.FlowK
 				exp := uint64(e) + 1
 				hello := HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp))
 				hello.Epoch = epoch
+				hello.Tenant = tb.Tenant
 				fe, err := DialFleet(addrs, hello, route, batch)
 				if err != nil {
 					return err

@@ -147,24 +147,10 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		total, perShard := s.cfg.Sink.Stats()
-		body := map[string]any{
-			"server":     s.Stats(),
-			"sink":       total,
-			"sink_shard": perShard,
-			// Per-connection ingest counters: which session is feeding
-			// which volume, and whose hand-offs are stalling on hot
-			// shards (stall_ns). Empty when no session is live.
-			"conns": s.ConnStats(),
-		}
-		if d := s.cfg.Durable; d != nil {
-			body["durable"] = map[string]any{
-				"store":    d.Store.Stats(),
-				"recovery": d.Recovery,
-				"replayed": d.Replayed,
-			}
-		}
-		WriteJSON(w, body)
+		// The versioned stats document (see stats.go): server counters,
+		// sink totals and per-shard breakdown, per-connection ingest
+		// counters, and the QoS/durable sections when configured.
+		WriteJSON(w, s.StatsV1())
 	})
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		// A draining daemon answers 503 instead of racing its own sink

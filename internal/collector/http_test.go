@@ -25,7 +25,7 @@ func newQuietServer(t *testing.T) (*Server, *pipeline.Sink) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sink.Close() })
-	srv, err := New(Config{Engine: tb.Engine, Sink: sink, Queries: tb.Queries()})
+	srv, err := New(tb.Engine, WithSink(sink), WithQueries(tb.Queries()...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestEpochMismatchRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sink.Close()
-	srv, err := New(Config{Engine: tb.Engine, Sink: sink, Queries: tb.Queries(), Epoch: 3})
+	srv, err := New(tb.Engine, WithSink(sink), WithQueries(tb.Queries()...), WithEpoch(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,7 +49,7 @@ func (tb *Testbench) RunLoopback(shards, nExporters, flowsPer, pktsPer, batch in
 		return nil, err
 	}
 	defer sink.Close()
-	srv, err := New(Config{Engine: tb.Engine, Sink: sink, Queries: tb.Queries()})
+	srv, err := New(tb.Engine, WithSink(sink), WithQueries(tb.Queries()...))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package collector
+
+import (
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// This file is the Server's construction surface: functional options
+// over the resolved Config. Callers build a collector as
+//
+//	srv, err := collector.New(engine,
+//		collector.WithSink(sink),
+//		collector.WithQueries(queries...),
+//		collector.WithEpoch(7),
+//		collector.WithTenantPolicy(policy))
+//
+// and New validates the resolved form once, up front — a nil engine or
+// an inconsistent sink/durable pairing errors at construction instead of
+// panicking somewhere inside Serve. Config stays exported as the
+// resolved, documented form (it is what the options write into), but the
+// options are the constructor's API.
+
+// Option mutates the resolved Config during New. Nil options are
+// ignored.
+type Option func(*Config)
+
+// WithSink directs every decoded digest batch into sink. Each
+// connection ingests concurrently through its own pipeline.Stage;
+// Shutdown flushes and barriers the sink; the caller still owns Close.
+// Exactly one of WithSink or WithDurable is required (WithDurable
+// implies its own sink).
+func WithSink(sink *pipeline.Sink) Option {
+	return func(c *Config) { c.Sink = sink }
+}
+
+// WithQueries lists the engine's queries for the HTTP snapshot
+// endpoints. Without it /snapshot serves empty answer sets.
+func WithQueries(queries ...core.Query) Option {
+	return func(c *Config) { c.Queries = queries }
+}
+
+// WithEpoch sets the cluster partitioning epoch this collector belongs
+// to (0, the default, means standalone). Sessions whose Hello carries a
+// different epoch are refused with wire.AckEpochMismatch.
+func WithEpoch(epoch uint64) Option {
+	return func(c *Config) { c.Epoch = epoch }
+}
+
+// WithMaxFramePayload caps a frame's payload bytes (default
+// wire.DefaultMaxFramePayload). Larger frames kill the connection.
+func WithMaxFramePayload(n int) Option {
+	return func(c *Config) { c.MaxFramePayload = n }
+}
+
+// WithDurable attaches the collector's durable tier (built with
+// OpenDurableSink): the sink defaults to d.Sink, /snapshot gains the
+// ?since=/?until= historical window parameters, and the server owns the
+// checkpoint cadence. The caller still owns d.Close after Shutdown.
+func WithDurable(d *DurableSink) Option {
+	return func(c *Config) { c.Durable = d }
+}
+
+// WithCheckpointEvery sets the background checkpoint+fsync interval
+// when a durable tier is attached (default 1s; negative disables the
+// cadence — checkpoints then happen only at Shutdown or by explicit
+// call).
+func WithCheckpointEvery(every time.Duration) Option {
+	return func(c *Config) { c.CheckpointEvery = every }
+}
+
+// WithHandshakeTimeout bounds how long a new connection may take to
+// present its Hello (default 10s), shedding dead or non-protocol
+// connections.
+func WithHandshakeTimeout(d time.Duration) Option {
+	return func(c *Config) { c.HandshakeTimeout = d }
+}
+
+// WithLogf directs one line per session event (open, close, error) to
+// logf. The default is silent.
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(c *Config) { c.Logf = logf }
+}
+
+// WithTenantPolicy enables the multi-tenant QoS layer (internal/admit):
+// per-tenant token-bucket quotas, optional AIMD capacity control from
+// sink stall feedback, and probabilistic load shedding at a published
+// per-tenant sampling rate. The zero policy (the default) disables the
+// layer entirely — every frame is admitted whole and ingest is
+// byte-identical to a collector built without tenancy.
+func WithTenantPolicy(policy admit.Policy) Option {
+	return func(c *Config) { c.TenantPolicy = policy }
+}
+
+// New builds a Server for engine from functional options, validating
+// the resolved configuration: the engine must be non-nil, a sink must
+// come from WithSink or WithDurable (and may not contradict the durable
+// tier's own), and the tenant policy must validate. See Config for the
+// resolved form the options populate.
+func New(engine *core.Engine, opts ...Option) (*Server, error) {
+	cfg := Config{Engine: engine}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return newServer(cfg)
+}

@@ -19,13 +19,19 @@ import (
 type ConnStats struct {
 	Exporter uint64 `json:"exporter"`
 	Name     string `json:"name"`
-	Remote   string `json:"remote"`
+	// Tenant is the session's resolved QoS tenant (the Hello's tenant
+	// label, or admit.DefaultTenant when the exporter sent none).
+	Tenant string `json:"tenant"`
+	Remote string `json:"remote"`
 	// Frames counts checksummed frames decoded; Batches counts staged
 	// hand-offs to the sink (one per frame that carried packets).
 	Frames  uint64 `json:"frames"`
 	Batches uint64 `json:"batches"`
 	Packets uint64 `json:"packets"`
 	Bytes   uint64 `json:"bytes"`
+	// Shed counts packets the QoS layer sampled away from this session;
+	// Packets-Shed is what reached the sink.
+	Shed uint64 `json:"shed"`
 	// StallNs is cumulative time spent inside IngestStage — handing
 	// staged packets to shard workers, including any blocking on full
 	// worker queues. A connection whose StallNs grows much faster than
@@ -42,11 +48,13 @@ type ConnStats struct {
 type session struct {
 	exporter uint64
 	name     string
+	tenant   string
 	remote   string
 	frames   atomic.Uint64
 	batches  atomic.Uint64
 	packets  atomic.Uint64
 	bytes    atomic.Uint64
+	shed     atomic.Uint64
 	stallNs  atomic.Uint64
 	staged   atomic.Int64
 }
@@ -55,11 +63,13 @@ func (c *session) stats() ConnStats {
 	return ConnStats{
 		Exporter:    c.exporter,
 		Name:        c.name,
+		Tenant:      c.tenant,
 		Remote:      c.remote,
 		Frames:      c.frames.Load(),
 		Batches:     c.batches.Load(),
 		Packets:     c.packets.Load(),
 		Bytes:       c.bytes.Load(),
+		Shed:        c.shed.Load(),
 		StallNs:     c.stallNs.Load(),
 		StagedDepth: c.staged.Load(),
 	}

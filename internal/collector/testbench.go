@@ -31,6 +31,11 @@ type Testbench struct {
 	Engine *core.Engine
 	// Base seeds the sink's recordings (pipeline.Config.Base).
 	Base hash.Seed
+	// Tenant, when non-empty, labels every session the testbench's
+	// streaming helpers open (pintload -tenant): the Hello carries it and
+	// the collector accounts the traffic under that QoS tenant. Empty
+	// keeps the v2 handshake bytes and the default tenant.
+	Tenant string
 	// universe is the fat-tree switch-ID space the flows walk.
 	universe []uint64
 }

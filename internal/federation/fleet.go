@@ -83,12 +83,11 @@ func startMember(tb *collector.Testbench, name string, shards int, epoch uint64)
 	if err != nil {
 		return nil, err
 	}
-	srv, err := collector.New(collector.Config{
-		Engine:  tb.Engine,
-		Sink:    sink,
-		Queries: tb.Queries(),
-		Epoch:   epoch,
-	})
+	srv, err := collector.New(tb.Engine,
+		collector.WithSink(sink),
+		collector.WithQueries(tb.Queries()...),
+		collector.WithEpoch(epoch),
+	)
 	if err != nil {
 		sink.Close()
 		return nil, err

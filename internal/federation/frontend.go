@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"repro/internal/collector"
-	"repro/internal/pipeline"
 )
 
 // Frontend is the fleet's single query endpoint: it fans /snapshot,
@@ -238,10 +237,9 @@ func (g *Frontend) serveHealthz(w http.ResponseWriter, r *http.Request) {
 
 // nodeStats is one member's /stats as the frontend re-presents it.
 type nodeStats struct {
-	Node   string               `json:"node"`
-	Server *collector.Stats     `json:"server,omitempty"`
-	Sink   *pipeline.ShardStats `json:"sink,omitempty"`
-	Error  string               `json:"error,omitempty"`
+	Node  string             `json:"node"`
+	Stats *collector.StatsV1 `json:"stats,omitempty"`
+	Error string             `json:"error,omitempty"`
 }
 
 func (g *Frontend) serveStats(w http.ResponseWriter, r *http.Request) {
@@ -251,31 +249,34 @@ func (g *Frontend) serveStats(w http.ResponseWriter, r *http.Request) {
 		down[e.Node] = e.Error
 	}
 	nodes := make([]nodeStats, len(g.Nodes))
-	var serverTotal collector.Stats
-	var sinkTotal pipeline.ShardStats
+	// The fleet total is the same versioned document one daemon serves:
+	// counter sections sum, tenant sections merge by name (re-deriving
+	// each error envelope), point-in-time sections stay per-member.
+	total := collector.StatsV1{Schema: collector.StatsSchemaV1}
 	for i, node := range g.Nodes {
 		nodes[i] = nodeStats{Node: node}
 		if msg, dead := down[node]; dead {
 			nodes[i].Error = msg
 			continue
 		}
-		var st struct {
-			Server collector.Stats     `json:"server"`
-			Sink   pipeline.ShardStats `json:"sink"`
-		}
+		var st collector.StatsV1
 		if err := json.Unmarshal(bodies[i], &st); err != nil {
 			nodes[i].Error = fmt.Sprintf("bad stats body: %v", err)
 			errs = append(errs, NodeError{Node: node, Error: nodes[i].Error})
 			continue
 		}
-		nodes[i].Server, nodes[i].Sink = &st.Server, &st.Sink
-		serverTotal.Accumulate(st.Server)
-		sinkTotal.Accumulate(st.Sink)
+		if st.Schema != collector.StatsSchemaV1 {
+			nodes[i].Error = fmt.Sprintf("unknown stats schema %q", st.Schema)
+			errs = append(errs, NodeError{Node: node, Error: nodes[i].Error})
+			continue
+		}
+		nodes[i].Stats = &st
+		total.Accumulate(st)
 	}
 	markPartial(w, errs)
 	collector.WriteJSON(w, map[string]any{
 		"nodes": nodes,
-		"total": map[string]any{"server": serverTotal, "sink": sinkTotal},
+		"total": total,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -54,4 +55,49 @@ func TestRegenerateShardedFuzzCorpus(t *testing.T) {
 	write("seed-hostile-count", 2, []byte{'P', 'D', Version, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
 	write("seed-nonminimal-varint", 2, []byte{'P', 'D', Version, 1, 0x80, 0x00, 0, 0, 0})
 	write("seed-bad-magic", 8, []byte{'X', 'D', Version, 0})
+}
+
+// TestRegenerateHandshakeFuzzCorpus rewrites the committed seed corpus
+// under testdata/fuzz/FuzzHandshake from the handshake encoder — the
+// version-2 and version-3 forms plus the hostile shapes the decoder must
+// refuse. Same protocol as the sharded regenerator above: no-op unless
+// PINT_REGEN_CORPUS=1; rerun after a deliberate handshake change and
+// commit the result so CI replays both wire versions on every PR.
+func TestRegenerateHandshakeFuzzCorpus(t *testing.T) {
+	if os.Getenv("PINT_REGEN_CORPUS") != "1" {
+		t.Skip("set PINT_REGEN_CORPUS=1 to rewrite testdata/fuzz/")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzHandshake")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(seedName string, data []byte) {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, seedName), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustHello := func(h Hello) []byte {
+		data, err := AppendHello(nil, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	v2 := mustHello(Hello{Exporter: 3, PlanHash: 0x1234_5678_9ABC_DEF0, Epoch: 42, Name: "spine-0"})
+	v3 := mustHello(Hello{Exporter: 5, PlanHash: 0xFEED_FACE, Epoch: 7, Name: "tor-1-1", Tenant: "team-a"})
+	longest := mustHello(Hello{Exporter: ^uint64(0), PlanHash: ^uint64(0), Epoch: ^uint64(0),
+		Name: strings.Repeat("n", MaxExporterName), Tenant: strings.Repeat("t", MaxTenantName)})
+	write("seed-v2", v2)
+	write("seed-v2-noname", mustHello(Hello{Exporter: 1}))
+	write("seed-v3", v3)
+	write("seed-v3-max-labels", longest)
+	write("seed-v3-truncated-tenant", v3[:len(v3)-2])
+	write("seed-v3-missing-tenant-len", v3[:helloFixedLen+7])
+	// A v3 header claiming an empty tenant: non-canonical, must be refused.
+	emptyTenant := append(append([]byte(nil), v2...), 0)
+	emptyTenant[4] = HandshakeVersion
+	write("seed-v3-empty-tenant", emptyTenant)
+	write("seed-v1-refused", []byte{'P', 'I', 'N', 'T', 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	write("seed-trailing-garbage", append(append([]byte(nil), v3...), 0xAA, 0xBB))
 }

@@ -34,12 +34,15 @@ import (
 // A connection opens with one Hello record from the exporter:
 //
 //	magic    [4]byte  'P' 'I' 'N' 'T'
-//	version  byte     HandshakeVersion
+//	version  byte     2 (no tenant) or 3 (tenant label follows the name)
 //	exporter uint64 LE  exporter (switch) ID
 //	planHash uint64 LE  Engine.PlanHash() of the exporter's compiled plan
 //	epoch    uint64 LE  cluster partitioning epoch (0 for standalone)
 //	nameLen  byte     0..MaxExporterName
 //	name     [nameLen]byte  printable ASCII label
+//	(v3 only)
+//	tenantLen byte    1..MaxTenantName
+//	tenant   [tenantLen]byte  printable ASCII QoS tenant
 //
 // and the collector answers with a single ack byte (AckOK or a reject
 // code). The plan hash is the implicit-coordination guard of §4.1 made
@@ -195,12 +198,21 @@ func (fr *FrameReader) Next() ([]byte, error) {
 }
 
 // HandshakeVersion is the current session-handshake version byte.
-// Version 2 added the cluster-epoch field; version-1 Hellos are refused
-// (every exporter and collector in a deployment ship together).
-const HandshakeVersion = 2
+// Version 2 added the cluster-epoch field; version 3 appends an optional
+// tenant label after the name. Version-2 Hellos are still accepted (an
+// absent tenant means the default tenant), so an existing exporter fleet
+// keeps connecting across a collector upgrade; version-1 Hellos are
+// refused (every exporter and collector in a deployment ship together).
+const HandshakeVersion = 3
+
+// handshakeVersionV2 is the tenant-less prior version, still accepted.
+const handshakeVersionV2 = 2
 
 // MaxExporterName bounds the Hello name field.
 const MaxExporterName = 64
+
+// MaxTenantName bounds the Hello tenant field.
+const MaxTenantName = 64
 
 // helloFixedLen is the byte length of a Hello before the variable name:
 // magic (4) + version (1) + exporter (8) + planHash (8) + epoch (8) +
@@ -224,37 +236,69 @@ type Hello struct {
 	Epoch uint64
 	// Name is an optional printable-ASCII label (metrics, logs).
 	Name string
+	// Tenant is the QoS tenant this session's digests are accounted and
+	// admitted under. Empty means the default tenant, and — for wire
+	// compatibility — selects the version-2 encoding, so a tenant-less
+	// exporter is byte-identical to one shipped before tenancy existed.
+	Tenant string
 }
 
-func validExporterName(name string) error {
-	if len(name) > MaxExporterName {
-		return fmt.Errorf("wire: exporter name %d bytes above cap %d", len(name), MaxExporterName)
+func validHelloLabel(field, name string, cap int) error {
+	if len(name) > cap {
+		return fmt.Errorf("wire: %s %d bytes above cap %d", field, len(name), cap)
 	}
 	for i := 0; i < len(name); i++ {
 		if name[i] < 0x20 || name[i] > 0x7e {
-			return fmt.Errorf("wire: exporter name byte %d (%#02x) outside printable ASCII", i, name[i])
+			return fmt.Errorf("wire: %s byte %d (%#02x) outside printable ASCII", field, i, name[i])
 		}
 	}
 	return nil
 }
 
-// AppendHello appends the handshake encoding of h to dst.
+func validExporterName(name string) error {
+	return validHelloLabel("exporter name", name, MaxExporterName)
+}
+
+func validTenantName(name string) error {
+	return validHelloLabel("tenant name", name, MaxTenantName)
+}
+
+// AppendHello appends the handshake encoding of h to dst. The encoding
+// is canonical: a Hello without a tenant is emitted as version 2 (the
+// exact bytes a pre-tenancy exporter sends), and a tenant Hello as
+// version 3 with the tenant label appended after the name. DecodeHello
+// of either form re-encodes to the same bytes.
 func AppendHello(dst []byte, h Hello) ([]byte, error) {
 	if err := validExporterName(h.Name); err != nil {
 		return dst, err
 	}
+	if err := validTenantName(h.Tenant); err != nil {
+		return dst, err
+	}
+	version := byte(handshakeVersionV2)
+	if h.Tenant != "" {
+		version = HandshakeVersion
+	}
 	dst = append(dst, helloMagic[:]...)
-	dst = append(dst, HandshakeVersion)
+	dst = append(dst, version)
 	dst = binary.LittleEndian.AppendUint64(dst, h.Exporter)
 	dst = binary.LittleEndian.AppendUint64(dst, h.PlanHash)
 	dst = binary.LittleEndian.AppendUint64(dst, h.Epoch)
 	dst = append(dst, byte(len(h.Name)))
-	return append(dst, h.Name...), nil
+	dst = append(dst, h.Name...)
+	if version == HandshakeVersion {
+		dst = append(dst, byte(len(h.Tenant)))
+		dst = append(dst, h.Tenant...)
+	}
+	return dst, nil
 }
 
 // DecodeHello decodes a Hello from the front of data and returns the
-// bytes consumed. ErrShortFrame means data is a valid prefix and more
-// bytes are needed; other errors are fatal.
+// bytes consumed. Versions 2 (no tenant) and 3 (tenant label after the
+// name) are accepted; a version-3 Hello must carry a non-empty tenant —
+// the empty tenant's canonical encoding is version 2. ErrShortFrame
+// means data is a valid prefix and more bytes are needed; other errors
+// are fatal.
 func DecodeHello(data []byte) (Hello, int, error) {
 	var h Hello
 	if len(data) < helloFixedLen {
@@ -263,8 +307,9 @@ func DecodeHello(data []byte) (Hello, int, error) {
 	if [4]byte(data[:4]) != helloMagic {
 		return h, 0, fmt.Errorf("wire: bad handshake magic %q", data[:4])
 	}
-	if data[4] != HandshakeVersion {
-		return h, 0, fmt.Errorf("wire: unsupported handshake version %d (have %d)", data[4], HandshakeVersion)
+	version := data[4]
+	if version != handshakeVersionV2 && version != HandshakeVersion {
+		return h, 0, fmt.Errorf("wire: unsupported handshake version %d (have %d)", version, HandshakeVersion)
 	}
 	h.Exporter = binary.LittleEndian.Uint64(data[5:])
 	h.PlanHash = binary.LittleEndian.Uint64(data[13:])
@@ -280,10 +325,31 @@ func DecodeHello(data []byte) (Hello, int, error) {
 	if err := validExporterName(h.Name); err != nil {
 		return Hello{}, 0, err
 	}
-	return h, helloFixedLen + nameLen, nil
+	n := helloFixedLen + nameLen
+	if version == handshakeVersionV2 {
+		return h, n, nil
+	}
+	if len(data) < n+1 {
+		return Hello{}, 0, ErrShortFrame
+	}
+	tenantLen := int(data[n])
+	if tenantLen == 0 {
+		return Hello{}, 0, fmt.Errorf("wire: v3 handshake with empty tenant (canonical form is v2)")
+	}
+	if tenantLen > MaxTenantName {
+		return Hello{}, 0, fmt.Errorf("wire: tenant name %d bytes above cap %d", tenantLen, MaxTenantName)
+	}
+	if len(data) < n+1+tenantLen {
+		return Hello{}, 0, ErrShortFrame
+	}
+	h.Tenant = string(data[n+1 : n+1+tenantLen])
+	if err := validTenantName(h.Tenant); err != nil {
+		return Hello{}, 0, err
+	}
+	return h, n + 1 + tenantLen, nil
 }
 
-// ReadHello reads one Hello from a stream.
+// ReadHello reads one Hello from a stream, either version.
 func ReadHello(r io.Reader) (Hello, error) {
 	var fixed [helloFixedLen]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
@@ -296,10 +362,33 @@ func ReadHello(r io.Reader) (Hello, error) {
 		return Hello{}, err
 	}
 	nameLen := int(fixed[helloFixedLen-1])
-	buf := make([]byte, helloFixedLen+nameLen)
+	buf := make([]byte, helloFixedLen+nameLen, helloFixedLen+nameLen+1+MaxTenantName)
 	copy(buf, fixed[:])
 	if _, err := io.ReadFull(r, buf[helloFixedLen:]); err != nil {
 		return Hello{}, fmt.Errorf("wire: reading handshake name: %w", err)
+	}
+	if fixed[4] == HandshakeVersion {
+		// Version 3: one tenant-length byte, then the label. Bounds are
+		// checked before the final read for the same stall-avoidance
+		// reason as the name length above.
+		buf = buf[:len(buf)+1]
+		if _, err := io.ReadFull(r, buf[len(buf)-1:]); err != nil {
+			return Hello{}, fmt.Errorf("wire: reading handshake tenant length: %w", err)
+		}
+		tenantLen := int(buf[len(buf)-1])
+		if tenantLen == 0 || tenantLen > MaxTenantName {
+			// Re-decode for the precise error message.
+			_, _, err := DecodeHello(buf)
+			if err == nil || err == ErrShortFrame {
+				err = fmt.Errorf("wire: bad tenant length %d", tenantLen)
+			}
+			return Hello{}, err
+		}
+		tail := len(buf)
+		buf = buf[:tail+tenantLen]
+		if _, err := io.ReadFull(r, buf[tail:]); err != nil {
+			return Hello{}, fmt.Errorf("wire: reading handshake tenant: %w", err)
+		}
 	}
 	h, _, err := DecodeHello(buf)
 	return h, err

@@ -85,8 +85,11 @@ func FuzzHandshake(f *testing.F) {
 	add(Hello{Exporter: 3, PlanHash: 0x1234_5678_9ABC_DEF0, Name: "spine-0"})
 	add(Hello{Exporter: 11, PlanHash: 7, Epoch: 0xFEED_FACE, Name: "fleet-2"})
 	add(Hello{Exporter: ^uint64(0), PlanHash: 1, Name: strings.Repeat("z", MaxExporterName)})
+	add(Hello{Exporter: 5, PlanHash: 9, Name: "spine-1", Tenant: "team-a"})
+	add(Hello{Exporter: 6, Epoch: 3, Tenant: strings.Repeat("t", MaxTenantName)})
 	f.Add([]byte{})
 	f.Add([]byte("PINT"))
+	f.Add(append([]byte{'P', 'I', 'N', 'T', handshakeVersionV2}, make([]byte, helloFixedLen-5)...))
 	f.Add(append([]byte{'P', 'I', 'N', 'T', HandshakeVersion}, make([]byte, helloFixedLen-5)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -143,6 +143,8 @@ func TestHelloRoundtrip(t *testing.T) {
 		{Exporter: 7, PlanHash: 0xDEADBEEF, Name: "tor-3-2"},
 		{Exporter: 9, PlanHash: 0xDEADBEEF, Epoch: 42, Name: "fleet-member"},
 		{Exporter: ^uint64(0), PlanHash: ^uint64(0), Epoch: ^uint64(0), Name: strings.Repeat("x", MaxExporterName)},
+		{Exporter: 4, PlanHash: 0xBEEF, Name: "tor-1-1", Tenant: "team-a"},
+		{Exporter: 5, Epoch: 7, Tenant: strings.Repeat("t", MaxTenantName)},
 	}
 	for _, h := range cases {
 		data, err := AppendHello(nil, h)
@@ -166,6 +168,64 @@ func TestHelloRoundtrip(t *testing.T) {
 		if stream != h {
 			t.Fatalf("stream-decoded %+v, want %+v", stream, h)
 		}
+	}
+}
+
+// TestHelloVersioning pins the encoding's version split: a tenant-less
+// Hello must stay byte-identical to the pre-tenancy version-2 format (an
+// upgraded exporter fleet talking to an old collector, and vice versa),
+// and a tenant Hello is version 3 with the label after the name.
+func TestHelloVersioning(t *testing.T) {
+	v2, err := AppendHello(nil, Hello{Exporter: 1, Name: "sw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[4] != 2 {
+		t.Fatalf("tenant-less Hello encodes version %d, want 2", v2[4])
+	}
+	if len(v2) != helloFixedLen+2 {
+		t.Fatalf("v2 Hello length %d, want %d", len(v2), helloFixedLen+2)
+	}
+	v3, err := AppendHello(nil, Hello{Exporter: 1, Name: "sw", Tenant: "team-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3[4] != HandshakeVersion {
+		t.Fatalf("tenant Hello encodes version %d, want %d", v3[4], HandshakeVersion)
+	}
+	if !bytes.Equal(v3[5:helloFixedLen+2], v2[5:]) {
+		t.Fatal("v3 Hello does not extend the v2 layout")
+	}
+	if got := string(v3[helloFixedLen+3:]); got != "team-a" {
+		t.Fatalf("v3 tenant tail %q, want %q", got, "team-a")
+	}
+	// Every proper prefix of a v3 Hello is ErrShortFrame — the tenant
+	// tail must look truncated, never silently default-tenant.
+	for i := 0; i < len(v3); i++ {
+		if _, _, err := DecodeHello(v3[:i]); err != ErrShortFrame {
+			t.Fatalf("prefix %d/%d: want ErrShortFrame, got %v", i, len(v3), err)
+		}
+	}
+	// A v3 Hello claiming an empty tenant is non-canonical (the empty
+	// tenant's encoding is v2) and must be rejected, not decoded.
+	empty := append(append([]byte(nil), v2...), 0)
+	empty[4] = HandshakeVersion
+	if _, _, err := DecodeHello(empty); err == nil || !strings.Contains(err.Error(), "empty tenant") {
+		t.Fatalf("v3 empty tenant: want rejection, got %v", err)
+	}
+	if _, err := ReadHello(bytes.NewReader(empty)); err == nil {
+		t.Fatal("ReadHello accepted a v3 Hello with an empty tenant")
+	}
+	badTenant := append(append([]byte(nil), v3...), 0)
+	copy(badTenant[helloFixedLen+3:], "team\x07a")
+	if _, _, err := DecodeHello(badTenant[:len(v3)]); err == nil || !strings.Contains(err.Error(), "printable") {
+		t.Fatalf("unprintable tenant: want rejection, got %v", err)
+	}
+	if _, err := AppendHello(nil, Hello{Tenant: strings.Repeat("y", MaxTenantName+1)}); err == nil {
+		t.Fatal("oversized tenant accepted on encode")
+	}
+	if _, err := AppendHello(nil, Hello{Tenant: "bad\ttenant"}); err == nil {
+		t.Fatal("unprintable tenant accepted on encode")
 	}
 }
 

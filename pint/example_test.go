@@ -1,0 +1,105 @@
+package pint_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/pint"
+)
+
+// ExampleNewCollector runs the full public-API loop: compile a plan,
+// encode a flow's digests switch-side, stream them over a real TCP
+// session to a collector built with functional options — including a
+// multi-tenant QoS policy — and read the versioned stats back.
+func ExampleNewCollector() {
+	universe := []uint64{11, 22, 33, 44, 55, 66, 77, 88}
+	cfg, err := pint.DefaultPathConfig(4, 2, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := pint.NewPathQuery("path", cfg, 1.0, 7, universe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := pint.Compile([]pint.Query{q}, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Switch side: 400 packets of one flow walk a 5-hop path.
+	path := []uint64{11, 33, 55, 77, 88}
+	flow := pint.FlowKeyOf(7, "example-flow")
+	rng := pint.NewRNG(9)
+	pkts := make([]pint.PacketDigest, 400)
+	vals := make([]pint.HopValues, len(pkts))
+	for i := range pkts {
+		pkts[i] = pint.PacketDigest{Flow: flow, PktID: rng.Uint64(), PathLen: len(path)}
+	}
+	for hop := 1; hop <= len(path); hop++ {
+		for i := range vals {
+			vals[i].SwitchID = path[hop-1]
+		}
+		engine.EncodeHopBatch(hop, pkts, vals)
+	}
+
+	// Collector side: a sharded sink wrapped in the daemon, with a QoS
+	// policy giving every tenant a roomy quota.
+	sink, err := pint.NewShardedSink(engine, pint.ShardConfig{Shards: 2, Base: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sink.Close()
+	policy, err := pint.ParseTenantPolicy("*=1e9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := pint.NewCollector(engine,
+		pint.WithSink(sink),
+		pint.WithQueries(q),
+		pint.WithTenantPolicy(policy),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Exporter side: the session handshake names the tenant.
+	hello := pint.HelloFor(engine, 1, "example-switch")
+	hello.Tenant = "team-a"
+	ex, err := pint.DialCollector(ln.Addr().String(), hello)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ex.Send(pkts); err != nil {
+		log.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		log.Fatal(err)
+	}
+
+	st := srv.StatsV1()
+	fmt.Println("schema:", st.Schema)
+	for _, ts := range st.Tenants {
+		fmt.Printf("tenant %s: offered %d admitted %d shed %d\n",
+			ts.Tenant, ts.Offered, ts.Admitted, ts.Shed)
+	}
+	ids, done := sink.Snapshot().Path(q, flow)
+	fmt.Println("path decoded:", done, ids)
+	// Output:
+	// schema: pint.stats.v1
+	// tenant team-a: offered 400 admitted 400 shed 0
+	// path decoded: true [11 33 55 77 88]
+}

@@ -58,6 +58,27 @@
 //	snap := sink.Snapshot()     // from any goroutine, no flush needed
 //	ids, done := snap.Path(q, flow)
 //
+// # Collector daemon and multi-tenant QoS
+//
+// NewCollector wraps a sink in the streaming collector daemon — TCP
+// exporter sessions, versioned /stats, durable segment logs — configured
+// through functional options:
+//
+//	policy, _ := pint.ParseTenantPolicy("hog=50000,*=1e6")
+//	srv, _ := pint.NewCollector(engine,
+//	    pint.WithSink(sink),
+//	    pint.WithQueries(q),
+//	    pint.WithTenantPolicy(policy),
+//	)
+//
+// A tenant policy turns overload into accuracy instead of backpressure:
+// each session's handshake names a tenant, an over-quota tenant's frames
+// are thinned to a known per-tenant sampling rate p, and /stats publishes
+// the resulting error envelope (count answers scale by 1/p; quantile
+// answers gain a bounded rank error). In-quota tenants are untouched —
+// their answers stay byte-identical to an unpoliced collector. See
+// TenantPolicy, TenantStats and CapacityConfig.
+//
 // The subpackages referenced here live under internal/; this package
 // re-exports everything a downstream user needs.
 package pint

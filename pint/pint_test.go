@@ -321,9 +321,7 @@ func TestPublicCollectorAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sink.Close()
-	srv, err := pint.NewCollector(pint.CollectorConfig{
-		Engine: engine, Sink: sink, Queries: []pint.Query{q},
-	})
+	srv, err := pint.NewCollector(engine, pint.WithSink(sink), pint.WithQueries(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -441,9 +439,8 @@ func TestPublicFederationAPI(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer sink.Close()
-		srv, err := pint.NewCollector(pint.CollectorConfig{
-			Engine: engine, Sink: sink, Queries: []pint.Query{q}, Epoch: epoch,
-		})
+		srv, err := pint.NewCollector(engine,
+			pint.WithSink(sink), pint.WithQueries(q), pint.WithEpoch(epoch))
 		if err != nil {
 			t.Fatal(err)
 		}
