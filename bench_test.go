@@ -8,11 +8,15 @@
 package repro
 
 import (
+	"context"
+	"net"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/admit"
 	"repro/internal/coding"
+	"repro/internal/collector"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hash"
@@ -363,7 +367,7 @@ func BenchmarkAblation_Epsilon(b *testing.B) {
 // acceptance bar: the batch path allocates 0 B/op and at least doubles
 // the seed path's single-core throughput.
 
-func benchCombinedPlan(b *testing.B) (*core.Engine, *core.UtilQuery) {
+func benchCombinedPlan(b *testing.B) (*core.Engine, []core.Query) {
 	b.Helper()
 	universe := make([]uint64, 128)
 	for i := range universe {
@@ -386,11 +390,12 @@ func benchCombinedPlan(b *testing.B) (*core.Engine, *core.UtilQuery) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eng, err := core.Compile([]core.Query{path, lat, util}, 16, master.Derive(0x51B))
+	queries := []core.Query{path, lat, util}
+	eng, err := core.Compile(queries, 16, master.Derive(0x51B))
 	if err != nil {
 		b.Fatal(err)
 	}
-	return eng, util
+	return eng, queries
 }
 
 const benchHops = 5
@@ -880,4 +885,109 @@ func BenchmarkAdmitDecision(b *testing.B) {
 	if admitted == b.N && b.N > 1000 {
 		b.Fatal("bench tenant never went over quota")
 	}
+}
+
+// BenchmarkFleetHandoff is the elastic-resize hand-off cycle end to end
+// over loopback TCP: one op is ExportFlows draining 64 live flow states
+// from the source collector, SendHandoff framing and shipping them in
+// one CRC-framed hand-off session, and the destination's read loop
+// folding every state into its sink via Recording.Merge. The flow set
+// ping-pongs between two collectors, so every iteration drains
+// realistically warm state — each flow carries 256 packets of decoder
+// and sketch history — without untimed re-seeding.
+func BenchmarkFleetHandoff(b *testing.B) {
+	eng, queries := benchCombinedPlan(b)
+	const (
+		nFlows  = 64
+		pktsPer = 256
+	)
+	pkts := benchDigestStream(eng, nFlows, nFlows*pktsPer)
+	seen := make(map[core.FlowKey]bool, nFlows)
+	flows := make([]core.FlowKey, 0, nFlows)
+	for _, p := range pkts {
+		if !seen[p.Flow] {
+			seen[p.Flow] = true
+			flows = append(flows, p.Flow)
+		}
+	}
+
+	newNode := func() *collector.Server {
+		sink, err := pipeline.NewSink(eng, pipeline.Config{Shards: 2, SketchItems: 32, Base: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := collector.New(eng, collector.WithSink(sink), collector.WithQueries(queries...))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+		for srv.Addr() == nil {
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.Cleanup(func() {
+			srv.Shutdown(context.Background())
+			sink.Close()
+		})
+		return srv
+	}
+	src, dst := newNode(), newNode()
+
+	// Seed the source through a normal exporter session, then wait for
+	// the read loop to drain it.
+	ex, err := collector.Dial(src.Addr().String(), collector.HelloFor(eng, 1, "seed"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ex.Send(pkts); err != nil {
+		b.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for st := src.Stats(); st.Packets < uint64(len(pkts)) || st.Active != 0; st = src.Stats() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// One untimed warm round sizes SetBytes and leaves the flows on dst,
+	// so the timed loop starts mid-ping-pong like any later iteration.
+	handoff := func(from, to *collector.Server) int64 {
+		states, err := from.ExportFlows(flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(states) != nFlows {
+			b.Fatalf("exported %d of %d flows", len(states), nFlows)
+		}
+		var bytes int64
+		for _, st := range states {
+			bytes += int64(len(st.State))
+		}
+		before := to.HandoffFlows()
+		if n, err := collector.SendHandoff(to.Addr().String(), collector.HelloFor(eng, 1<<40, "bench-handoff"), states); err != nil || n != nFlows {
+			b.Fatalf("shipped %d flows: %v", n, err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for to.HandoffFlows() < before+nFlows {
+			if !time.Now().Before(deadline) {
+				b.Fatalf("destination imported %d of %d flows at deadline", to.HandoffFlows()-before, nFlows)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return bytes
+	}
+	b.SetBytes(handoff(src, dst))
+	src, dst = dst, src
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handoff(src, dst)
+		src, dst = dst, src
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(nFlows)*float64(b.N)/b.Elapsed().Seconds(), "flows/s")
 }

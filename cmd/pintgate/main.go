@@ -16,6 +16,12 @@
 // federated-deployment section), so the /snapshot merge is a k-way merge
 // by flow key — byte-identical to one collector that ingested everything.
 // On SIGTERM/SIGINT the gate stops serving and exits 0.
+//
+// With -fleetmap the gate also serves the fleet's epoch-versioned map on
+// GET /fleetmap (exporters fetch it to follow a live resize), accepts
+// the next epoch's map on POST /fleetmap from a resize coordinator, and
+// excludes any member answering from a different epoch ("epoch_stale" in
+// the error list) instead of merging across two partitionings.
 package main
 
 import (
@@ -38,11 +44,13 @@ import (
 func main() {
 	httpAddr := flag.String("http", "127.0.0.1:9700", "HTTP address for the merged /healthz, /stats, /snapshot")
 	nodes := flag.String("nodes", "", "comma-separated fleet member HTTP endpoints (host:port or http://host:port)")
+	mapFile := flag.String("fleetmap", "", "JSON fleet map file (epoch + members); enables /fleetmap and epoch staleness checks")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-node fan-out request bound")
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGTERM/SIGINT")
 	flag.Parse()
 
 	log.SetFlags(0)
+	opts := []federation.FrontendOption{federation.WithTimeout(*timeout)}
 	var urls []string
 	for _, n := range strings.Split(*nodes, ",") {
 		n = strings.TrimSpace(n)
@@ -54,11 +62,25 @@ func main() {
 		}
 		urls = append(urls, n)
 	}
-	fe, err := federation.NewFrontend(urls)
-	if err != nil {
-		log.Fatalf("pintgate: %v (pass the fleet's HTTP endpoints via -nodes)", err)
+	if len(urls) > 0 {
+		opts = append(opts, federation.WithMembers(urls...))
 	}
-	fe.Timeout = *timeout
+	if *mapFile != "" {
+		raw, err := os.ReadFile(*mapFile)
+		if err != nil {
+			log.Fatalf("pintgate: %v", err)
+		}
+		fm, err := federation.ParseFleetMap(raw)
+		if err != nil {
+			log.Fatalf("pintgate: %s: %v", *mapFile, err)
+		}
+		opts = append(opts, federation.WithFleetMap(fm))
+	}
+	fe, err := federation.NewFrontend(opts...)
+	if err != nil {
+		log.Fatalf("pintgate: %v (pass the fleet's HTTP endpoints via -nodes, or a map via -fleetmap)", err)
+	}
+	urls = fe.Nodes
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {

@@ -14,6 +14,9 @@
 //	                                                   federated: route each flow to its
 //	                                                   consistent-hash home; all daemons
 //	                                                   must run the same -epoch
+//	pintload -gate http://127.0.0.1:9700               elastic: fetch the fleet map from
+//	                                                   pintgate's /fleetmap, route by its
+//	                                                   epoch, and re-home live on resize
 //	pintload -addr :9777 -duration 10s                 steady state: replay at full rate
 //	                                                   for 10s, report per-connection and
 //	                                                   aggregate Mpkt/s
@@ -35,16 +38,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"strings"
 	"time"
 
 	"repro/internal/collector"
+	"repro/internal/core"
 	"repro/internal/federation"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9777", "pintd exporter-session address, or a comma-separated fleet list")
+	gate := flag.String("gate", "", "pintgate base URL: fetch the fleet map from its /fleetmap and follow live resizes (overrides -addr and -epoch)")
 	exporters := flag.Int("exporters", 4, "simulated switches (one TCP connection each, per fleet member)")
 	flows := flag.Int("flows", 8, "flows per exporter")
 	pkts := flag.Int("pkts", 1000, "packets per flow")
@@ -63,24 +70,42 @@ func main() {
 		log.Fatalf("pintload: %v", err)
 	}
 	tb.Tenant = *tenant
-	var addrs []string
-	for _, a := range strings.Split(*addr, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
+	var (
+		addrs  []string
+		route  func(core.FlowKey) int
+		epochV = *epoch
+	)
+	if *gate != "" {
+		// Gate mode: the fleet map is the source of truth — addresses,
+		// routing, and epoch come from it, and the fetch stays installed
+		// so every session follows a mid-run resize.
+		fetch := fleetMapFetch(*gate)
+		tb.Fetch = fetch
+		roster, err := fetch()
+		if err != nil {
+			log.Fatalf("pintload: fetching fleet map: %v", err)
 		}
-	}
-	part, err := federation.NewPartitioner(addrs)
-	if err != nil {
-		log.Fatalf("pintload: %v", err)
+		addrs, route, epochV = roster.IngestAddrs(), roster.FlowHome, roster.FleetEpoch()
+	} else {
+		for _, a := range strings.Split(*addr, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		part, err := federation.NewPartitioner(addrs)
+		if err != nil {
+			log.Fatalf("pintload: %v", err)
+		}
+		route = part.Home
 	}
 	fmt.Printf("pintload: %d exporters x %d flows x %d packets -> %s (plan 0x%016x, epoch %d)\n",
-		*exporters, *flows, *pkts, strings.Join(addrs, " + "), tb.Engine.PlanHash(), *epoch)
+		*exporters, *flows, *pkts, strings.Join(addrs, " + "), tb.Engine.PlanHash(), epochV)
 	if *duration > 0 {
-		runSteadyState(tb, addrs, part, *epoch, *exporters, *flows, *pkts, *batch, *coalesce, *duration)
+		runSteadyState(tb, addrs, route, epochV, *exporters, *flows, *pkts, *batch, *coalesce, *duration)
 		return
 	}
 	start := time.Now()
-	packets, bytes, err := tb.StreamFleetDeployment(addrs, part.Home, *epoch, *exporters, *flows, *pkts, *batch)
+	packets, bytes, err := tb.StreamFleetDeployment(addrs, route, epochV, *exporters, *flows, *pkts, *batch)
 	if err != nil {
 		log.Fatalf("pintload: %v", err)
 	}
@@ -95,10 +120,10 @@ func main() {
 // breaks the aggregate down per connection — the numbers that show
 // whether the collector's parallel ingest keeps every pipe busy or one
 // hot shard is back-pressuring a subset of them.
-func runSteadyState(tb *collector.Testbench, addrs []string, part *federation.Partitioner, epoch uint64,
+func runSteadyState(tb *collector.Testbench, addrs []string, route func(core.FlowKey) int, epoch uint64,
 	exporters, flows, pkts, batch, coalesce int, duration time.Duration) {
 	fmt.Printf("pintload: steady state for %v (coalesce %d bytes)\n", duration, coalesce)
-	loads, err := tb.StreamSteadyState(addrs, part.Home, epoch, exporters, flows, pkts, batch, coalesce, duration)
+	loads, err := tb.StreamSteadyState(addrs, route, epoch, exporters, flows, pkts, batch, coalesce, duration)
 	if err != nil {
 		log.Fatalf("pintload: %v", err)
 	}
@@ -117,4 +142,28 @@ func runSteadyState(tb *collector.Testbench, addrs []string, part *federation.Pa
 		packets, bytes, longest.Round(time.Millisecond))
 	fmt.Printf("pintload: %.3f Mpkt/s aggregate, %.2f bytes/pkt on the wire\n",
 		float64(packets)/longest.Seconds()/1e6, float64(bytes)/float64(packets))
+}
+
+// fleetMapFetch returns a roster fetch that GETs the gate's /fleetmap —
+// the closure the exporter sessions poll when a resize fences them out.
+func fleetMapFetch(gate string) func() (collector.FleetRoster, error) {
+	base := strings.TrimRight(gate, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return func() (collector.FleetRoster, error) {
+		resp, err := http.Get(base + "/fleetmap")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s /fleetmap: %s", base, resp.Status)
+		}
+		return federation.ParseFleetMap(body)
+	}
 }

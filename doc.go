@@ -21,7 +21,12 @@
 // daemons behind a consistent-hash flow partitioner with epoch-fenced
 // sessions and a merging query frontend whose answers stay byte-identical
 // to a single collector, degrading to explicit partial results when
-// members die), the durable storage tier (internal/segstore, enabled by
+// members die — and, since the elastic-fleet layer, resizable live: an
+// epoch-versioned fleet map on /fleetmap, a minimal-move rebalance
+// planner, and zero-loss per-flow state hand-off between collectors, so
+// a mid-stream grow or shrink answers byte-identically to a fleet that
+// started at the new membership; see README.md's "Elastic fleet"
+// section), the durable storage tier (internal/segstore, enabled by
 // pintd -data-dir — a crash-safe segment log replayed before serving, so
 // a SIGKILLed-and-restarted collector answers bit-for-bit identically to
 // one that never crashed, modulo an explicitly-reported unflushed tail;

@@ -1,0 +1,258 @@
+package coding
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Exact decoder-state serialization for the fleet-resize hand-off path.
+// A flow's decoder is incremental: the packets it has buffered, the
+// blocks it has solved, and the candidate sets it has narrowed all feed
+// future Observe calls. Moving the flow to another collector therefore
+// ships this complete mutable state; the destination reconstructs a
+// decoder whose every future Observe/Path/MissingHops answer is
+// identical to the original's. Only observation state travels — the
+// plan-derived configuration (Config, hash globals, universe) is rebuilt
+// on the destination from its own compiled plan via PathQuery.NewDecoder,
+// and the blob carries the geometry (k, fragments, universe size) so a
+// mismatched plan is an error, not silent corruption.
+
+const decoderStateVersion = 1
+
+type stateReader struct {
+	data []byte
+	err  error
+}
+
+func (r *stateReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.err = fmt.Errorf("coding: truncated state varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *stateReader) count(what string) int {
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(r.data))+1 { // every element is >= 1 byte
+		r.err = fmt.Errorf("coding: state claims %d %s with %d bytes left", n, what, len(r.data))
+	}
+	return int(n)
+}
+
+func (r *stateReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("coding: %d trailing state bytes", len(r.data))
+	}
+	return nil
+}
+
+// StateK peeks the path length out of an AppendState blob, so a caller
+// can construct the right decoder (PathQuery.NewDecoder(k)) before
+// calling RestoreState.
+func StateK(data []byte) (int, error) {
+	r := &stateReader{data: data}
+	if v := r.uvarint(); r.err == nil && v != decoderStateVersion {
+		return 0, fmt.Errorf("coding: decoder state version %d (have %d)", v, decoderStateVersion)
+	}
+	k := int(r.uvarint())
+	if r.err != nil {
+		return 0, r.err
+	}
+	return k, nil
+}
+
+// AppendState appends the decoder's complete observation state to dst.
+func (d *Decoder) AppendState(dst []byte) []byte {
+	dst = append(dst, decoderStateVersion)
+	dst = binary.AppendUvarint(dst, uint64(d.k))
+	dst = binary.AppendUvarint(dst, uint64(d.frags))
+	dst = binary.AppendUvarint(dst, uint64(len(d.universe)))
+	dst = binary.AppendUvarint(dst, uint64(d.observed))
+	dst = binary.AppendUvarint(dst, uint64(d.inconsistent))
+	dst = binary.AppendUvarint(dst, uint64(d.decodedHops))
+	for f := 0; f < d.frags; f++ {
+		for h := 0; h < d.k; h++ {
+			b := byte(0)
+			if d.known[f][h] {
+				b = 1
+			}
+			dst = append(dst, b)
+			dst = binary.AppendUvarint(dst, d.vals[f][h])
+		}
+	}
+	if d.cand == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		for h := 0; h < d.k; h++ {
+			if d.cand[h] == nil {
+				dst = append(dst, 0)
+				continue
+			}
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(len(d.cand[h])))
+			for _, v := range d.cand[h] {
+				dst = binary.AppendUvarint(dst, v)
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(d.pkts)))
+	for i := range d.pkts {
+		p := &d.pkts[i]
+		dst = binary.AppendUvarint(dst, p.id)
+		dst = binary.AppendUvarint(dst, uint64(p.frag))
+		dst = binary.AppendUvarint(dst, p.mask)
+		b := byte(0)
+		if p.dead {
+			b = 1
+		}
+		dst = append(dst, b)
+		dst = binary.AppendUvarint(dst, uint64(len(p.res)))
+		for _, w := range p.res {
+			dst = binary.AppendUvarint(dst, w)
+		}
+	}
+	for f := 0; f < d.frags; f++ {
+		for h := 0; h < d.k; h++ {
+			idxs := d.hopIndex[f][h]
+			if idxs == nil {
+				dst = append(dst, 0)
+				continue
+			}
+			dst = append(dst, 1)
+			dst = binary.AppendUvarint(dst, uint64(len(idxs)))
+			for _, ix := range idxs {
+				dst = binary.AppendUvarint(dst, uint64(ix))
+			}
+		}
+	}
+	return dst
+}
+
+// RestoreState loads an AppendState blob into a freshly constructed
+// decoder (same query, same path length — the blob's geometry is
+// checked). The decoder must not have observed anything yet.
+func (d *Decoder) RestoreState(data []byte) error {
+	if d.observed != 0 || len(d.pkts) != 0 {
+		return fmt.Errorf("coding: RestoreState on a decoder that already observed packets")
+	}
+	r := &stateReader{data: data}
+	if v := r.uvarint(); r.err == nil && v != decoderStateVersion {
+		return fmt.Errorf("coding: decoder state version %d (have %d)", v, decoderStateVersion)
+	}
+	k := int(r.uvarint())
+	frags := int(r.uvarint())
+	uniLen := int(r.uvarint())
+	observed := int(r.uvarint())
+	inconsistent := int(r.uvarint())
+	decodedHops := int(r.uvarint())
+	if r.err != nil {
+		return r.err
+	}
+	if k != d.k || frags != d.frags || uniLen != len(d.universe) {
+		return fmt.Errorf("coding: decoder state geometry (k=%d frags=%d universe=%d) does not match decoder (k=%d frags=%d universe=%d)",
+			k, frags, uniLen, d.k, d.frags, len(d.universe))
+	}
+	for f := 0; f < frags; f++ {
+		for h := 0; h < k; h++ {
+			kb := r.uvarint()
+			d.vals[f][h] = r.uvarint()
+			d.known[f][h] = kb != 0
+		}
+	}
+	candFlag := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+	if (candFlag != 0) != (d.cand != nil) {
+		return fmt.Errorf("coding: decoder state mode does not match decoder (hashed=%v)", d.cand != nil)
+	}
+	if candFlag != 0 {
+		for h := 0; h < k; h++ {
+			present := r.uvarint()
+			if r.err != nil {
+				return r.err
+			}
+			if present == 0 {
+				d.cand[h] = nil
+				continue
+			}
+			n := r.count("candidates")
+			if r.err != nil {
+				return r.err
+			}
+			cs := make([]uint64, n)
+			for i := range cs {
+				cs[i] = r.uvarint()
+			}
+			d.cand[h] = cs
+		}
+	}
+	nPkts := r.count("packets")
+	if r.err != nil {
+		return r.err
+	}
+	d.pkts = make([]pktRec, nPkts)
+	for i := range d.pkts {
+		p := &d.pkts[i]
+		p.id = r.uvarint()
+		p.frag = int(r.uvarint())
+		p.mask = r.uvarint()
+		p.dead = r.uvarint() != 0
+		nRes := r.count("residual words")
+		if r.err != nil {
+			return r.err
+		}
+		if p.frag < 0 || p.frag >= frags {
+			return fmt.Errorf("coding: packet %d fragment %d out of range", i, p.frag)
+		}
+		if nRes > 0 {
+			res := d.arena.alloc(nRes)
+			for w := range res {
+				res[w] = r.uvarint()
+			}
+			p.res = res
+		}
+	}
+	for f := 0; f < frags; f++ {
+		for h := 0; h < k; h++ {
+			present := r.uvarint()
+			if r.err != nil {
+				return r.err
+			}
+			if present == 0 {
+				d.hopIndex[f][h] = nil
+				continue
+			}
+			n := r.count("hop indices")
+			if r.err != nil {
+				return r.err
+			}
+			idxs := make([]int, n)
+			for i := range idxs {
+				ix := int(r.uvarint())
+				if ix < 0 || ix >= nPkts {
+					return fmt.Errorf("coding: hop index %d out of range [0,%d)", ix, nPkts)
+				}
+				idxs[i] = ix
+			}
+			d.hopIndex[f][h] = idxs
+		}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	d.observed = observed
+	d.inconsistent = inconsistent
+	d.decodedHops = decodedHops
+	return nil
+}

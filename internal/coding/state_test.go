@@ -1,0 +1,112 @@
+package coding
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hash"
+)
+
+// TestDecoderStateRoundTrip is the hand-off contract: a decoder's
+// serialized state restored into a fresh decoder must observe the rest
+// of the stream exactly like the original — same solved hops, same
+// counters, same re-serialization — so a flow moved mid-decode finishes
+// decoding at its new home as if it never moved.
+func TestDecoderStateRoundTrip(t *testing.T) {
+	cfg := Config{Bits: 8, Mode: ModeHashed, Layering: MultiLayer(10, true)}
+	g := hash.NewGlobal(77)
+	path := pathValues(10)
+	universe := universeWith(path, 120)
+
+	enc, err := NewEncoder(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := NewDecoder(cfg, g, 10, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.NewRNG(9)
+	// Observe enough to be mid-decode (partial state), not done.
+	for i := 0; i < 12; i++ {
+		pkt := rng.Uint64()
+		orig.Observe(pkt, enc.EncodePath(pkt, path))
+	}
+	if orig.Done() {
+		t.Skip("decode finished before a partial state could be captured")
+	}
+
+	state := orig.AppendState(nil)
+	if k, err := StateK(state); err != nil || k != 10 {
+		t.Fatalf("StateK = %d, %v; want 10", k, err)
+	}
+	restored, err := NewDecoder(cfg, g, 10, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if orig.Observed() != restored.Observed() || orig.Inconsistent() != restored.Inconsistent() {
+		t.Fatalf("counters diverge after restore: %d/%d vs %d/%d",
+			orig.Observed(), orig.Inconsistent(), restored.Observed(), restored.Inconsistent())
+	}
+	if !bytes.Equal(state, restored.AppendState(nil)) {
+		t.Fatal("restored decoder re-serializes differently")
+	}
+
+	// Drive both with the identical remaining stream.
+	for i := 0; i < 5000 && !orig.Done(); i++ {
+		pkt := rng.Uint64()
+		d := enc.EncodePath(pkt, path)
+		orig.Observe(pkt, d)
+		restored.Observe(pkt, d)
+	}
+	if !orig.Done() || !restored.Done() {
+		t.Fatalf("decode incomplete: orig=%v restored=%v", orig.Done(), restored.Done())
+	}
+	a, aKnown := orig.Path()
+	b, bKnown := restored.Path()
+	for i := range a {
+		if a[i] != b[i] || aKnown[i] != bKnown[i] {
+			t.Fatalf("hop %d: %d (known=%v) vs %d (known=%v)", i+1, a[i], aKnown[i], b[i], bKnown[i])
+		}
+	}
+	if !bytes.Equal(orig.AppendState(nil), restored.AppendState(nil)) {
+		t.Fatal("final states diverge after identical streams")
+	}
+}
+
+// TestDecoderStateRejectsCorrupt: truncations and trailing bytes must
+// error, never panic, and a state for the wrong k must be refused.
+func TestDecoderStateRejectsCorrupt(t *testing.T) {
+	cfg := Config{Bits: 8, Mode: ModeHashed, Layering: MultiLayer(5, true)}
+	g := hash.NewGlobal(3)
+	path := pathValues(5)
+	universe := universeWith(path, 60)
+	enc, _ := NewEncoder(cfg, g)
+	d, err := NewDecoder(cfg, g, 5, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.NewRNG(4)
+	for i := 0; i < 6; i++ {
+		pkt := rng.Uint64()
+		d.Observe(pkt, enc.EncodePath(pkt, path))
+	}
+	state := d.AppendState(nil)
+	for cut := 0; cut < len(state); cut++ {
+		fresh, _ := NewDecoder(cfg, g, 5, universe)
+		if err := fresh.RestoreState(state[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(state))
+		}
+	}
+	fresh, _ := NewDecoder(cfg, g, 5, universe)
+	if err := fresh.RestoreState(append(append([]byte(nil), state...), 7)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	wrongK, _ := NewDecoder(cfg, g, 6, universeWith(pathValues(6), 60))
+	if err := wrongK.RestoreState(state); err == nil {
+		t.Fatal("k=5 state restored into a k=6 decoder")
+	}
+}

@@ -158,6 +158,12 @@ type Server struct {
 	// sess tracks live sessions for the /stats per-connection section.
 	sess sessionSet
 
+	// epoch is the live cluster partitioning epoch. It starts at
+	// cfg.Epoch and moves via SetEpoch during a fleet resize; the
+	// handshake checks it, so sessions dialed after a resize must carry
+	// the new epoch while live sessions get the reroute nudge instead.
+	epoch atomic.Uint64
+
 	sessions   atomic.Uint64
 	active     atomic.Int64
 	rejected   atomic.Uint64
@@ -166,6 +172,10 @@ type Server struct {
 	bytes      atomic.Uint64
 	shed       atomic.Uint64
 	connErrors atomic.Uint64
+	// handoffFlows counts flows imported over the hand-off path during a
+	// fleet resize (exposed via HandoffFlows, not /stats — the stats
+	// schema is versioned).
+	handoffFlows atomic.Uint64
 }
 
 // newServer builds a Server over a resolved Config; New (options.go) is
@@ -210,7 +220,23 @@ func newServer(cfg Config) (*Server, error) {
 		// that keeps checkpointing a DurableSink the caller closed.
 		s.stopCkpt = make(chan struct{})
 	}
+	s.epoch.Store(cfg.Epoch)
 	return s, nil
+}
+
+// Epoch returns the live cluster partitioning epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// SetEpoch moves the collector to a new cluster epoch, as the first step
+// of a fleet resize. New handshakes must carry the new epoch
+// (AckEpochMismatch otherwise — the recoverable "fetch the new fleet map
+// and re-dial" signal); every live session still on an older epoch gets
+// a single wire.NudgeReroute byte so its exporter flushes, closes
+// cleanly, and re-routes. Safe from any goroutine.
+func (s *Server) SetEpoch(epoch uint64) {
+	if s.epoch.Swap(epoch) != epoch {
+		s.sess.nudgeStale(epoch)
+	}
 }
 
 // PlanHash returns the hash the server demands in every Hello.
@@ -331,7 +357,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		ack = wire.AckRejected
 	case hello.PlanHash != s.planHash:
 		ack = wire.AckPlanMismatch
-	case hello.Epoch != s.cfg.Epoch:
+	case hello.Epoch != s.epoch.Load():
 		ack = wire.AckEpochMismatch
 	}
 	if _, err := conn.Write([]byte{ack}); err != nil {
@@ -377,7 +403,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 
 	sess := &session{exporter: hello.Exporter, name: hello.Name,
-		tenant: tenantName, remote: conn.RemoteAddr().String()}
+		tenant: tenantName, remote: conn.RemoteAddr().String(),
+		conn: conn, epoch: hello.Epoch}
 	s.sess.add(sess)
 	defer s.sess.remove(sess)
 
@@ -402,6 +429,24 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.logf("collector: exporter %d (%s) dropped: %v", hello.Exporter, hello.Name, err)
 			}
 			return
+		}
+		// Hand-off frames (fleet resize: a departing home shipping a
+		// flow's drained state) share the framing but not the decode
+		// path — they fold whole recording states into the sink instead
+		// of staging digests.
+		if wire.IsHandoffPayload(payload) {
+			imported, err := s.ingestHandoffFrame(payload)
+			if err != nil {
+				s.connErrors.Add(1)
+				s.logf("collector: exporter %d (%s) hand-off refused: %v", hello.Exporter, hello.Name, err)
+				return
+			}
+			s.frames.Add(1)
+			s.bytes.Add(uint64(wire.FrameHeaderLen + len(payload)))
+			sess.frames.Add(1)
+			sess.bytes.Add(uint64(wire.FrameHeaderLen + len(payload)))
+			s.handoffFlows.Add(uint64(imported))
+			continue
 		}
 		// Decode before touching the sink: a malformed batch inside a
 		// valid frame still poisons nothing — a failed fused decode may

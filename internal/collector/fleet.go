@@ -3,6 +3,7 @@ package collector
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +27,29 @@ type FleetExporter struct {
 	route func(core.FlowKey) int
 	bufs  [][]core.PacketDigest
 	batch int
+	// hello is the template every member session handshakes with; its
+	// Epoch field tracks the fleet epoch the sessions are currently at
+	// (rehome advances it).
+	hello    wire.Hello
+	addrs    []string
+	coalesce int
+	// fetch, when non-nil, enables live re-routing across fleet resizes
+	// (see Connect's WithRosterFetch). gen counts session generations
+	// (dialAll bumps it); nudgedGen latches the generation a collector's
+	// reroute signal arrived at. A nudge only triggers a rehome while its
+	// generation is still live — each exporter holds one session per
+	// member and the fence nudges all of them, so late duplicates from an
+	// already-replaced generation must not re-route the new sessions.
+	fetch     func() (FleetRoster, error)
+	gen       atomic.Uint64
+	nudgedGen atomic.Uint64
+}
+
+// rerouteRequested reports whether a nudge from the *current* session
+// generation is pending.
+func (f *FleetExporter) rerouteRequested() bool {
+	g := f.gen.Load()
+	return g != 0 && f.nudgedGen.Load() == g
 }
 
 // DialFleet opens one exporter session per fleet member address. route
@@ -33,32 +57,12 @@ type FleetExporter struct {
 // is the per-member frame size in packets (values < 1 mean 256). Any
 // member refusing the handshake fails the whole dial — a fleet where some
 // members reject the epoch would silently drop those members' flows.
+//
+// DialFleet is the static compatibility path: the sessions are pinned to
+// addrs and hello.Epoch for their whole life. Connect is the options
+// entry point that subsumes it (and adds live re-routing).
 func DialFleet(addrs []string, hello wire.Hello, route func(core.FlowKey) int, batch int) (*FleetExporter, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("collector: empty fleet address list")
-	}
-	if route == nil {
-		return nil, fmt.Errorf("collector: nil fleet route function")
-	}
-	if batch < 1 {
-		batch = 256
-	}
-	f := &FleetExporter{
-		exps:  make([]*Exporter, len(addrs)),
-		route: route,
-		bufs:  make([][]core.PacketDigest, len(addrs)),
-		batch: batch,
-	}
-	for i, addr := range addrs {
-		ex, err := Dial(addr, hello)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("collector: fleet member %d (%s): %w", i, addr, err)
-		}
-		f.exps[i] = ex
-		f.bufs[i] = make([]core.PacketDigest, 0, batch)
-	}
-	return f, nil
+	return dialFleet(addrs, hello, route, batch, 0, nil)
 }
 
 // Members returns the fleet size.
@@ -68,6 +72,7 @@ func (f *FleetExporter) Members() int { return len(f.exps) }
 // (see Exporter.SetCoalesce for the latency/throughput trade-off).
 // Fleet Flush and Close drain member coalescing buffers too.
 func (f *FleetExporter) SetCoalesce(n int) {
+	f.coalesce = n
 	for _, ex := range f.exps {
 		if ex != nil {
 			ex.SetCoalesce(n)
@@ -80,6 +85,11 @@ func (f *FleetExporter) SetCoalesce(n int) {
 // is preserved per flow (a flow has exactly one home and one TCP stream),
 // which is all the recording tier's determinism needs.
 func (f *FleetExporter) Send(batch []core.PacketDigest) error {
+	if f.fetch != nil && f.rerouteRequested() {
+		if err := f.rehome(); err != nil {
+			return err
+		}
+	}
 	for i := range batch {
 		n := f.route(batch[i].Flow)
 		if n < 0 || n >= len(f.exps) {
@@ -199,14 +209,13 @@ func (tb *Testbench) StreamSteadyState(addrs []string, route func(core.FlowKey) 
 			defer wg.Done()
 			expErrs[e] = func() error {
 				exp := uint64(e) + 1
-				hello := HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp))
-				hello.Epoch = epoch
-				hello.Tenant = tb.Tenant
-				fe, err := DialFleet(addrs, hello, route, batch)
+				fe, err := Connect(tb.Engine, exp, fmt.Sprintf("load-%d", exp),
+					WithAddrs(addrs...), WithRoute(route), WithSessionEpoch(epoch),
+					WithTenant(tb.Tenant), WithFrameBatch(batch), WithCoalesce(coalesce),
+					WithRosterFetch(tb.Fetch))
 				if err != nil {
 					return err
 				}
-				fe.SetCoalesce(coalesce)
 				flows := make([][]core.PacketDigest, flowsPer)
 				vals := make([]core.HopValues, pktsPer)
 				for f := 0; f < flowsPer; f++ {
@@ -267,10 +276,9 @@ func (tb *Testbench) StreamFleetDeployment(addrs []string, route func(core.FlowK
 			defer wg.Done()
 			expErrs[e] = func() error {
 				exp := uint64(e) + 1
-				hello := HelloFor(tb.Engine, exp, fmt.Sprintf("load-%d", exp))
-				hello.Epoch = epoch
-				hello.Tenant = tb.Tenant
-				fe, err := DialFleet(addrs, hello, route, batch)
+				fe, err := Connect(tb.Engine, exp, fmt.Sprintf("load-%d", exp),
+					WithAddrs(addrs...), WithRoute(route), WithSessionEpoch(epoch),
+					WithTenant(tb.Tenant), WithFrameBatch(batch), WithRosterFetch(tb.Fetch))
 				if err != nil {
 					return err
 				}

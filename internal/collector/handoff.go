@@ -1,0 +1,171 @@
+package collector
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Fleet-resize hand-off: the collector-side drain/import path. During a
+// resize the coordinator (internal/federation) asks each member that is
+// losing flows to ExportFlows them — an atomic per-flow drain+evict on
+// the owning shard's worker — and ships the states to each flow's new
+// home with SendHandoff, an ordinary handshaked session at the new epoch
+// whose frames carry hand-off payloads instead of digest batches. The
+// receiving session (handleConn) folds every state into its sink via
+// core.Recording.RestoreFlowState, i.e. Recording.Merge — the same fold
+// the query frontend uses — so post-resize answers are byte-identical to
+// a fleet that ran at the new membership from the start.
+//
+// Ordering is the coordinator's job: a destination must import a moving
+// flow's state before it ingests any fresh digest for that flow (Merge
+// refuses duplicate flows precisely to make a split detectable), so the
+// new fleet map is published to exporters only after every hand-off
+// session has closed.
+
+// handoffFrameBudget caps one hand-off frame's payload bytes, comfortably
+// under the default frame limit while amortizing framing over many small
+// flow states.
+const handoffFrameBudget = 512 << 10
+
+// ExportFlows drains the listed flows out of this collector: for each
+// flow that is tracked here, its complete recording state is serialized
+// (decoders, sketches with RNG positions, series) and the flow is
+// evicted, atomically with respect to ingest on the owning shard's
+// worker. Flows not tracked here are skipped — the caller plans moves
+// from a membership-wide flow list. A durable collector refuses: its
+// segment log would resurrect the exported flows on replay (resize of a
+// durable member needs a log marker — see ROADMAP).
+func (s *Server) ExportFlows(flows []core.FlowKey) ([]wire.FlowState, error) {
+	if s.cfg.Durable != nil {
+		return nil, fmt.Errorf("collector: hand-off out of a durable collector is not supported (log replay would resurrect the moved flows)")
+	}
+	if len(s.cfg.Queries) == 0 {
+		return nil, fmt.Errorf("collector: hand-off requires the server's query list (WithQueries)")
+	}
+	out := make([]wire.FlowState, 0, len(flows))
+	for _, flow := range flows {
+		var blob []byte
+		s.ingestGate.RLock()
+		err := s.cfg.Sink.WithFlow(flow, func(rec *core.Recording) error {
+			if !rec.HasFlow(flow) {
+				return nil
+			}
+			b, err := rec.AppendFlowState(nil, s.cfg.Queries, flow)
+			if err != nil {
+				return err
+			}
+			blob = b
+			rec.Evict(flow)
+			return nil
+		})
+		s.ingestGate.RUnlock()
+		if err != nil {
+			return out, fmt.Errorf("collector: exporting flow %d: %w", flow, err)
+		}
+		if blob != nil {
+			out = append(out, wire.FlowState{Flow: flow, State: blob})
+		}
+	}
+	return out, nil
+}
+
+// HandoffFlows returns how many flows this collector has imported over
+// the hand-off path since it started.
+func (s *Server) HandoffFlows() uint64 { return s.handoffFlows.Load() }
+
+// ingestHandoffFrame folds one hand-off frame's flow states into the
+// sink, each on its owning shard's worker, and returns how many flows
+// were imported. Any error (durable member, unknown query, duplicate
+// flow, corrupt state) refuses the whole frame and tears the session
+// down — a partially-imported resize must be loud, not silent.
+func (s *Server) ingestHandoffFrame(payload []byte) (int, error) {
+	if s.cfg.Durable != nil {
+		return 0, fmt.Errorf("collector: hand-off into a durable collector is not supported (imported state would not survive log replay)")
+	}
+	if len(s.cfg.Queries) == 0 {
+		return 0, fmt.Errorf("collector: hand-off requires the server's query list (WithQueries)")
+	}
+	states, err := wire.AppendUnmarshalHandoff(nil, payload)
+	if err != nil {
+		return 0, err
+	}
+	for i, fs := range states {
+		fs := fs
+		s.ingestGate.RLock()
+		err := s.cfg.Sink.WithFlow(fs.Flow, func(rec *core.Recording) error {
+			return rec.RestoreFlowState(s.cfg.Queries, fs.Flow, fs.State)
+		})
+		s.ingestGate.RUnlock()
+		if err != nil {
+			return i, fmt.Errorf("collector: importing flow %d: %w", fs.Flow, err)
+		}
+	}
+	return len(states), nil
+}
+
+// SendHandoff ships drained flow states to a collector at addr over an
+// ordinary handshaked session (hello must carry the destination's plan
+// hash and — critically — the *new* cluster epoch), batching states into
+// CRC-framed hand-off payloads. It returns the number of flows shipped.
+// The connection is closed before returning; a clean close means the
+// destination read and imported every frame (any import error tears the
+// connection down, which surfaces here as a write/close error on all but
+// the smallest migrations — callers should verify flow counts end to
+// end, which the federation coordinator does).
+func SendHandoff(addr string, hello wire.Hello, states []wire.FlowState) (int, error) {
+	if len(states) == 0 {
+		return 0, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return 0, err
+	}
+	ex, err := NewExporter(conn, hello)
+	if err != nil {
+		conn.Close()
+		return 0, err
+	}
+	sent := 0
+	var frame []byte
+	batch := make([]wire.FlowState, 0, len(states))
+	bytesInBatch := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		payload := wire.AppendMarshalHandoff(nil, batch)
+		fr, err := wire.AppendFrame(frame[:0], payload)
+		if err != nil {
+			return err
+		}
+		frame = fr
+		if _, err := ex.conn.Write(frame); err != nil {
+			return err
+		}
+		sent += len(batch)
+		batch = batch[:0]
+		bytesInBatch = 0
+		return nil
+	}
+	for _, fs := range states {
+		if bytesInBatch > 0 && bytesInBatch+len(fs.State) > handoffFrameBudget {
+			if err := flush(); err != nil {
+				ex.Close()
+				return sent, err
+			}
+		}
+		batch = append(batch, fs)
+		bytesInBatch += len(fs.State) + 16
+	}
+	if err := flush(); err != nil {
+		ex.Close()
+		return sent, err
+	}
+	// Close flushes nothing further (the frames were written directly)
+	// but ends the session cleanly, so the destination reads to EOF — its
+	// deferred sink flush then makes every imported flow queryable.
+	return sent, ex.Close()
+}

@@ -1,0 +1,226 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// TestHandoffLoopback is the collector-level hand-off contract: stream
+// half of every flow into collector A, drain two flows' states with
+// ExportFlows, ship them to collector B with SendHandoff over real TCP,
+// stream each flow's second half to its current home, and require the
+// merged A+B answers byte-identical to the whole deployment ingested
+// in-process — moved state carries its exact decode and sketch
+// positions.
+func TestHandoffLoopback(t *testing.T) {
+	const (
+		flowsPer = 4
+		pktsPer  = 80
+		pktsA    = pktsPer / 2
+		shards   = 2
+	)
+	tb := mustTestbench(t, 41)
+	sinkA, srvA := newServedSink(t, tb, shards)
+	sinkB, srvB := newServedSink(t, tb, shards)
+
+	exp := uint64(1)
+	batches := make([][]core.PacketDigest, flowsPer)
+	for f := 0; f < flowsPer; f++ {
+		batches[f] = tb.FlowBatch(exp, f, pktsPer, nil, nil)
+	}
+
+	// Phase A: everything into A.
+	exA, err := Dial(srvA.Addr().String(), HelloFor(tb.Engine, exp, "pre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < flowsPer; f++ {
+		if err := exA.Send(batches[f][:pktsA]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitPackets(t, srvA, uint64(flowsPer*pktsA))
+
+	// Move flows 0 and 2 to B.
+	moving := []core.FlowKey{tb.FlowKeyFor(exp, 0), tb.FlowKeyFor(exp, 2)}
+	states, err := srvA.ExportFlows(moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != len(moving) {
+		t.Fatalf("drained %d of %d flows", len(states), len(moving))
+	}
+	// A flow the source never tracked is skipped, not an error.
+	if extra, err := srvA.ExportFlows([]core.FlowKey{99999}); err != nil || len(extra) != 0 {
+		t.Fatalf("unknown flow: %d states, %v", len(extra), err)
+	}
+	sent, err := SendHandoff(srvB.Addr().String(), HelloFor(tb.Engine, 1<<40, "handoff"), states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != len(moving) {
+		t.Fatalf("shipped %d of %d flows", sent, len(moving))
+	}
+	waitHandoffFlows(t, srvB, uint64(len(moving)))
+
+	// Phase B: second halves to each flow's current home.
+	exA, err = Dial(srvA.Addr().String(), HelloFor(tb.Engine, exp, "post-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exB, err := Dial(srvB.Addr().String(), HelloFor(tb.Engine, exp, "post-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedSet := map[core.FlowKey]bool{moving[0]: true, moving[1]: true}
+	for f := 0; f < flowsPer; f++ {
+		dst := exA
+		if movedSet[tb.FlowKeyFor(exp, f)] {
+			dst = exB
+		}
+		if err := dst.Send(batches[f][pktsA:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := exA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitPackets(t, srvA, uint64(flowsPer*pktsA+(flowsPer-len(moving))*(pktsPer-pktsA)))
+	waitPackets(t, srvB, uint64(len(moving)*(pktsPer-pktsA)))
+
+	// Merge A+B and compare against the in-process whole-deployment run.
+	recA, err := sinkA.Snapshot().Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := sinkB.Snapshot().Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recA.Merge(recB); err != nil {
+		t.Fatal(err)
+	}
+	got := answersJSON(t, Answers(recA, tb.Queries(), recA.Flows()))
+
+	ref, err := pipeline.NewSink(tb.Engine, pipeline.Config{Shards: shards, Base: tb.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for f := 0; f < flowsPer; f++ {
+		ref.Ingest(batches[f])
+	}
+	ref.Barrier()
+	refRec, err := ref.Snapshot().Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := answersJSON(t, Answers(refRec, tb.Queries(), refRec.Flows()))
+	if !bytes.Equal(got, want) {
+		t.Fatal("handed-off deployment diverges from the in-process reference")
+	}
+}
+
+// TestHandoffDuplicateRefused: importing a flow the destination already
+// tracks must be refused (Recording.Merge detects the split), not
+// silently double-counted.
+func TestHandoffDuplicateRefused(t *testing.T) {
+	tb := mustTestbench(t, 43)
+	_, srvA := newServedSink(t, tb, 1)
+	_, srvB := newServedSink(t, tb, 1)
+
+	exp := uint64(2)
+	batch := tb.FlowBatch(exp, 0, 50, nil, nil)
+	ex, err := Dial(srvA.Addr().String(), HelloFor(tb.Engine, exp, "dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Send(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitPackets(t, srvA, 50)
+	flow := tb.FlowKeyFor(exp, 0)
+	states, err := srvA.ExportFlows([]core.FlowKey{flow})
+	if err != nil || len(states) != 1 {
+		t.Fatalf("export: %d states, %v", len(states), err)
+	}
+	if _, err := SendHandoff(srvB.Addr().String(), HelloFor(tb.Engine, 1<<40, "dup-1"), states); err != nil {
+		t.Fatal(err)
+	}
+	waitHandoffFlows(t, srvB, 1)
+
+	// Ship the same flow again: the import must not count a second time.
+	if _, err := SendHandoff(srvB.Addr().String(), HelloFor(tb.Engine, 1<<40, "dup-2"), states); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := srvB.HandoffFlows(); got != 1 {
+		t.Fatalf("duplicate import counted: HandoffFlows = %d, want 1", got)
+	}
+}
+
+// TestExportFlowsRequiresQueries: a server built without its query list
+// cannot serialize flow state and must say so.
+func TestExportFlowsRequiresQueries(t *testing.T) {
+	tb := mustTestbench(t, 44)
+	sink, err := pipeline.NewSink(tb.Engine, pipeline.Config{Shards: 1, Base: tb.Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	srv, err := New(tb.Engine, WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.ExportFlows([]core.FlowKey{1}); err == nil {
+		t.Fatal("ExportFlows without WithQueries succeeded")
+	}
+}
+
+// waitHandoffFlows polls the import counter — hand-off sessions close
+// without waiting for the destination's read loop to drain.
+func waitHandoffFlows(t *testing.T, s *Server, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.HandoffFlows() < want {
+		if !time.Now().Before(deadline) {
+			t.Fatalf("imported %d of %d handed-off flows at deadline", s.HandoffFlows(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.HandoffFlows(); got != want {
+		t.Fatalf("imported %d flows, want %d", got, want)
+	}
+}
+
+// waitPackets polls the server's ingest counter up to a deadline.
+func waitPackets(t *testing.T, s *Server, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Packets == want && st.Active == 0 {
+			return
+		}
+		if st.Packets > want {
+			t.Fatalf("ingested %d packets, want %d", st.Packets, want)
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("ingested %d of %d packets at deadline", st.Packets, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -140,19 +140,49 @@ func SnapshotAnswers(snap *pipeline.Snapshot, queries []core.Query, flows []core
 // contract), so querying a live collector never pauses exporters.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Every response carries the member's current cluster epoch in a
+	// header (never the body — the body must stay byte-identical to the
+	// single-collector encoding), so a query frontend can detect a member
+	// that moved to a different partitioning mid-resize instead of
+	// silently merging answers computed under two fleet maps.
+	stamped := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(EpochHeader, strconv.FormatUint(s.Epoch(), 10))
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /healthz", stamped(func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, map[string]any{
 			"ok":        true,
 			"plan_hash": fmt.Sprintf("0x%016x", s.planHash),
 		})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /stats", stamped(func(w http.ResponseWriter, r *http.Request) {
 		// The versioned stats document (see stats.go): server counters,
 		// sink totals and per-shard breakdown, per-connection ingest
 		// counters, and the QoS/durable sections when configured.
 		WriteJSON(w, s.StatsV1())
-	})
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	// POST /fleetmap is how an out-of-process resize coordinator advances
+	// a member's epoch (the in-process fleet calls SetEpoch directly): the
+	// body is the new fleet map — only its epoch matters to the member,
+	// which fences future handshakes and nudges stale live sessions.
+	mux.HandleFunc("POST /fleetmap", stamped(func(w http.ResponseWriter, r *http.Request) {
+		var fm struct {
+			Epoch *uint64 `json:"epoch"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&fm); err != nil {
+			http.Error(w, fmt.Sprintf("bad fleet map body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if fm.Epoch == nil {
+			http.Error(w, "fleet map body has no epoch", http.StatusBadRequest)
+			return
+		}
+		s.SetEpoch(*fm.Epoch)
+		WriteJSON(w, map[string]any{"ok": true, "epoch": *fm.Epoch})
+	}))
+	mux.HandleFunc("GET /snapshot", stamped(func(w http.ResponseWriter, r *http.Request) {
 		// A draining daemon answers 503 instead of racing its own sink
 		// teardown (or hanging a caller on a server that is half gone);
 		// the query frontend folds the refusal into its partial-result
@@ -181,9 +211,16 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		WriteJSON(w, map[string]any{"flows": answers})
-	})
+	}))
 	return mux
 }
+
+// EpochHeader carries the answering member's cluster epoch on every
+// collector-tier HTTP response. The federated query frontend compares it
+// against its fleet map's epoch and reports a mismatched member in the
+// response's error list ("epoch_stale") rather than merging answers that
+// were computed under a different partitioning.
+const EpochHeader = "X-Pint-Epoch"
 
 // PartialHeader marks an answer that covers less than what was asked
 // for; the value counts the failed parts. It is the same convention the

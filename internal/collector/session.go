@@ -1,9 +1,12 @@
 package collector
 
 import (
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/wire"
 )
 
 // This file tracks per-connection ingest state. Each exporter session
@@ -50,13 +53,22 @@ type session struct {
 	name     string
 	tenant   string
 	remote   string
-	frames   atomic.Uint64
-	batches  atomic.Uint64
-	packets  atomic.Uint64
-	bytes    atomic.Uint64
-	shed     atomic.Uint64
-	stallNs  atomic.Uint64
-	staged   atomic.Int64
+	// conn and epoch support live re-routing on fleet resize: when the
+	// server's epoch moves past the session's, SetEpoch writes a single
+	// wire.NudgeReroute byte on conn (the server→exporter direction is
+	// unused after the handshake ack) so the exporter flushes, closes
+	// cleanly, and re-handshakes at the new epoch. nudged makes the write
+	// one-shot.
+	conn    net.Conn
+	epoch   uint64
+	nudged  atomic.Bool
+	frames  atomic.Uint64
+	batches atomic.Uint64
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	shed    atomic.Uint64
+	stallNs atomic.Uint64
+	staged  atomic.Int64
 }
 
 func (c *session) stats() ConnStats {
@@ -94,6 +106,24 @@ func (ss *sessionSet) remove(c *session) {
 	ss.mu.Lock()
 	delete(ss.live, c)
 	ss.mu.Unlock()
+}
+
+// nudgeStale writes the reroute nudge on every live session whose epoch
+// differs from the new cluster epoch. Write errors are ignored: a session
+// that is already tearing down will notice the epoch change when it next
+// dials anyway.
+func (ss *sessionSet) nudgeStale(epoch uint64) {
+	ss.mu.Lock()
+	var stale []*session
+	for c := range ss.live {
+		if c.epoch != epoch && c.conn != nil && c.nudged.CompareAndSwap(false, true) {
+			stale = append(stale, c)
+		}
+	}
+	ss.mu.Unlock()
+	for _, c := range stale {
+		c.conn.Write([]byte{wire.NudgeReroute})
+	}
 }
 
 func (ss *sessionSet) snapshot() []ConnStats {

@@ -36,6 +36,11 @@ type Testbench struct {
 	// the collector accounts the traffic under that QoS tenant. Empty
 	// keeps the v2 handshake bytes and the default tenant.
 	Tenant string
+	// Fetch, when non-nil, is the fleet-roster fetch the streaming
+	// helpers pass to Connect (WithRosterFetch), so their sessions follow
+	// a live fleet resize instead of ending at the epoch fence (pintload
+	// -gate sets it to GET the frontend's /fleetmap).
+	Fetch func() (FleetRoster, error)
 	// universe is the fat-tree switch-ID space the flows walk.
 	universe []uint64
 }

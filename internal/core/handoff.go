@@ -1,0 +1,412 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/coding"
+	"repro/internal/sketch"
+)
+
+// Per-flow state hand-off for fleet resize. AppendFlowState drains one
+// flow's complete recording state — path decoders, latency stores, util
+// and count series, frequency summaries — into an opaque blob;
+// RestoreFlowState rebuilds that state on another Recording and folds it
+// in through the same Merge the federation frontend uses, so a resized
+// fleet's answers are byte-identical to a fleet that ran at the new
+// membership from the start. Sections are keyed by query *name* (query
+// pointers are process-local), resolved against the destination's own
+// compiled query list; an unknown name or mismatched plan geometry is an
+// error, never a silent drop.
+//
+// Blob layout (uvarint-based, strict full-consumption decode):
+//
+//	version (1) | sections uvarint |
+//	  sections × { nameLen uvarint | name | kind byte | payloadLen uvarint | payload }
+//
+// Section kinds, one per query family:
+const (
+	flowStateVersion      = 1
+	sectionPath      byte = 1
+	sectionLatency   byte = 2
+	sectionUtil      byte = 3
+	sectionFreq      byte = 4
+	sectionCount     byte = 5
+)
+
+// Latency/frequency per-hop store kinds inside their sections.
+const (
+	storeNone byte = 0
+	storeRaw  byte = 1
+	storeKLL  byte = 2
+	storeWin  byte = 3
+)
+
+type handoffReader struct {
+	data []byte
+	err  error
+}
+
+func (r *handoffReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.err = fmt.Errorf("core: truncated flow-state varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *handoffReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)) {
+		r.err = fmt.Errorf("core: flow state wants %d bytes, %d left", n, len(r.data))
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *handoffReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("core: %d trailing flow-state bytes", len(r.data))
+	}
+	return nil
+}
+
+func appendSection(dst []byte, name string, kind byte, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+func appendFloatSeries(dst []byte, series []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(series)))
+	for _, v := range series {
+		dst = binary.AppendUvarint(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// AppendFlowState appends flow's complete recording state to dst. The
+// queries slice fixes the section order (sections appear in query order,
+// families with no state for the flow are skipped). The flow must be
+// tracked.
+func (r *Recording) AppendFlowState(dst []byte, queries []Query, flow FlowKey) ([]byte, error) {
+	if _, ok := r.flowSeq[flow]; !ok {
+		return dst, fmt.Errorf("core: flow %d is not tracked", flow)
+	}
+	dst = append(dst, flowStateVersion)
+	countAt := len(dst)
+	dst = append(dst, 0) // section count backfilled below (fits a byte: one section per query)
+	if len(queries) > 127 {
+		return dst, fmt.Errorf("core: %d queries exceed the flow-state section budget", len(queries))
+	}
+	sections := 0
+	for _, q := range queries {
+		switch q := q.(type) {
+		case *PathQuery:
+			dec := r.paths[q][flow]
+			if dec == nil {
+				continue
+			}
+			dst = appendSection(dst, q.Name(), sectionPath, dec.AppendState(nil))
+		case *LatencyQuery:
+			stores := r.lats[q][flow]
+			if stores == nil {
+				continue
+			}
+			var pl []byte
+			pl = binary.AppendUvarint(pl, uint64(len(stores)))
+			for _, st := range stores {
+				switch {
+				case st == nil:
+					pl = append(pl, storeNone)
+				case st.win != nil:
+					pl = append(pl, storeWin)
+					sub := st.win.AppendState(nil)
+					pl = binary.AppendUvarint(pl, uint64(len(sub)))
+					pl = append(pl, sub...)
+				case st.kll != nil:
+					pl = append(pl, storeKLL)
+					sub := st.kll.AppendState(nil)
+					pl = binary.AppendUvarint(pl, uint64(len(sub)))
+					pl = append(pl, sub...)
+				default:
+					pl = append(pl, storeRaw)
+					pl = binary.AppendUvarint(pl, uint64(len(st.raw)))
+					for _, v := range st.raw {
+						pl = binary.AppendUvarint(pl, v)
+					}
+				}
+			}
+			dst = appendSection(dst, q.Name(), sectionLatency, pl)
+		case *UtilQuery:
+			series := r.utils[q][flow]
+			if series == nil {
+				continue
+			}
+			dst = appendSection(dst, q.Name(), sectionUtil, appendFloatSeries(nil, series))
+		case *FreqQuery:
+			stores := r.freqs[q][flow]
+			if stores == nil {
+				continue
+			}
+			var pl []byte
+			pl = binary.AppendUvarint(pl, uint64(len(stores)))
+			for _, st := range stores {
+				if st == nil {
+					pl = append(pl, storeNone)
+					continue
+				}
+				pl = append(pl, storeKLL) // "present" marker; payload is a SpaceSaving
+				sub := st.AppendState(nil)
+				pl = binary.AppendUvarint(pl, uint64(len(sub)))
+				pl = append(pl, sub...)
+			}
+			dst = appendSection(dst, q.Name(), sectionFreq, pl)
+		case *CountQuery:
+			series := r.cnts[q][flow]
+			if series == nil {
+				continue
+			}
+			dst = appendSection(dst, q.Name(), sectionCount, appendFloatSeries(nil, series))
+		default:
+			return dst, fmt.Errorf("core: flow state for unknown query type %T", q)
+		}
+		sections++
+	}
+	dst[countAt] = byte(sections)
+	return dst, nil
+}
+
+// RestoreFlowState rebuilds a flow's state from an AppendFlowState blob
+// and folds it into r via Merge, exactly as the federation frontend folds
+// member snapshots. queries resolves section names to this Recording's
+// compiled queries. Restoring a flow r already tracks is an error (a
+// flow's state must never split across two recordings).
+func (r *Recording) RestoreFlowState(queries []Query, flow FlowKey, data []byte) error {
+	byName := make(map[string]Query, len(queries))
+	for _, q := range queries {
+		byName[q.Name()] = q
+	}
+	carrier, err := NewRecordingSeeded(r.engine, r.SketchItems, r.base)
+	if err != nil {
+		return err
+	}
+	carrier.WindowBuckets = r.WindowBuckets
+	carrier.WindowSpan = r.WindowSpan
+	carrier.FreqCounters = r.FreqCounters
+	rd := &handoffReader{data: data}
+	if v := rd.uvarint(); rd.err == nil && v != flowStateVersion {
+		return fmt.Errorf("core: flow state version %d (have %d)", v, flowStateVersion)
+	}
+	sections := rd.uvarint()
+	if rd.err != nil {
+		return rd.err
+	}
+	if sections > uint64(len(queries)) {
+		return fmt.Errorf("core: flow state has %d sections for %d queries", sections, len(queries))
+	}
+	for s := uint64(0); s < sections; s++ {
+		name := string(rd.bytes(rd.uvarint()))
+		kindB := rd.bytes(1)
+		payload := rd.bytes(rd.uvarint())
+		if rd.err != nil {
+			return rd.err
+		}
+		kind := kindB[0]
+		q, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("core: flow state references unknown query %q", name)
+		}
+		switch q := q.(type) {
+		case *PathQuery:
+			if kind != sectionPath {
+				return fmt.Errorf("core: query %q: section kind %d, want path", name, kind)
+			}
+			k, err := coding.StateK(payload)
+			if err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			dec, err := q.NewDecoder(k)
+			if err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			if err := dec.RestoreState(payload); err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			carrier.paths[q] = map[FlowKey]*coding.Decoder{flow: dec}
+		case *LatencyQuery:
+			if kind != sectionLatency {
+				return fmt.Errorf("core: query %q: section kind %d, want latency", name, kind)
+			}
+			stores, err := restoreLatStores(payload)
+			if err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			carrier.lats[q] = map[FlowKey][]*latStore{flow: stores}
+		case *UtilQuery:
+			if kind != sectionUtil {
+				return fmt.Errorf("core: query %q: section kind %d, want util", name, kind)
+			}
+			series, err := restoreFloatSeries(payload)
+			if err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			carrier.utils[q] = map[FlowKey][]float64{flow: series}
+		case *FreqQuery:
+			if kind != sectionFreq {
+				return fmt.Errorf("core: query %q: section kind %d, want freq", name, kind)
+			}
+			stores, err := restoreFreqStores(payload)
+			if err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			carrier.freqs[q] = map[FlowKey][]*sketch.SpaceSaving{flow: stores}
+		case *CountQuery:
+			if kind != sectionCount {
+				return fmt.Errorf("core: query %q: section kind %d, want count", name, kind)
+			}
+			series, err := restoreFloatSeries(payload)
+			if err != nil {
+				return fmt.Errorf("core: query %q: %w", name, err)
+			}
+			carrier.cnts[q] = map[FlowKey][]float64{flow: series}
+		default:
+			return fmt.Errorf("core: flow state for unknown query type %T", q)
+		}
+	}
+	if err := rd.done(); err != nil {
+		return err
+	}
+	carrier.seq = 1
+	carrier.flowSeq[flow] = 1
+	return r.Merge(carrier)
+}
+
+func restoreLatStores(payload []byte) ([]*latStore, error) {
+	rd := &handoffReader{data: payload}
+	n := rd.uvarint()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n > uint64(len(rd.data))+1 {
+		return nil, fmt.Errorf("core: latency section claims %d stores", n)
+	}
+	stores := make([]*latStore, n)
+	for i := range stores {
+		kind := rd.bytes(1)
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		switch kind[0] {
+		case storeNone:
+		case storeRaw:
+			cnt := rd.uvarint()
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			if cnt > uint64(len(rd.data))+1 {
+				return nil, fmt.Errorf("core: raw latency store claims %d samples", cnt)
+			}
+			raw := make([]uint64, cnt)
+			for j := range raw {
+				raw[j] = rd.uvarint()
+			}
+			stores[i] = &latStore{raw: raw}
+		case storeKLL:
+			sub := rd.bytes(rd.uvarint())
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			kll, err := sketch.RestoreKLL(sub)
+			if err != nil {
+				return nil, err
+			}
+			stores[i] = &latStore{kll: kll}
+		case storeWin:
+			sub := rd.bytes(rd.uvarint())
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			win, err := sketch.RestoreSlidingKLL(sub)
+			if err != nil {
+				return nil, err
+			}
+			stores[i] = &latStore{win: win}
+		default:
+			return nil, fmt.Errorf("core: latency store kind %d", kind[0])
+		}
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return stores, nil
+}
+
+func restoreFreqStores(payload []byte) ([]*sketch.SpaceSaving, error) {
+	rd := &handoffReader{data: payload}
+	n := rd.uvarint()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n > uint64(len(rd.data))+1 {
+		return nil, fmt.Errorf("core: freq section claims %d stores", n)
+	}
+	stores := make([]*sketch.SpaceSaving, n)
+	for i := range stores {
+		kind := rd.bytes(1)
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		switch kind[0] {
+		case storeNone:
+		default:
+			sub := rd.bytes(rd.uvarint())
+			if rd.err != nil {
+				return nil, rd.err
+			}
+			ss, err := sketch.RestoreSpaceSaving(sub)
+			if err != nil {
+				return nil, err
+			}
+			stores[i] = ss
+		}
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return stores, nil
+}
+
+func restoreFloatSeries(payload []byte) ([]float64, error) {
+	rd := &handoffReader{data: payload}
+	n := rd.uvarint()
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if n > uint64(len(rd.data))+1 {
+		return nil, fmt.Errorf("core: series claims %d values", n)
+	}
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = math.Float64frombits(rd.uvarint())
+	}
+	if err := rd.done(); err != nil {
+		return nil, err
+	}
+	return series, nil
+}

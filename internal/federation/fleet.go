@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/collector"
@@ -43,21 +44,65 @@ type Fleet struct {
 	Epoch   uint64
 	Members []*Member
 
-	part *Partitioner
+	part   *Partitioner
+	shards int
+	// mu guards curMap: exporter goroutines read it through RosterFetch
+	// while Resize swaps in the next epoch's map.
+	mu     sync.RWMutex
+	curMap *FleetMap
 }
 
-// StartFleet stands up n collector daemons over tb's plan, each with a
-// sink of the given shard count, all fenced to epoch. Every member gets
-// an ephemeral loopback TCP listener (exporter sessions) and an HTTP
-// listener (queries) served through the hardened server.
-func StartFleet(tb *collector.Testbench, n, shards int, epoch uint64) (*Fleet, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("federation: fleet size %d below 1", n)
+// fleetConfig is the resolved form of NewFleet's options.
+type fleetConfig struct {
+	size   int
+	shards int
+	epoch  uint64
+}
+
+// FleetOption configures NewFleet.
+type FleetOption func(*fleetConfig)
+
+// WithSize sets the initial fleet size in members (default 1).
+func WithSize(n int) FleetOption {
+	return func(c *fleetConfig) { c.size = n }
+}
+
+// WithShards sets each member's sink shard count (default 1).
+func WithShards(n int) FleetOption {
+	return func(c *fleetConfig) { c.shards = n }
+}
+
+// WithFleetEpoch sets the starting cluster epoch (default 1). Resize
+// advances it by one per resize.
+func WithFleetEpoch(epoch uint64) FleetOption {
+	return func(c *fleetConfig) { c.epoch = epoch }
+}
+
+// NewFleet stands up an in-process fleet over tb's plan — the options
+// entry point mirroring collector.New and collector.Connect:
+//
+//	f, err := federation.NewFleet(tb,
+//	        federation.WithSize(4),
+//	        federation.WithShards(2),
+//	        federation.WithFleetEpoch(7))
+//
+// Every member gets an ephemeral loopback TCP listener (exporter
+// sessions) and an HTTP listener (queries) served through the hardened
+// server, all fenced to the starting epoch.
+func NewFleet(tb *collector.Testbench, opts ...FleetOption) (*Fleet, error) {
+	cfg := fleetConfig{size: 1, shards: 1, epoch: 1}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
 	}
-	f := &Fleet{TB: tb, Epoch: epoch}
-	names := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		m, err := startMember(tb, fmt.Sprintf("node-%d", i), shards, epoch)
+	if cfg.size < 1 {
+		return nil, fmt.Errorf("federation: fleet size %d below 1", cfg.size)
+	}
+	f := &Fleet{TB: tb, Epoch: cfg.epoch, shards: cfg.shards}
+	names := make([]string, 0, cfg.size)
+	for i := 0; i < cfg.size; i++ {
+		m, err := startMember(tb, fmt.Sprintf("node-%d", i), cfg.shards, cfg.epoch)
 		if err != nil {
 			f.Shutdown(context.Background())
 			return nil, err
@@ -75,7 +120,52 @@ func StartFleet(tb *collector.Testbench, n, shards int, epoch uint64) (*Fleet, e
 		return nil, err
 	}
 	f.part = part
+	if err := f.publishMap(); err != nil {
+		f.Shutdown(context.Background())
+		return nil, err
+	}
 	return f, nil
+}
+
+// StartFleet stands up n collector daemons over tb's plan, each with a
+// sink of the given shard count, all fenced to epoch. It is the
+// positional compatibility path for NewFleet.
+func StartFleet(tb *collector.Testbench, n, shards int, epoch uint64) (*Fleet, error) {
+	return NewFleet(tb, WithSize(n), WithShards(shards), WithFleetEpoch(epoch))
+}
+
+// publishMap rebuilds the fleet map from the live membership and current
+// epoch and makes it the one RosterFetch serves.
+func (f *Fleet) publishMap() error {
+	members := make([]FleetMember, len(f.Members))
+	for i, m := range f.Members {
+		members[i] = FleetMember{Name: m.Name, Ingest: m.TCPAddr(), Query: m.HTTPURL()}
+	}
+	fm, err := NewFleetMap(f.Epoch, members)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.curMap = fm
+	f.mu.Unlock()
+	return nil
+}
+
+// CurrentMap returns the fleet's published map — epoch, membership, and
+// addresses. During a Resize the previous map stays published until the
+// state hand-off completes, so exporters re-routing on the epoch fence
+// block until the new partitioning is actually safe to send under.
+func (f *Fleet) CurrentMap() *FleetMap {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.curMap
+}
+
+// RosterFetch returns the fetch closure exporters pass to
+// collector.WithRosterFetch — the in-process stand-in for GETting the
+// frontend's /fleetmap endpoint.
+func (f *Fleet) RosterFetch() func() (collector.FleetRoster, error) {
+	return func() (collector.FleetRoster, error) { return f.CurrentMap(), nil }
 }
 
 func startMember(tb *collector.Testbench, name string, shards int, epoch uint64) (*Member, error) {

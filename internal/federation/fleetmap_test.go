@@ -1,0 +1,94 @@
+package federation
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hash"
+)
+
+func TestFleetMapJSONRoundTrip(t *testing.T) {
+	orig := mapForNames(t, 42, "node-0", "node-1", "node-2")
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseFleetMap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Epoch != orig.Epoch || len(parsed.Members) != len(orig.Members) {
+		t.Fatalf("round-trip lost shape: %+v", parsed)
+	}
+	for i := range orig.Members {
+		if parsed.Members[i] != orig.Members[i] {
+			t.Fatalf("member %d: %+v vs %+v", i, parsed.Members[i], orig.Members[i])
+		}
+	}
+	// The parsed map routes — Validate ran inside ParseFleetMap.
+	rng := hash.NewRNG(8)
+	for i := 0; i < 100; i++ {
+		flow := core.FlowKey(rng.Uint64())
+		if parsed.HomeName(flow) != orig.HomeName(flow) {
+			t.Fatalf("flow %d homes differently after round-trip", flow)
+		}
+	}
+}
+
+func TestFleetMapRoutingMatchesPartitioner(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	fm := mapForNames(t, 1, names...)
+	part, err := NewPartitioner(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.NewRNG(17)
+	for i := 0; i < 500; i++ {
+		flow := core.FlowKey(rng.Uint64())
+		if fm.FlowHome(flow) != part.Home(flow) {
+			t.Fatalf("flow %d: map homes %d, partitioner homes %d", flow, fm.FlowHome(flow), part.Home(flow))
+		}
+	}
+}
+
+func TestFleetMapRejects(t *testing.T) {
+	member := FleetMember{Name: "a", Ingest: "a:1", Query: "http://a:2"}
+	cases := map[string]struct {
+		epoch   uint64
+		members []FleetMember
+	}{
+		"no members": {1, nil},
+		"dup name": {1, []FleetMember{member,
+			{Name: "a", Ingest: "b:1", Query: "http://b:2"}}},
+		"empty name":   {1, []FleetMember{{Name: "", Ingest: "a:1", Query: "http://a:2"}}},
+		"empty ingest": {1, []FleetMember{{Name: "a", Ingest: "", Query: "http://a:2"}}},
+		"empty query":  {1, []FleetMember{{Name: "a", Ingest: "a:1", Query: ""}}},
+	}
+	for name, c := range cases {
+		if _, err := NewFleetMap(c.epoch, c.members); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ParseFleetMap([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ParseFleetMap([]byte(`{"epoch":1,"members":[]}`)); err == nil {
+		t.Error("empty membership accepted")
+	}
+}
+
+func TestFleetMapRosterInterface(t *testing.T) {
+	fm := mapForNames(t, 9, "x", "y")
+	if fm.FleetEpoch() != 9 {
+		t.Fatalf("FleetEpoch = %d", fm.FleetEpoch())
+	}
+	addrs := fm.IngestAddrs()
+	if len(addrs) != 2 || addrs[0] != "x:1" || addrs[1] != "y:1" {
+		t.Fatalf("IngestAddrs = %v", addrs)
+	}
+	urls := fm.QueryURLs()
+	if len(urls) != 2 || urls[0] != "http://x:2" || urls[1] != "http://y:2" {
+		t.Fatalf("QueryURLs = %v", urls)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,13 +29,57 @@ import (
 // healthy.
 type Frontend struct {
 	// Nodes are the members' query base URLs ("http://host:port"), in
-	// fleet order.
+	// fleet order. When the frontend holds a fleet map this list follows
+	// it; read it through SetFleetMap/CurrentFleetMap rather than
+	// mutating it once the frontend is serving.
 	Nodes []string
 	// Client issues the fan-out requests (default: a fresh client with
 	// Timeout as its overall bound).
 	Client *http.Client
 	// Timeout bounds each fan-out request (default 10s).
 	Timeout time.Duration
+
+	// mu guards Nodes and fleetMap against a POST /fleetmap racing the
+	// fan-out handlers.
+	mu       sync.RWMutex
+	fleetMap *FleetMap
+}
+
+// frontendConfig is the resolved form of NewFrontend's options.
+type frontendConfig struct {
+	nodes   []string
+	fm      *FleetMap
+	timeout time.Duration
+	client  *http.Client
+}
+
+// FrontendOption configures NewFrontend.
+type FrontendOption func(*frontendConfig)
+
+// WithMembers sets the members' query base URLs explicitly (no fleet
+// map: the frontend serves whatever these nodes answer, with no epoch
+// staleness detection).
+func WithMembers(urls ...string) FrontendOption {
+	return func(c *frontendConfig) { c.nodes = append([]string(nil), urls...) }
+}
+
+// WithFleetMap seeds the frontend with the fleet's epoch-versioned map:
+// the member list follows the map, GET /fleetmap serves it, and a member
+// whose response carries a different epoch (mid-resize) lands in the
+// response's error list as "epoch_stale" instead of being merged.
+func WithFleetMap(m *FleetMap) FrontendOption {
+	return func(c *frontendConfig) { c.fm = m }
+}
+
+// WithTimeout bounds each fan-out request (default 10s).
+func WithTimeout(d time.Duration) FrontendOption {
+	return func(c *frontendConfig) { c.timeout = d }
+}
+
+// WithClient supplies the HTTP client for fan-out requests, overriding
+// the default (a fresh client bounded by the timeout).
+func WithClient(client *http.Client) FrontendOption {
+	return func(c *frontendConfig) { c.client = client }
 }
 
 // PartialHeader marks a response merged from a degraded fleet: its value
@@ -47,28 +92,112 @@ const PartialHeader = "X-Pint-Partial"
 // an explicit over-cap error rather than a truncated-JSON parse error).
 const maxNodeResponse = collector.MaxRequestBody * 64
 
-// NewFrontend builds a frontend over the fleet's query URLs.
-func NewFrontend(nodes []string) (*Frontend, error) {
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("federation: frontend needs at least one node URL")
+// NewFrontend builds a frontend — the options entry point mirroring
+// collector.New and collector.Connect:
+//
+//	fe, err := federation.NewFrontend(
+//	        federation.WithFleetMap(fm),
+//	        federation.WithTimeout(5*time.Second))
+//
+// Members come from WithFleetMap (the map's query URLs, plus epoch
+// staleness detection and the /fleetmap endpoints) or WithMembers (a
+// bare URL list); at least one is required. NewStaticFrontend is the
+// positional compatibility path.
+func NewFrontend(opts ...FrontendOption) (*Frontend, error) {
+	var cfg frontendConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
 	}
-	return &Frontend{Nodes: append([]string(nil), nodes...)}, nil
+	g := &Frontend{Client: cfg.client, Timeout: cfg.timeout}
+	if cfg.fm != nil {
+		if err := cfg.fm.Validate(); err != nil {
+			return nil, err
+		}
+		g.fleetMap = cfg.fm
+		g.Nodes = cfg.fm.QueryURLs()
+	}
+	if len(cfg.nodes) > 0 {
+		g.Nodes = cfg.nodes
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("federation: frontend needs members (WithMembers or WithFleetMap)")
+	}
+	return g, nil
+}
+
+// NewStaticFrontend builds a frontend over a bare list of member query
+// URLs — the compatibility path for the pre-options constructor. New
+// code should use NewFrontend(WithFleetMap(...)), which adds epoch
+// staleness detection and the /fleetmap endpoints.
+func NewStaticFrontend(nodes []string) (*Frontend, error) {
+	return NewFrontend(WithMembers(nodes...))
+}
+
+// SetFleetMap installs a newer fleet map: the member list, the epoch
+// used for staleness detection, and the document GET /fleetmap serves
+// all move together. The epoch must not regress.
+func (g *Frontend) SetFleetMap(m *FleetMap) error {
+	if m == nil {
+		return fmt.Errorf("federation: nil fleet map")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fleetMap != nil && m.Epoch < g.fleetMap.Epoch {
+		return fmt.Errorf("federation: fleet map epoch regressed (%d, currently %d)", m.Epoch, g.fleetMap.Epoch)
+	}
+	g.fleetMap = m
+	g.Nodes = m.QueryURLs()
+	return nil
+}
+
+// CurrentFleetMap returns the map the frontend is serving (nil for a
+// static frontend).
+func (g *Frontend) CurrentFleetMap() *FleetMap {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.fleetMap
+}
+
+// roster snapshots the node list and the expected epoch (checkEpoch
+// false for a static frontend) for one fan-out.
+func (g *Frontend) roster() (nodes []string, wantEpoch uint64, checkEpoch bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.fleetMap != nil {
+		wantEpoch, checkEpoch = g.fleetMap.Epoch, true
+	}
+	return g.Nodes, wantEpoch, checkEpoch
 }
 
 // NodeError is one fleet member's failure in a fan-out, as reported in
 // the response body's "errors" list. Status carries the member's HTTP
 // status when the failure was an HTTP-level refusal (0 for transport
-// errors and unparseable bodies).
+// errors and unparseable bodies). Kind classifies non-HTTP failures the
+// caller may want to react to ("epoch_stale": the member answered from a
+// different fleet epoch than the frontend's map — a resize is in flight
+// — and its answer was excluded from the merge rather than silently
+// mixed across partitionings).
 type NodeError struct {
 	Node   string `json:"node"`
 	Error  string `json:"error"`
 	Status int    `json:"status,omitempty"`
+	Kind   string `json:"kind,omitempty"`
 }
 
+// NodeErrorEpochStale is the NodeError.Kind for a member that answered
+// from a different fleet epoch than the frontend's map.
+const NodeErrorEpochStale = "epoch_stale"
+
 // fetch GETs path (plus rawQuery) from every node concurrently and
-// returns the bodies, position-aligned with Nodes; failures (transport
-// errors and non-200 statuses) land in the error list instead.
-func (g *Frontend) fetch(path, rawQuery string) (bodies [][]byte, errs []NodeError) {
+// returns the node list used plus the bodies, position-aligned with it;
+// failures (transport errors, non-200 statuses, and epoch-stale answers)
+// land in the error list instead.
+func (g *Frontend) fetch(path, rawQuery string) (nodes []string, bodies [][]byte, errs []NodeError) {
 	client := g.Client
 	if client == nil {
 		timeout := g.Timeout
@@ -77,10 +206,11 @@ func (g *Frontend) fetch(path, rawQuery string) (bodies [][]byte, errs []NodeErr
 		}
 		client = &http.Client{Timeout: timeout}
 	}
-	bodies = make([][]byte, len(g.Nodes))
-	nodeErrs := make([]*NodeError, len(g.Nodes))
+	nodes, wantEpoch, checkEpoch := g.roster()
+	bodies = make([][]byte, len(nodes))
+	nodeErrs := make([]*NodeError, len(nodes))
 	var wg sync.WaitGroup
-	for i, node := range g.Nodes {
+	for i, node := range nodes {
 		wg.Add(1)
 		go func(i int, node string) {
 			defer wg.Done()
@@ -117,6 +247,18 @@ func (g *Frontend) fetch(path, rawQuery string) (bodies [][]byte, errs []NodeErr
 				}
 				return
 			}
+			// A member mid-resize answers from a different partitioning;
+			// merging it with the rest would mix two fleet maps in one
+			// document. Exclude it and say so. (Members predating the
+			// epoch header send none — nothing to check.)
+			if raw := resp.Header.Get(collector.EpochHeader); checkEpoch && raw != "" && raw != strconv.FormatUint(wantEpoch, 10) {
+				nodeErrs[i] = &NodeError{
+					Node:  node,
+					Error: fmt.Sprintf("member is at fleet epoch %s, frontend map is at %d (resize in flight)", raw, wantEpoch),
+					Kind:  NodeErrorEpochStale,
+				}
+				return
+			}
 			bodies[i] = body
 		}(i, node)
 	}
@@ -126,7 +268,7 @@ func (g *Frontend) fetch(path, rawQuery string) (bodies [][]byte, errs []NodeErr
 			errs = append(errs, *ne)
 		}
 	}
-	return bodies, errs
+	return nodes, bodies, errs
 }
 
 // unanimousStatus reports the HTTP status every member answered with,
@@ -178,7 +320,42 @@ func (g *Frontend) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", g.serveHealthz)
 	mux.HandleFunc("GET /stats", g.serveStats)
 	mux.HandleFunc("GET /snapshot", g.serveSnapshot)
+	mux.HandleFunc("GET /fleetmap", g.serveFleetMapGet)
+	mux.HandleFunc("POST /fleetmap", g.serveFleetMapPost)
 	return mux
+}
+
+// serveFleetMapGet publishes the current fleet map — the document
+// exporters (collector.WithRosterFetch) and operators fetch to learn the
+// fleet's epoch, membership, and addresses.
+func (g *Frontend) serveFleetMapGet(w http.ResponseWriter, r *http.Request) {
+	fm := g.CurrentFleetMap()
+	if fm == nil {
+		http.Error(w, "federation: frontend has no fleet map (static member list)", http.StatusNotFound)
+		return
+	}
+	collector.WriteJSON(w, fm)
+}
+
+// serveFleetMapPost accepts the next epoch's map from a resize
+// coordinator; the frontend's member list and staleness epoch follow it
+// atomically.
+func (g *Frontend) serveFleetMapPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, collector.MaxRequestBody))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fm, err := ParseFleetMap(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := g.SetFleetMap(fm); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	collector.WriteJSON(w, map[string]any{"ok": true, "epoch": fm.Epoch})
 }
 
 // nodeHealth is one member's /healthz as the frontend re-presents it.
@@ -190,15 +367,15 @@ type nodeHealth struct {
 }
 
 func (g *Frontend) serveHealthz(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := g.fetch("/healthz", "")
+	roster, bodies, errs := g.fetch("/healthz", "")
 	down := map[string]string{}
 	for _, e := range errs {
 		down[e.Node] = e.Error
 	}
-	nodes := make([]nodeHealth, len(g.Nodes))
+	nodes := make([]nodeHealth, len(roster))
 	ok := true
 	planHashes := map[string]bool{}
-	for i, node := range g.Nodes {
+	for i, node := range roster {
 		nodes[i] = nodeHealth{Node: node}
 		if msg, dead := down[node]; dead {
 			nodes[i].Error = msg
@@ -243,17 +420,17 @@ type nodeStats struct {
 }
 
 func (g *Frontend) serveStats(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := g.fetch("/stats", "")
+	roster, bodies, errs := g.fetch("/stats", "")
 	down := map[string]string{}
 	for _, e := range errs {
 		down[e.Node] = e.Error
 	}
-	nodes := make([]nodeStats, len(g.Nodes))
+	nodes := make([]nodeStats, len(roster))
 	// The fleet total is the same versioned document one daemon serves:
 	// counter sections sum, tenant sections merge by name (re-deriving
 	// each error envelope), point-in-time sections stay per-member.
 	total := collector.StatsV1{Schema: collector.StatsSchemaV1}
-	for i, node := range g.Nodes {
+	for i, node := range roster {
 		nodes[i] = nodeStats{Node: node}
 		if msg, dead := down[node]; dead {
 			nodes[i].Error = msg
@@ -281,12 +458,12 @@ func (g *Frontend) serveStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Frontend) serveSnapshot(w http.ResponseWriter, r *http.Request) {
-	bodies, errs := g.fetch("/snapshot", r.URL.RawQuery)
+	roster, bodies, errs := g.fetch("/snapshot", r.URL.RawQuery)
 	// Every member refusing with one status is that status, not a
 	// degraded fleet: a bad ?flow= is the client's 400 and a fleet-wide
 	// drain is the members' 503 — exactly what a single collector would
 	// answer. Mixed failures fall through to the partial-result merge.
-	if status, ok := unanimousStatus(len(g.Nodes), errs); ok {
+	if status, ok := unanimousStatus(len(roster), errs); ok {
 		// A fleet-wide drain keeps the single collector's retry hint.
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", "1")
@@ -295,8 +472,8 @@ func (g *Frontend) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	explicit := len(r.URL.Query()["flow"]) > 0
-	perNode := make([][]collector.FlowAnswers, 0, len(g.Nodes))
-	for i, node := range g.Nodes {
+	perNode := make([][]collector.FlowAnswers, 0, len(roster))
+	for i, node := range roster {
 		if bodies[i] == nil {
 			continue
 		}

@@ -1,0 +1,48 @@
+package federation
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Move is one flow's relocation in a fleet resize: its recording state
+// leaves the From member and is folded into the To member.
+type Move struct {
+	Flow core.FlowKey
+	From string
+	To   string
+}
+
+// Rebalance plans a resize: given the outgoing and incoming fleet maps
+// and the set of live flows, it returns exactly the flows whose home
+// member changed — nothing else may move. Rendezvous hashing makes this
+// the minimal set by construction (a member's score for a flow depends
+// only on the pair, so adding members steals only the flows the new
+// members now win, and removing members reassigns only the removed
+// members' flows); the planner simply reads the two maps and compares
+// home *names*, never indices, since membership changes shift indices.
+//
+// Moves are returned in the order of flows, deduplicated; the incoming
+// epoch must be strictly newer than the outgoing one.
+func Rebalance(oldMap, newMap *FleetMap, flows []core.FlowKey) ([]Move, error) {
+	if oldMap == nil || newMap == nil {
+		return nil, fmt.Errorf("federation: Rebalance needs both fleet maps")
+	}
+	if newMap.Epoch <= oldMap.Epoch {
+		return nil, fmt.Errorf("federation: resize must advance the epoch (old %d, new %d)", oldMap.Epoch, newMap.Epoch)
+	}
+	var moves []Move
+	seen := make(map[core.FlowKey]bool, len(flows))
+	for _, flow := range flows {
+		if seen[flow] {
+			continue
+		}
+		seen[flow] = true
+		from, to := oldMap.HomeName(flow), newMap.HomeName(flow)
+		if from != to {
+			moves = append(moves, Move{Flow: flow, From: from, To: to})
+		}
+	}
+	return moves, nil
+}

@@ -1,0 +1,19 @@
+package hash
+
+// RNG state extraction and restoration, used by the fleet-resize hand-off
+// path: a flow's sketches derive their randomness deterministically from
+// the recording seed, but once a sketch has consumed random draws its
+// future output depends on the generator's *position* in the stream, not
+// just the seed. Shipping a flow to a new collector therefore ships each
+// sketch RNG's exact xoshiro256++ state, so the destination continues the
+// very same random sequence and stays byte-identical to a collector that
+// observed the whole stream locally.
+
+// State returns the generator's full internal state. Restoring it with
+// RestoreRNG yields a generator that produces the identical future
+// sequence.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// RestoreRNG rebuilds a generator from a state captured by State. The
+// state is used as-is (no splitmix64 expansion — it is already expanded).
+func RestoreRNG(s [4]uint64) *RNG { return &RNG{s: s} }

@@ -118,6 +118,7 @@ type shard struct {
 	snap chan chan *core.Recording
 	sync chan chan<- struct{}
 	ckpt chan ckptReq
+	exec chan execReq
 	rec  *core.Recording
 	// mu is the shard's ingest stripe lock: it guards buf and the
 	// dispatch hand-off, serializing concurrent IngestStage callers (and
@@ -188,6 +189,7 @@ func NewSink(engine *core.Engine, cfg Config) (*Sink, error) {
 			snap: make(chan chan *core.Recording),
 			sync: make(chan chan<- struct{}),
 			ckpt: make(chan ckptReq),
+			exec: make(chan execReq),
 			rec:  rec,
 			buf:  make([]core.PacketDigest, 0, cfg.BatchSize),
 		}
@@ -324,6 +326,35 @@ func (s *Sink) Barrier() {
 	}
 }
 
+// execReq asks a shard worker to run a callback against its live
+// Recording, on the worker goroutine, after draining everything queued.
+type execReq struct {
+	fn    func(*core.Recording) error
+	reply chan error
+}
+
+// WithFlow runs fn against the live Recording of the shard that owns
+// flow, on that shard's worker goroutine, after the worker has drained
+// every batch already queued — so fn observes (and may mutate: drain a
+// flow's state for hand-off, or fold a migrated flow in) a recording
+// that is consistent with everything dispatched before the call, without
+// racing ingest. It shares the whole-sink synchronization contract of
+// Snapshot and Barrier: callers must order it against Close themselves
+// (the collector's ingest gate does). After Close it runs fn directly —
+// the workers are gone and the shards are fully drained.
+func (s *Sink) WithFlow(flow core.FlowKey, fn func(*core.Recording) error) error {
+	sh := s.shardOf(flow)
+	s.mu.Lock()
+	if s.closed {
+		defer s.mu.Unlock()
+		return fn(sh.rec)
+	}
+	s.mu.Unlock()
+	req := execReq{fn: fn, reply: make(chan error)}
+	sh.exec <- req
+	return <-req.reply
+}
+
 // start launches one worker goroutine per shard.
 func (s *Sink) start() {
 	for _, sh := range s.shards {
@@ -351,6 +382,11 @@ func (s *Sink) start() {
 				case req := <-sh.sync:
 					sh.drainPending(s.cfg.OnEvict, s.persister())
 					req <- struct{}{}
+				case req := <-sh.exec:
+					// Same discipline as snapshots: the callback must see a
+					// shard that has recorded everything dispatched to it.
+					sh.drainPending(s.cfg.OnEvict, s.persister())
+					req.reply <- req.fn(sh.rec)
 				case req := <-sh.ckpt:
 					// Drain first: the checkpoint must describe a shard
 					// that has recorded everything dispatched to it.

@@ -180,7 +180,7 @@ func runFederatedScaleTrial(seed uint64, fleetN, shards, nExporters, flowsPer, p
 	}
 
 	// Path 2: the HTTP frontend on a real loopback socket.
-	fe, err := federation.NewFrontend(fleet.HTTPURLs())
+	fe, err := federation.NewFrontend(federation.WithMembers(fleet.HTTPURLs()...))
 	if err != nil {
 		return out, err
 	}

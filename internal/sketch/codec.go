@@ -1,0 +1,286 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hash"
+)
+
+// Exact state serialization for the fleet-resize hand-off path. Each
+// sketch can append its complete internal state — including its RNG
+// position — to a byte slice and be rebuilt from those bytes such that
+// every future operation produces output identical to the original. The
+// encodings are uvarint-based and length-checked: a decoder consumes the
+// entire input or fails, so a truncated or padded blob is an error, never
+// a silently different sketch.
+
+const sketchCodecVersion = 1
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// stateReader walks an encoded state blob, latching the first error.
+type stateReader struct {
+	data []byte
+	err  error
+}
+
+func (r *stateReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.err = fmt.Errorf("sketch: truncated state varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *stateReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)) {
+		r.err = fmt.Errorf("sketch: state wants %d bytes, %d left", n, len(r.data))
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *stateReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("sketch: %d trailing state bytes", len(r.data))
+	}
+	return nil
+}
+
+func appendRNG(dst []byte, rng *hash.RNG) []byte {
+	s := rng.State()
+	for _, w := range s {
+		dst = appendUvarint(dst, w)
+	}
+	return dst
+}
+
+func (r *stateReader) rng() *hash.RNG {
+	var s [4]uint64
+	for i := range s {
+		s[i] = r.uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return hash.RestoreRNG(s)
+}
+
+// AppendState appends the sketch's complete state (accuracy parameter,
+// stream length, RNG position, every compactor level) to dst.
+func (s *KLL) AppendState(dst []byte) []byte {
+	dst = append(dst, sketchCodecVersion)
+	dst = appendUvarint(dst, uint64(s.k))
+	dst = appendUvarint(dst, s.n)
+	dst = appendRNG(dst, s.rng)
+	dst = appendUvarint(dst, uint64(len(s.compactors)))
+	for _, level := range s.compactors {
+		dst = appendUvarint(dst, uint64(len(level)))
+		for _, v := range level {
+			dst = appendUvarint(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// RestoreKLL rebuilds a sketch from AppendState bytes. The restored
+// sketch's future Adds, compactions, and quantile answers are identical
+// to the original's.
+func RestoreKLL(data []byte) (*KLL, error) {
+	r := &stateReader{data: data}
+	s, err := restoreKLLFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func restoreKLLFrom(r *stateReader) (*KLL, error) {
+	if v := r.uvarint(); r.err == nil && v != sketchCodecVersion {
+		return nil, fmt.Errorf("sketch: KLL state version %d (have %d)", v, sketchCodecVersion)
+	}
+	k := int(r.uvarint())
+	n := r.uvarint()
+	rng := r.rng()
+	levels := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if k < 8 {
+		return nil, fmt.Errorf("sketch: KLL state k=%d too small", k)
+	}
+	if levels < 1 || levels > 64 {
+		return nil, fmt.Errorf("sketch: KLL state has %d levels", levels)
+	}
+	s := &KLL{k: k, c: 2.0 / 3.0, n: n, rng: rng}
+	s.compactors = make([][]float64, levels)
+	for h := range s.compactors {
+		cnt := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if cnt > uint64(len(r.data)) { // each item is >= 1 byte
+			return nil, fmt.Errorf("sketch: KLL level %d claims %d items", h, cnt)
+		}
+		level := make([]float64, cnt)
+		for i := range level {
+			level[i] = math.Float64frombits(r.uvarint())
+		}
+		s.compactors[h] = level
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// AppendState appends the summary's complete state. Counters are emitted
+// in ascending value order so the encoding is deterministic.
+func (s *SpaceSaving) AppendState(dst []byte) []byte {
+	dst = append(dst, sketchCodecVersion)
+	dst = appendUvarint(dst, uint64(s.m))
+	dst = appendUvarint(dst, s.n)
+	vals := make([]uint64, 0, len(s.cnt))
+	for v := range s.cnt {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	dst = appendUvarint(dst, uint64(len(vals)))
+	for _, v := range vals {
+		dst = appendUvarint(dst, v)
+		dst = appendUvarint(dst, s.cnt[v])
+		dst = appendUvarint(dst, s.err[v])
+	}
+	return dst
+}
+
+// RestoreSpaceSaving rebuilds a summary from AppendState bytes.
+func RestoreSpaceSaving(data []byte) (*SpaceSaving, error) {
+	r := &stateReader{data: data}
+	if v := r.uvarint(); r.err == nil && v != sketchCodecVersion {
+		return nil, fmt.Errorf("sketch: SpaceSaving state version %d (have %d)", v, sketchCodecVersion)
+	}
+	m := int(r.uvarint())
+	n := r.uvarint()
+	entries := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("sketch: SpaceSaving state m=%d", m)
+	}
+	if entries > uint64(m) {
+		return nil, fmt.Errorf("sketch: SpaceSaving state has %d entries for m=%d", entries, m)
+	}
+	s := &SpaceSaving{
+		m:   m,
+		n:   n,
+		cnt: make(map[uint64]uint64, m),
+		err: make(map[uint64]uint64, m),
+	}
+	for i := uint64(0); i < entries; i++ {
+		v := r.uvarint()
+		c := r.uvarint()
+		e := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if _, dup := s.cnt[v]; dup {
+			return nil, fmt.Errorf("sketch: SpaceSaving state duplicates value %d", v)
+		}
+		s.cnt[v] = c
+		s.err[v] = e
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AppendState appends the window's complete state: geometry, rotation
+// position, the window RNG, and every live ring bucket.
+func (s *SlidingKLL) AppendState(dst []byte) []byte {
+	dst = append(dst, sketchCodecVersion)
+	dst = appendUvarint(dst, uint64(s.buckets))
+	dst = appendUvarint(dst, s.span)
+	dst = appendUvarint(dst, uint64(s.k))
+	dst = appendUvarint(dst, uint64(s.cur))
+	dst = appendUvarint(dst, s.inCur)
+	dst = appendRNG(dst, s.rng)
+	for _, b := range s.ring {
+		if b == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, 1)
+		sub := b.AppendState(nil)
+		dst = appendUvarint(dst, uint64(len(sub)))
+		dst = append(dst, sub...)
+	}
+	return dst
+}
+
+// RestoreSlidingKLL rebuilds a window sketch from AppendState bytes.
+func RestoreSlidingKLL(data []byte) (*SlidingKLL, error) {
+	r := &stateReader{data: data}
+	if v := r.uvarint(); r.err == nil && v != sketchCodecVersion {
+		return nil, fmt.Errorf("sketch: SlidingKLL state version %d (have %d)", v, sketchCodecVersion)
+	}
+	buckets := int(r.uvarint())
+	span := r.uvarint()
+	k := int(r.uvarint())
+	cur := int(r.uvarint())
+	inCur := r.uvarint()
+	rng := r.rng()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if buckets < 2 || span < 1 || cur < 0 || cur >= buckets {
+		return nil, fmt.Errorf("sketch: SlidingKLL state geometry buckets=%d span=%d cur=%d", buckets, span, cur)
+	}
+	s := &SlidingKLL{buckets: buckets, span: span, k: k, cur: cur, inCur: inCur, rng: rng}
+	s.ring = make([]*KLL, buckets)
+	for i := range s.ring {
+		present := r.uvarint()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if present == 0 {
+			continue
+		}
+		sub := r.bytes(r.uvarint())
+		if r.err != nil {
+			return nil, r.err
+		}
+		b, err := RestoreKLL(sub)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: SlidingKLL ring[%d]: %w", i, err)
+		}
+		s.ring[i] = b
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

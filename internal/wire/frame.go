@@ -410,7 +410,16 @@ const (
 	AckEpochMismatch byte = 4
 )
 
-// AckError maps a non-OK ack code to a descriptive error.
+// ErrEpochMismatch is the sentinel inside an AckEpochMismatch refusal.
+// It is a *recoverable* signal, not a fatal one: the fleet has moved to a
+// new partitioning epoch, so the exporter should fetch the current fleet
+// map, re-partition its in-flight buffers, and re-handshake at the new
+// epoch (collector.Connect with a roster fetch does this automatically).
+var ErrEpochMismatch = fmt.Errorf("wire: cluster-epoch mismatch")
+
+// AckError maps a non-OK ack code to a descriptive error. An
+// AckEpochMismatch error wraps ErrEpochMismatch so callers can
+// errors.Is-detect the recoverable case.
 func AckError(code byte) error {
 	switch code {
 	case AckOK:
@@ -420,7 +429,7 @@ func AckError(code byte) error {
 	case AckRejected:
 		return fmt.Errorf("wire: collector rejected session")
 	case AckEpochMismatch:
-		return fmt.Errorf("wire: collector rejected session: cluster-epoch mismatch (stale fleet partitioning)")
+		return fmt.Errorf("wire: collector rejected session: %w (stale fleet partitioning — fetch the new fleet map and re-handshake)", ErrEpochMismatch)
 	default:
 		return fmt.Errorf("wire: collector answered unknown ack code %d", code)
 	}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHandoffRoundTrip(t *testing.T) {
+	batch := []FlowState{
+		{Flow: 1, State: []byte{0xDE, 0xAD}},
+		{Flow: 1<<40 | 7, State: nil},
+		{Flow: 42, State: bytes.Repeat([]byte{0x5A}, 300)},
+	}
+	payload := AppendMarshalHandoff(nil, batch)
+	if !IsHandoffPayload(payload) {
+		t.Fatal("marshaled hand-off not recognized by the sniffer")
+	}
+	got, err := AppendUnmarshalHandoff(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d states, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if got[i].Flow != batch[i].Flow {
+			t.Fatalf("state %d: flow %d, want %d", i, got[i].Flow, batch[i].Flow)
+		}
+		if !bytes.Equal(got[i].State, batch[i].State) {
+			t.Fatalf("state %d: bytes differ", i)
+		}
+	}
+	// Empty batch round-trips too.
+	empty := AppendMarshalHandoff(nil, nil)
+	if got, err := AppendUnmarshalHandoff(nil, empty); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v (%d states)", err, len(got))
+	}
+}
+
+func TestHandoffRejectsCorrupt(t *testing.T) {
+	good := AppendMarshalHandoff(nil, []FlowState{{Flow: 9, State: []byte{1, 2, 3}}})
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:2],
+		"bad magic":        append([]byte{'P', 'D'}, good[2:]...),
+		"bad version":      append([]byte{'P', 'H', 9}, good[3:]...),
+		"truncated state":  good[:len(good)-1],
+		"trailing bytes":   append(append([]byte(nil), good...), 0),
+		"count over bytes": {'P', 'H', HandoffVersion, 0xFF, 0xFF, 0x7F},
+	}
+	for name, data := range cases {
+		if _, err := AppendUnmarshalHandoff(nil, data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+	if IsHandoffPayload([]byte{'P', 'D', 1}) {
+		t.Error("digest payload sniffed as hand-off")
+	}
+}
+
+func TestHandoffStateAliasing(t *testing.T) {
+	// The decode documents that State aliases the input — callers that
+	// outlive the frame buffer must copy. Pin the aliasing so a future
+	// copy-always change is deliberate.
+	payload := AppendMarshalHandoff(nil, []FlowState{{Flow: 3, State: []byte{7, 8}}})
+	got, err := AppendUnmarshalHandoff(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)-1] = 99
+	if got[0].State[1] != 99 {
+		t.Fatal("decoded state no longer aliases the payload; update the doc contract")
+	}
+}

@@ -1,6 +1,9 @@
 package pint
 
 import (
+	"net/http"
+	"time"
+
 	"repro/internal/collector"
 	"repro/internal/federation"
 )
@@ -16,16 +19,28 @@ import (
 // members' disjoint flow sets in flow-key order (Frontend — the HTTP
 // image of Recording merging in the sharded sink).
 //
-//	part, _ := pint.NewPartitioner([]string{"tor-a:9777", "tor-b:9777"})
-//	fx, _ := pint.DialCollectorFleet(addrs, hello, part.Route(), 256)
+// The fleet's configuration travels as an epoch-versioned FleetMap
+// (membership + addresses; the routing is derived by rendezvous hashing,
+// never serialized). Exporters connect through the options API and — with
+// a roster fetch — follow a live fleet resize end to end: the collectors
+// fence the old epoch, moving flows' recording state ships to its new
+// homes, and the exporters re-partition and re-handshake when the new map
+// publishes:
+//
+//	fm, _ := pint.ParseFleetMap(mapJSON) // e.g. GET /fleetmap from pintgate
+//	fx, _ := pint.Connect(engine, 7, "tor-7",
+//	        pint.WithFleetMap(fm),
+//	        pint.WithRosterFetch(fetch))
 //	fx.Send(pkts) // each digest routed to its flow's home collector
 //
-//	fe, _ := pint.NewFrontend([]string{"http://tor-a:9778", "http://tor-b:9778"})
+//	fe, _ := pint.NewFrontend(pint.WithFrontendFleetMap(fm))
 //	http.ListenAndServe(":9700", fe.Handler())
 //
 // cmd/pintd -epoch, cmd/pintload -addr a,b,c, and cmd/pintgate are the
 // same pieces as daemons; the federated-scale scenario pins the fleet's
-// byte-identity to a single collector.
+// byte-identity to a single collector, and the fleet-resize scenario pins
+// a mid-stream resize's byte-identity to a fleet that started at the
+// final membership.
 
 // Partitioner maps flow keys to fleet members by rendezvous hashing —
 // deterministic, balanced, and consistent under membership changes.
@@ -38,12 +53,87 @@ func NewPartitioner(members []string) (*Partitioner, error) {
 	return federation.NewPartitioner(members)
 }
 
+// FleetMap is the epoch-versioned fleet configuration: membership,
+// addresses, and the partitioning epoch, as served on /fleetmap. It
+// implements the roster interface Connect's WithFleetMap takes.
+type FleetMap = federation.FleetMap
+
+// FleetMember is one fleet node's entry in a FleetMap.
+type FleetMember = federation.FleetMember
+
+// NewFleetMap builds and validates a fleet map.
+func NewFleetMap(epoch uint64, members []FleetMember) (*FleetMap, error) {
+	return federation.NewFleetMap(epoch, members)
+}
+
+// ParseFleetMap decodes and validates a JSON fleet map (the body of
+// GET /fleetmap).
+func ParseFleetMap(data []byte) (*FleetMap, error) {
+	return federation.ParseFleetMap(data)
+}
+
+// Move is one flow's relocation in a fleet resize plan.
+type Move = federation.Move
+
+// Rebalance plans a resize: exactly the flows whose rendezvous home
+// changed between the two maps, nothing else.
+func Rebalance(oldMap, newMap *FleetMap, flows []FlowKey) ([]Move, error) {
+	return federation.Rebalance(oldMap, newMap, flows)
+}
+
 // FleetExporter streams digest batches to a collector fleet, routing
-// every packet to its flow's home member.
+// every packet to its flow's home member. Built with a roster fetch
+// (WithRosterFetch) it survives fleet resizes: it re-partitions its
+// unsent buffers under the new map and re-handshakes at the new epoch,
+// losing nothing.
 type FleetExporter = collector.FleetExporter
 
+// FleetRoster is the exporter-side view of a fleet configuration
+// (FleetMap implements it).
+type FleetRoster = collector.FleetRoster
+
+// DialOption configures Connect.
+type DialOption = collector.DialOption
+
+// Connect is the options entry point for exporter-session construction —
+// single-node and fleet sessions share it:
+//
+//	fx, err := pint.Connect(engine, 7, "tor-7",
+//	        pint.WithFleetMap(fm),
+//	        pint.WithRosterFetch(fetch),
+//	        pint.WithTenant("team-a"))
+func Connect(engine *Engine, exporterID uint64, name string, opts ...DialOption) (*FleetExporter, error) {
+	return collector.Connect(engine, exporterID, name, opts...)
+}
+
+// WithAddrs sets the collector addresses explicitly.
+func WithAddrs(addrs ...string) DialOption { return collector.WithAddrs(addrs...) }
+
+// WithRoute sets the flow→member routing function explicitly.
+func WithRoute(route func(FlowKey) int) DialOption { return collector.WithRoute(route) }
+
+// WithSessionEpoch sets the cluster epoch the session handshake carries.
+func WithSessionEpoch(epoch uint64) DialOption { return collector.WithSessionEpoch(epoch) }
+
+// WithTenant labels the session with a QoS tenant.
+func WithTenant(tenant string) DialOption { return collector.WithTenant(tenant) }
+
+// WithCoalesce sets the per-session write-coalescing threshold in bytes.
+func WithCoalesce(bytes int) DialOption { return collector.WithCoalesce(bytes) }
+
+// WithFleetMap derives addresses, routing, and epoch from a fleet map.
+func WithFleetMap(roster FleetRoster) DialOption { return collector.WithFleetMap(roster) }
+
+// WithRosterFetch enables live re-routing across fleet resizes: fetch is
+// polled for the current map whenever the session's epoch goes stale.
+func WithRosterFetch(fetch func() (FleetRoster, error)) DialOption {
+	return collector.WithRosterFetch(fetch)
+}
+
 // DialCollectorFleet opens one exporter session per fleet member and
-// routes each flow by route (e.g. Partitioner.Route()).
+// routes each flow by route (e.g. Partitioner.Route()). It is the static
+// compatibility path for Connect: the sessions are pinned to addrs and
+// hello.Epoch for their whole life.
 func DialCollectorFleet(addrs []string, hello Hello, route func(FlowKey) int, batch int) (*FleetExporter, error) {
 	return collector.DialFleet(addrs, hello, route, batch)
 }
@@ -51,17 +141,50 @@ func DialCollectorFleet(addrs []string, hello Hello, route func(FlowKey) int, ba
 // Frontend is the fleet's merging query endpoint: it fans /snapshot,
 // /stats, and /healthz out to every member and folds the answers into
 // single-collector-shaped JSON, with explicit partial results (the
-// PartialHeader plus a per-node error list) when members are down.
+// PartialHeader plus a per-node error list) when members are down. Built
+// with a fleet map it also serves GET/POST /fleetmap and excludes
+// epoch-stale members from the merge.
 type Frontend = federation.Frontend
+
+// FrontendOption configures NewFrontend.
+type FrontendOption = federation.FrontendOption
 
 // NodeError names one fleet member's failure in a partial result.
 type NodeError = federation.NodeError
 
+// NodeErrorEpochStale is the NodeError.Kind for a member answering from
+// a different fleet epoch than the frontend's map (a resize in flight).
+const NodeErrorEpochStale = federation.NodeErrorEpochStale
+
 // PartialHeader marks a response merged from a degraded fleet.
 const PartialHeader = federation.PartialHeader
 
-// NewFrontend builds a query frontend over the fleet members' HTTP base
-// URLs.
-func NewFrontend(nodes []string) (*Frontend, error) {
-	return federation.NewFrontend(nodes)
+// NewFrontend builds a query frontend through functional options:
+//
+//	fe, err := pint.NewFrontend(pint.WithFrontendFleetMap(fm))
+//	fe, err := pint.NewFrontend(pint.WithFrontendMembers("http://tor-a:9778"))
+func NewFrontend(opts ...FrontendOption) (*Frontend, error) {
+	return federation.NewFrontend(opts...)
 }
+
+// NewStaticFrontend builds a frontend over a bare list of member query
+// URLs — the compatibility path for the pre-options constructor.
+func NewStaticFrontend(nodes []string) (*Frontend, error) {
+	return federation.NewStaticFrontend(nodes)
+}
+
+// WithFrontendMembers sets the frontend's member query URLs explicitly.
+// (The federation package names this WithMembers; the facade qualifies
+// frontend options to keep them distinct from the exporter-side dial
+// options above.)
+func WithFrontendMembers(urls ...string) FrontendOption { return federation.WithMembers(urls...) }
+
+// WithFrontendFleetMap seeds the frontend with the fleet's map: members
+// follow the map, /fleetmap serves it, epoch-stale members are excluded.
+func WithFrontendFleetMap(m *FleetMap) FrontendOption { return federation.WithFleetMap(m) }
+
+// WithFrontendTimeout bounds each fan-out request (default 10s).
+func WithFrontendTimeout(d time.Duration) FrontendOption { return federation.WithTimeout(d) }
+
+// WithFrontendClient supplies the HTTP client for fan-out requests.
+func WithFrontendClient(client *http.Client) FrontendOption { return federation.WithClient(client) }

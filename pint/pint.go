@@ -79,6 +79,17 @@
 // their answers stay byte-identical to an unpoliced collector. See
 // TenantPolicy, TenantStats and CapacityConfig.
 //
+// # Elastic fleet
+//
+// Collectors federate into fleets that resize live: an epoch-versioned
+// FleetMap names the members, Connect routes each flow to its
+// rendezvous-hash home (and re-homes mid-stream when the map's epoch
+// moves), and a resize hands the moving flows' complete recording state
+// to their new homes with zero loss — answers stay byte-identical to a
+// fleet started at the new membership. See FleetMap, Connect,
+// NewFrontend, and the runnable ExampleNewFrontend; federation.go in
+// this package documents the invariants.
+//
 // The subpackages referenced here live under internal/; this package
 // re-exports everything a downstream user needs.
 package pint
